@@ -1,0 +1,120 @@
+// Command genedit runs the GenEdit pipeline for a single question against
+// one of the synthetic benchmark databases:
+//
+//	genedit -db sports_holdings -q "top 5 sports organisations by total revenue in Canada for 2023"
+//	genedit -db sports_holdings -q "..." -prompt      also print the Fig. 2 prompt
+//	genedit -list                                     list databases
+//
+// The tool prints the reformulated question, classified intents, the CoT
+// plan, every self-correction attempt, and the executed result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"genedit/internal/bench"
+	"genedit/internal/pipeline"
+	"genedit/internal/sqlexec"
+	"genedit/internal/workload"
+)
+
+func main() {
+	db := flag.String("db", "sports_holdings", "target database")
+	q := flag.String("q", "", "natural-language question")
+	evidence := flag.String("evidence", "", "external-knowledge evidence string")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	modelSeed := flag.Uint64("modelseed", 42, "simulated-model seed")
+	showPrompt := flag.Bool("prompt", false, "print the generation prompt (Fig. 2 structure)")
+	list := flag.Bool("list", false, "list databases and exit")
+	flag.Parse()
+
+	suite := workload.NewSuite(*seed)
+	if *list {
+		for _, name := range workload.DomainNames() {
+			sch := suite.Schemas[name]
+			fmt.Printf("%-22s %d tables, %d columns\n", name, len(sch.Tables), sch.ColumnCount())
+		}
+		return
+	}
+	if *q == "" {
+		fmt.Fprintln(os.Stderr, "missing -q question (try -list for databases)")
+		os.Exit(2)
+	}
+
+	system, err := bench.NewGenEditSystem("GenEdit", suite, pipeline.DefaultConfig(), *modelSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	engine := system.Engine(*db)
+	if engine == nil {
+		fmt.Fprintf(os.Stderr, "unknown database %q (try -list)\n", *db)
+		os.Exit(2)
+	}
+
+	rec, err := engine.Generate(*q, *evidence)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generation failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("question:     ", rec.Question)
+	fmt.Println("reformulated: ", rec.Reformulated)
+	fmt.Println("intents:      ", strings.Join(rec.IntentNames, ", "))
+	fmt.Printf("retrieved:     %d examples, %d instructions, %d linked columns\n",
+		len(rec.Context.Examples), len(rec.Context.Instructions), len(rec.Context.LinkedElements))
+	fmt.Printf("plan:          %d steps (%d with pseudo-SQL)\n", len(rec.Plan.Steps), anchoredSteps(rec))
+	for i, s := range rec.Plan.Steps {
+		fmt.Printf("  %2d. %s\n", i+1, s.Description)
+		if s.Pseudo != "" {
+			fmt.Printf("      %s\n", s.Pseudo)
+		}
+	}
+	for i, a := range rec.Attempts {
+		status := a.Kind
+		if a.Err != "" {
+			status += ": " + a.Err
+		}
+		fmt.Printf("attempt %d:     %s\n", i+1, status)
+	}
+	fmt.Println("final SQL:")
+	fmt.Println("  " + rec.FinalSQL)
+
+	if *showPrompt {
+		fmt.Println("\n--- generation prompt (Fig. 2 structure) ---")
+		fmt.Println(rec.Prompt())
+	}
+
+	if rec.OK && rec.Result != nil {
+		printResult(rec.Result)
+	}
+}
+
+func anchoredSteps(rec *pipeline.Record) int {
+	n := 0
+	for _, s := range rec.Plan.Steps {
+		if s.Pseudo != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func printResult(res *sqlexec.Result) {
+	fmt.Println("\nresult:")
+	fmt.Println("  " + strings.Join(res.Columns, " | "))
+	for i, row := range res.Rows {
+		if i >= 12 {
+			fmt.Printf("  ... (%d more rows)\n", len(res.Rows)-i)
+			break
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		fmt.Println("  " + strings.Join(parts, " | "))
+	}
+}

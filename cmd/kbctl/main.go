@@ -1,0 +1,127 @@
+// Command kbctl is the knowledge set library (§4.2.2) as a CLI: it shows
+// the components of a database's knowledge set with their provenance, the
+// audit history, and demonstrates checkpoint/revert.
+//
+//	kbctl -db sports_holdings -show stats
+//	kbctl -db sports_holdings -show examples | instructions | intents | terms
+//	kbctl -db sports_holdings -show history
+//	kbctl -db sports_holdings -demo-revert     scripted edit → checkpoint → revert
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"genedit/internal/knowledge"
+	"genedit/internal/workload"
+)
+
+func main() {
+	db := flag.String("db", "sports_holdings", "target database")
+	show := flag.String("show", "stats", "what to display: stats, examples, instructions, intents, terms, history, checkpoints")
+	limit := flag.Int("n", 12, "max items to list")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	demoRevert := flag.Bool("demo-revert", false, "demonstrate checkpoint/revert on the set")
+	flag.Parse()
+
+	suite := workload.NewSuite(*seed)
+	set, err := suite.BuildKnowledge(*db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *demoRevert {
+		runRevertDemo(set)
+		return
+	}
+
+	switch *show {
+	case "stats":
+		st := set.Stats()
+		fmt.Printf("database:     %s\n", *db)
+		fmt.Printf("examples:     %d\n", st.Examples)
+		fmt.Printf("instructions: %d\n", st.Instructions)
+		fmt.Printf("intents:      %d\n", st.Intents)
+		fmt.Printf("directives:   %d\n", st.Directives)
+		fmt.Printf("version:      %d\n", st.Version)
+	case "examples":
+		for i, ex := range set.Examples() {
+			if i >= *limit {
+				fmt.Printf("... (%d more)\n", len(set.Examples())-i)
+				break
+			}
+			fmt.Printf("%-8s [%s] %s\n         %s\n         source: %s\n",
+				ex.ID, ex.Clause, ex.NL, ex.Pseudo, ex.Provenance.Source)
+		}
+	case "instructions":
+		for _, ins := range set.Instructions() {
+			fmt.Printf("%-8s %s\n", ins.ID, ins.Text)
+			if ins.SQLHint != "" {
+				fmt.Printf("         expected SQL: %s\n", ins.SQLHint)
+			}
+			if len(ins.Terms) > 0 {
+				fmt.Printf("         defines: %v\n", ins.Terms)
+			}
+			fmt.Printf("         source: %s\n", ins.Provenance.Source)
+		}
+	case "intents":
+		for _, it := range set.Intents() {
+			fmt.Printf("%-12s %s (%d schema elements)\n", it.ID, it.Name, len(it.Elements))
+		}
+	case "terms":
+		for _, t := range set.TermsIndex() {
+			def := set.DefinesTerm(t)
+			fmt.Printf("%-8s %s\n", t, def.Text)
+		}
+	case "history":
+		for i, ev := range set.History() {
+			if i >= *limit {
+				fmt.Printf("... (%d more)\n", len(set.History())-i)
+				break
+			}
+			fmt.Printf("#%03d v%03d %-10s %-12s %-10s %s\n",
+				ev.Seq, ev.Version, ev.Op, ev.Kind, ev.EntityID, ev.Summary)
+		}
+	case "checkpoints":
+		cps := set.Checkpoints()
+		if len(cps) == 0 {
+			fmt.Println("no checkpoints")
+		}
+		for _, cp := range cps {
+			fmt.Printf("cp-%d %-24s at version %d\n", cp.ID, cp.Name, cp.Version)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -show %q\n", *show)
+		os.Exit(2)
+	}
+}
+
+// runRevertDemo walks the library's edit → checkpoint → revert flow.
+func runRevertDemo(set *knowledge.Set) {
+	fmt.Printf("initial: %d instructions, version %d\n", set.Stats().Instructions, set.Version())
+	cp := set.Checkpoint("demo-baseline")
+	fmt.Printf("checkpoint cp-%d recorded\n", cp)
+
+	err := set.Apply(knowledge.Edit{
+		Op:   knowledge.EditInsert,
+		Kind: knowledge.InstructionEntity,
+		Instruction: &knowledge.Instruction{
+			Text: "Demo: always round currency values to two decimals.",
+		},
+	}, "demo-sme", "fb-demo")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("after insert: %d instructions, version %d\n", set.Stats().Instructions, set.Version())
+
+	if err := set.Revert(cp); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("after revert: %d instructions, version %d\n", set.Stats().Instructions, set.Version())
+	last := set.History()[len(set.History())-1]
+	fmt.Printf("history tail: %s %s (%s)\n", last.Op, last.EntityID, last.Summary)
+}

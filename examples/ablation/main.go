@@ -1,0 +1,35 @@
+// Ablation runs the paper's Table 2 ablations plus the extra design-choice
+// ablations DESIGN.md calls out (context expansion, planning, self-
+// correction, retry budget), printing one combined report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genedit/internal/bench"
+	"genedit/internal/eval"
+	"genedit/internal/workload"
+)
+
+func main() {
+	suite := workload.NewSuite(1)
+
+	reports, err := bench.RunAblations(suite, 42, bench.Table2Ablations())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(eval.FormatTable("Table 2 ablations", reports))
+
+	extra, err := bench.RunAblations(suite, 42, bench.ExtraAblations())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(eval.FormatTable("Design-choice ablations", extra))
+
+	base := reports[0]
+	fmt.Println("per-row deltas vs full pipeline (All):")
+	for _, rep := range reports[1:] {
+		fmt.Printf("  %-24s %+6.2f\n", rep.System, rep.EX("")-base.EX(""))
+	}
+}

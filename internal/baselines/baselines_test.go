@@ -1,0 +1,115 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"genedit/internal/task"
+	"genedit/internal/workload"
+)
+
+func TestAllForSuiteShapes(t *testing.T) {
+	suite := workload.NewSuite(1)
+	bs := AllForSuite(suite, 42)
+	if len(bs) != 5 {
+		t.Fatalf("baselines = %d, want 5", len(bs))
+	}
+	wantNames := []string{"CHESS", "MAC-SQL", "TA-SQL", "DAIL-SQL", "C3-SQL"}
+	for i, b := range bs {
+		if b.Name() != wantNames[i] {
+			t.Errorf("baseline %d = %s, want %s", i, b.Name(), wantNames[i])
+		}
+	}
+}
+
+func TestBaselinesGenerateExecutableSQLMostly(t *testing.T) {
+	suite := workload.NewSuite(1)
+	for _, b := range AllForSuite(suite, 42) {
+		bad := 0
+		cases := suite.CasesByDifficulty(task.Simple)[:20]
+		for _, c := range cases {
+			sql, err := b.Generate(c)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name(), err)
+			}
+			exec, _ := suite.Executor(c.DB)
+			if _, err := exec.Query(sql); err != nil {
+				bad++
+			}
+		}
+		if bad > len(cases)/2 {
+			t.Errorf("%s produced %d/%d non-executable queries", b.Name(), bad, len(cases))
+		}
+	}
+}
+
+func TestBaselinesAreDeterministic(t *testing.T) {
+	suite := workload.NewSuite(1)
+	c := suite.Cases[0]
+	for _, mk := range []func() *Baseline{
+		func() *Baseline { return AllForSuite(workload.NewSuite(1), 42)[0] },
+	} {
+		a, err := mk().Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mk().Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Error("baseline generation is not deterministic across identical constructions")
+		}
+	}
+}
+
+func TestFewShotSelectsSimilarLogEntries(t *testing.T) {
+	suite := workload.NewSuite(1)
+	dail := AllForSuite(suite, 42)[3]
+	if dail.Name() != "DAIL-SQL" {
+		t.Fatal("baseline order changed")
+	}
+	shots := dail.selectFewShot("sports_holdings",
+		"top 5 sports organisations by total revenue in Canada for 2023", 3)
+	if len(shots) != 3 {
+		t.Fatalf("few-shot = %d examples, want 3", len(shots))
+	}
+	if shots[0].FullSQL == "" {
+		t.Error("few-shot examples must be full SQL")
+	}
+	// The most similar log entry is the top-N template variant.
+	if !strings.Contains(shots[0].NL, "top") {
+		t.Errorf("top shot = %q, expected the top-N log variant first", shots[0].NL)
+	}
+	if shots[0].Score < shots[1].Score || shots[1].Score < shots[2].Score {
+		t.Error("few-shot not sorted by similarity")
+	}
+}
+
+func TestMaskLiterals(t *testing.T) {
+	if got := maskLiterals("top 5 orgs in 2023"); got != "top # orgs in ####" {
+		t.Errorf("maskLiterals = %q", got)
+	}
+}
+
+func TestBaselineUnknownDatabase(t *testing.T) {
+	suite := workload.NewSuite(1)
+	b := AllForSuite(suite, 42)[0]
+	_, err := b.Generate(&task.Case{ID: "x", DB: "nope", Question: "q"})
+	if err == nil {
+		t.Error("unknown database should error")
+	}
+}
+
+func TestProfilesAreDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range []string{
+		CHESSProfile().Name, MACSQLProfile().Name, TASQLProfile().Name,
+		DAILSQLProfile().Name, C3SQLProfile().Name,
+	} {
+		if names[p] {
+			t.Errorf("duplicate profile name %s (draw salts would collide)", p)
+		}
+		names[p] = true
+	}
+}

@@ -1,0 +1,17 @@
+package bench
+
+import (
+	"genedit/internal/baselines"
+	"genedit/internal/eval"
+	"genedit/internal/workload"
+)
+
+// AllBaselines returns the five Table 1 comparison systems as eval.Systems.
+func AllBaselines(suite *workload.Suite, seed uint64) []eval.System {
+	bs := baselines.AllForSuite(suite, seed)
+	out := make([]eval.System, len(bs))
+	for i, b := range bs {
+		out[i] = b
+	}
+	return out
+}

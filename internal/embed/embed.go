@@ -1,0 +1,165 @@
+// Package embed provides deterministic text embeddings and cosine-similarity
+// retrieval. It substitutes for the hosted embedding service an enterprise
+// deployment would call: feature-hashed bag-of-words with word bigrams,
+// TF-weighted and L2-normalized, so similar texts land near each other and
+// every run is reproducible.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dim is the embedding dimensionality.
+const Dim = 192
+
+// Vector is a dense embedding.
+type Vector []float64
+
+// Text embeds a string. Tokenization lower-cases and splits on
+// non-alphanumeric runes; unigrams and adjacent-word bigrams are hashed into
+// Dim buckets with signed hashing to reduce collision bias.
+func Text(s string) Vector {
+	v := make(Vector, Dim)
+	words := Tokenize(s)
+	add := func(tok string, weight float64) {
+		h := fnv.New64a()
+		h.Write([]byte(tok))
+		sum := h.Sum64()
+		bucket := int(sum % Dim)
+		sign := 1.0
+		if (sum>>32)&1 == 1 {
+			sign = -1.0
+		}
+		v[bucket] += sign * weight
+	}
+	for i, w := range words {
+		add(w, 1.0)
+		if i+1 < len(words) {
+			add(w+"_"+words[i+1], 0.6)
+		}
+	}
+	return v.Normalize()
+}
+
+// Tokenize lower-cases and splits text into alphanumeric word tokens.
+func Tokenize(s string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(s) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return words
+}
+
+// Normalize returns the vector scaled to unit length (zero vectors pass
+// through unchanged).
+func (v Vector) Normalize() Vector {
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm == 0 {
+		return v
+	}
+	norm = math.Sqrt(norm)
+	out := make(Vector, len(v))
+	for i, x := range v {
+		out[i] = x / norm
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity of two vectors (0 when either is
+// zero or lengths differ).
+func Cosine(a, b Vector) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Similarity embeds both texts and returns their cosine similarity.
+func Similarity(a, b string) float64 {
+	return Cosine(Text(a), Text(b))
+}
+
+// Hit is one retrieval result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// Index is a brute-force cosine top-k index, sufficient for knowledge sets
+// of thousands of items.
+type Index struct {
+	ids  []string
+	vecs []Vector
+	pos  map[string]int
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{pos: make(map[string]int)}
+}
+
+// Add inserts or replaces an item by ID.
+func (ix *Index) Add(id, text string) {
+	vec := Text(text)
+	if p, ok := ix.pos[id]; ok {
+		ix.vecs[p] = vec
+		return
+	}
+	ix.pos[id] = len(ix.ids)
+	ix.ids = append(ix.ids, id)
+	ix.vecs = append(ix.vecs, vec)
+}
+
+// Len reports the number of items indexed.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// Search returns the top-k items most similar to the query text, highest
+// score first with ties broken by ID for determinism.
+func (ix *Index) Search(query string, k int) []Hit {
+	return ix.SearchVector(Text(query), k)
+}
+
+// SearchVector is Search with a precomputed query vector.
+func (ix *Index) SearchVector(q Vector, k int) []Hit {
+	hits := make([]Hit, 0, len(ix.ids))
+	for i, id := range ix.ids {
+		hits = append(hits, Hit{ID: id, Score: Cosine(q, ix.vecs[i])})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	if k >= 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

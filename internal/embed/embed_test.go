@@ -1,0 +1,135 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Show me the Top-5 orgs (QoQFP)!")
+	want := []string{"show", "me", "the", "top", "5", "orgs", "qoqfp"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTextDeterministic(t *testing.T) {
+	a := Text("quarterly revenue per viewer")
+	b := Text("quarterly revenue per viewer")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding is not deterministic")
+		}
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	s := "total revenue for canadian organizations in Q2 2023"
+	if sim := Similarity(s, s); math.Abs(sim-1.0) > 1e-9 {
+		t.Errorf("self similarity = %v, want 1.0", sim)
+	}
+}
+
+func TestRelatedTextsScoreHigherThanUnrelated(t *testing.T) {
+	query := "revenue per viewer for sports organizations"
+	related := "sum of revenue divided by viewers per organization"
+	unrelated := "patient diagnosis codes by hospital ward"
+	if Similarity(query, related) <= Similarity(query, unrelated) {
+		t.Errorf("related text (%v) should outscore unrelated (%v)",
+			Similarity(query, related), Similarity(query, unrelated))
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		sim := Similarity(a, b)
+		return sim >= -1.0000001 && sim <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineEdgeCases(t *testing.T) {
+	if got := Cosine(Vector{1, 0}, Vector{1, 0, 0}); got != 0 {
+		t.Errorf("mismatched lengths should score 0, got %v", got)
+	}
+	if got := Cosine(Vector{}, Vector{}); got != 0 {
+		t.Errorf("empty vectors should score 0, got %v", got)
+	}
+	if got := Cosine(Vector{0, 0}, Vector{1, 1}); got != 0 {
+		t.Errorf("zero vector should score 0, got %v", got)
+	}
+}
+
+func TestNormalizeUnitLength(t *testing.T) {
+	v := Text("some sample text for normalization")
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if math.Abs(norm-1.0) > 1e-9 {
+		t.Errorf("embedding norm = %v, want 1.0", math.Sqrt(norm))
+	}
+}
+
+func TestIndexSearchRanksExactMatchFirst(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("a", "count employees by department")
+	ix.Add("b", "total revenue per region last year")
+	ix.Add("c", "average salary of engineers")
+	hits := ix.Search("total revenue per region last year", 2)
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	if hits[0].ID != "b" {
+		t.Errorf("top hit = %s, want b", hits[0].ID)
+	}
+	if hits[0].Score < hits[1].Score {
+		t.Error("hits not sorted by score")
+	}
+}
+
+func TestIndexReplace(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("x", "alpha beta")
+	ix.Add("x", "gamma delta")
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replace", ix.Len())
+	}
+	hits := ix.Search("gamma delta", 1)
+	if hits[0].Score < 0.9 {
+		t.Errorf("replaced vector not searchable: score %v", hits[0].Score)
+	}
+}
+
+func TestIndexKBounds(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("a", "one")
+	ix.Add("b", "two")
+	if got := len(ix.Search("one", 10)); got != 2 {
+		t.Errorf("k larger than index returned %d hits, want 2", got)
+	}
+	if got := len(ix.Search("one", 0)); got != 0 {
+		t.Errorf("k=0 returned %d hits, want 0", got)
+	}
+	if got := len(ix.Search("one", -1)); got != 2 {
+		t.Errorf("k=-1 (all) returned %d hits, want 2", got)
+	}
+}
+
+func TestIndexTieBreakDeterministic(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("z", "identical text")
+	ix.Add("a", "identical text")
+	hits := ix.Search("identical text", 2)
+	if hits[0].ID != "a" || hits[1].ID != "z" {
+		t.Errorf("tie break not by ID: %v", hits)
+	}
+}

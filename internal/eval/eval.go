@@ -1,0 +1,214 @@
+// Package eval implements the benchmark evaluation: BIRD's Execution
+// Accuracy (EX) metric, the per-system runner, and the table formatting the
+// benchmark harness prints.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genedit/internal/sqldb"
+	"genedit/internal/sqlexec"
+	"genedit/internal/task"
+)
+
+// System is anything that turns a benchmark case into SQL: the GenEdit
+// pipeline, a baseline, or an ablated variant.
+type System interface {
+	Name() string
+	Generate(c *task.Case) (string, error)
+}
+
+// Outcome is one case's evaluation result.
+type Outcome struct {
+	Case    *task.Case
+	SQL     string
+	Correct bool
+	// Err records generation or execution failure.
+	Err string
+}
+
+// Report aggregates a system's outcomes.
+type Report struct {
+	System   string
+	Outcomes []Outcome
+}
+
+// ResultsEqual implements the EX comparison: results are equal when they
+// have the same columns count and the same multiset of rows (order-
+// insensitive, matching BIRD's set-style comparison).
+func ResultsEqual(a, b *sqlexec.Result) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Rows) != len(b.Rows) || len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	counts := make(map[string]int, len(a.Rows))
+	for _, r := range a.Rows {
+		counts[rowKey(r)]++
+	}
+	for _, r := range b.Rows {
+		k := rowKey(r)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func rowKey(r sqldb.Row) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.Key()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Runner evaluates systems over a fixed case set, caching gold results.
+type Runner struct {
+	dbs   map[string]*sqldb.Database
+	execs map[string]*sqlexec.Executor
+	gold  map[string]*sqlexec.Result
+}
+
+// NewRunner builds a runner over the benchmark databases.
+func NewRunner(dbs map[string]*sqldb.Database) *Runner {
+	r := &Runner{
+		dbs:   dbs,
+		execs: make(map[string]*sqlexec.Executor, len(dbs)),
+		gold:  make(map[string]*sqlexec.Result),
+	}
+	for name, db := range dbs {
+		r.execs[name] = sqlexec.New(db)
+	}
+	return r
+}
+
+// Evaluate scores one predicted SQL against a case's gold.
+func (r *Runner) Evaluate(c *task.Case, predicted string) (bool, error) {
+	exec, ok := r.execs[c.DB]
+	if !ok {
+		return false, fmt.Errorf("case %s: unknown database %q", c.ID, c.DB)
+	}
+	gold, ok := r.gold[c.ID]
+	if !ok {
+		g, err := exec.Query(c.GoldSQL)
+		if err != nil {
+			return false, fmt.Errorf("case %s: gold SQL failed: %w", c.ID, err)
+		}
+		r.gold[c.ID] = g
+		gold = g
+	}
+	pred, err := exec.Query(predicted)
+	if err != nil {
+		return false, nil // predicted SQL fails to execute: not correct
+	}
+	return ResultsEqual(gold, pred), nil
+}
+
+// Run evaluates a system over the cases.
+func (r *Runner) Run(sys System, cases []*task.Case) (*Report, error) {
+	rep := &Report{System: sys.Name()}
+	for _, c := range cases {
+		sql, err := sys.Generate(c)
+		out := Outcome{Case: c, SQL: sql}
+		if err != nil {
+			out.Err = err.Error()
+		} else {
+			correct, evalErr := r.Evaluate(c, sql)
+			if evalErr != nil {
+				return nil, evalErr
+			}
+			out.Correct = correct
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+	}
+	return rep, nil
+}
+
+// Counts returns (correct, total) for a difficulty; empty difficulty means
+// all cases.
+func (rep *Report) Counts(d task.Difficulty) (correct, total int) {
+	for _, o := range rep.Outcomes {
+		if d != "" && o.Case.Difficulty != d {
+			continue
+		}
+		total++
+		if o.Correct {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+// EX returns execution accuracy (percent) for a difficulty; empty
+// difficulty means all cases.
+func (rep *Report) EX(d task.Difficulty) float64 {
+	correct, total := rep.Counts(d)
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(correct) / float64(total)
+}
+
+// Failures lists the incorrect outcomes, optionally filtered by difficulty.
+func (rep *Report) Failures(d task.Difficulty) []Outcome {
+	var out []Outcome
+	for _, o := range rep.Outcomes {
+		if d != "" && o.Case.Difficulty != d {
+			continue
+		}
+		if !o.Correct {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Row renders the report as a benchmark table row (Simple, Moderate,
+// Challenging, All), matching the paper's table layout.
+func (rep *Report) Row() string {
+	return fmt.Sprintf("%-22s %7.2f %9.2f %12.2f %7.2f",
+		rep.System,
+		rep.EX(task.Simple), rep.EX(task.Moderate), rep.EX(task.Challenging), rep.EX(""))
+}
+
+// TableHeader is the header matching Row's layout.
+func TableHeader() string {
+	return fmt.Sprintf("%-22s %7s %9s %12s %7s", "Method", "Simple", "Moderate", "Challenging", "All")
+}
+
+// FormatTable renders reports as the paper-style table, preserving the
+// given order.
+func FormatTable(title string, reports []*Report) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	sb.WriteString(TableHeader() + "\n")
+	sb.WriteString(strings.Repeat("-", 62) + "\n")
+	for _, rep := range reports {
+		sb.WriteString(rep.Row() + "\n")
+	}
+	return sb.String()
+}
+
+// Rank returns the 1-based position of the named system when reports are
+// ordered by overall EX descending (ties broken by name).
+func Rank(reports []*Report, name string) int {
+	sorted := append([]*Report(nil), reports...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i].EX(""), sorted[j].EX("")
+		if a != b {
+			return a > b
+		}
+		return sorted[i].System < sorted[j].System
+	})
+	for i, rep := range sorted {
+		if rep.System == name {
+			return i + 1
+		}
+	}
+	return -1
+}

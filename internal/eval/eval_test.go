@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"genedit/internal/sqldb"
+	"genedit/internal/sqlexec"
+	"genedit/internal/task"
+)
+
+func res(cols []string, rows ...[]sqldb.Value) *sqlexec.Result {
+	out := &sqlexec.Result{Columns: cols}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, sqldb.Row(r))
+	}
+	return out
+}
+
+func TestResultsEqualOrderInsensitive(t *testing.T) {
+	a := res([]string{"x"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	b := res([]string{"x"}, []sqldb.Value{sqldb.Int(2)}, []sqldb.Value{sqldb.Int(1)})
+	if !ResultsEqual(a, b) {
+		t.Error("row order must not matter")
+	}
+}
+
+func TestResultsEqualMultiset(t *testing.T) {
+	a := res([]string{"x"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(1)})
+	b := res([]string{"x"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	if ResultsEqual(a, b) {
+		t.Error("duplicate counts must matter")
+	}
+}
+
+func TestResultsEqualShapeMismatch(t *testing.T) {
+	a := res([]string{"x"}, []sqldb.Value{sqldb.Int(1)})
+	b := res([]string{"x", "y"}, []sqldb.Value{sqldb.Int(1), sqldb.Int(2)})
+	if ResultsEqual(a, b) {
+		t.Error("column count must matter")
+	}
+	c := res([]string{"x"})
+	if ResultsEqual(a, c) {
+		t.Error("row count must matter")
+	}
+}
+
+func TestResultsEqualNumericKinds(t *testing.T) {
+	a := res([]string{"x"}, []sqldb.Value{sqldb.Int(3)})
+	b := res([]string{"x"}, []sqldb.Value{sqldb.Float(3)})
+	if !ResultsEqual(a, b) {
+		t.Error("3 and 3.0 compare equal under EX")
+	}
+}
+
+func TestResultsEqualProperties(t *testing.T) {
+	gen := func(vals []int8) *sqlexec.Result {
+		r := &sqlexec.Result{Columns: []string{"v"}}
+		for _, v := range vals {
+			r.Rows = append(r.Rows, sqldb.Row{sqldb.Int(int64(v))})
+		}
+		return r
+	}
+	reflexive := func(vals []int8) bool {
+		r := gen(vals)
+		return ResultsEqual(r, r)
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Error(err)
+	}
+	symmetric := func(a, b []int8) bool {
+		ra, rb := gen(a), gen(b)
+		return ResultsEqual(ra, rb) == ResultsEqual(rb, ra)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// fixedSystem returns canned SQL per case.
+type fixedSystem struct {
+	name string
+	sql  map[string]string
+}
+
+func (f *fixedSystem) Name() string { return f.name }
+func (f *fixedSystem) Generate(c *task.Case) (string, error) {
+	return f.sql[c.ID], nil
+}
+
+func evalFixture() (map[string]*sqldb.Database, []*task.Case) {
+	db := sqldb.NewDatabase("d1")
+	tbl := sqldb.NewTable("T", sqldb.Column{Name: "X", Type: "INTEGER"})
+	tbl.MustAppend(sqldb.Int(1))
+	tbl.MustAppend(sqldb.Int(2))
+	tbl.MustAppend(sqldb.Int(3))
+	db.AddTable(tbl)
+	cases := []*task.Case{
+		{ID: "c1", DB: "d1", Difficulty: task.Simple, Question: "sum", GoldSQL: "SELECT SUM(X) FROM T"},
+		{ID: "c2", DB: "d1", Difficulty: task.Moderate, Question: "count", GoldSQL: "SELECT COUNT(*) FROM T"},
+		{ID: "c3", DB: "d1", Difficulty: task.Challenging, Question: "max", GoldSQL: "SELECT MAX(X) FROM T"},
+	}
+	return map[string]*sqldb.Database{"d1": db}, cases
+}
+
+func TestRunnerScoresSystems(t *testing.T) {
+	dbs, cases := evalFixture()
+	runner := NewRunner(dbs)
+	sys := &fixedSystem{name: "fixed", sql: map[string]string{
+		"c1": "SELECT 6",               // correct by value
+		"c2": "SELECT COUNT(X) FROM T", // correct
+		"c3": "SELECT MIN(X) FROM T",   // wrong
+	}}
+	rep, err := runner.Run(sys, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.EX(""); got < 66 || got > 67 {
+		t.Errorf("EX(all) = %.2f, want 66.67", got)
+	}
+	if rep.EX(task.Simple) != 100 {
+		t.Errorf("EX(simple) = %v", rep.EX(task.Simple))
+	}
+	if rep.EX(task.Challenging) != 0 {
+		t.Errorf("EX(challenging) = %v", rep.EX(task.Challenging))
+	}
+	if n := len(rep.Failures("")); n != 1 {
+		t.Errorf("failures = %d, want 1", n)
+	}
+}
+
+func TestRunnerTreatsBrokenSQLAsIncorrect(t *testing.T) {
+	dbs, cases := evalFixture()
+	runner := NewRunner(dbs)
+	sys := &fixedSystem{name: "broken", sql: map[string]string{
+		"c1": "SELEC nope", "c2": "SELECT * FROM MISSING", "c3": "",
+	}}
+	rep, err := runner.Run(sys, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EX("") != 0 {
+		t.Errorf("broken SQL scored %v", rep.EX(""))
+	}
+}
+
+func TestFormatTableAndRank(t *testing.T) {
+	dbs, cases := evalFixture()
+	runner := NewRunner(dbs)
+	good := &fixedSystem{name: "good", sql: map[string]string{
+		"c1": "SELECT SUM(X) FROM T", "c2": "SELECT COUNT(*) FROM T", "c3": "SELECT MAX(X) FROM T",
+	}}
+	bad := &fixedSystem{name: "bad", sql: map[string]string{}}
+	repGood, _ := runner.Run(good, cases)
+	repBad, _ := runner.Run(bad, cases)
+	table := FormatTable("title", []*Report{repBad, repGood})
+	if !strings.Contains(table, "title") || !strings.Contains(table, "good") {
+		t.Errorf("table rendering broken:\n%s", table)
+	}
+	if Rank([]*Report{repBad, repGood}, "good") != 1 {
+		t.Error("good should rank first")
+	}
+	if Rank([]*Report{repBad, repGood}, "bad") != 2 {
+		t.Error("bad should rank second")
+	}
+	if Rank([]*Report{repBad, repGood}, "missing") != -1 {
+		t.Error("unknown system should rank -1")
+	}
+}
+
+func TestRunnerUnknownDatabase(t *testing.T) {
+	runner := NewRunner(map[string]*sqldb.Database{})
+	_, err := runner.Evaluate(&task.Case{ID: "x", DB: "nope"}, "SELECT 1")
+	if err == nil {
+		t.Error("unknown database should error")
+	}
+}

@@ -1,0 +1,138 @@
+// Package feedback implements GenEdit's continuous-improvement module (§4):
+// the four edit-recommendation operators, the interactive feedback-solver
+// workflow (stage → regenerate → iterate → submit), regression testing of
+// staged edits, the approval/merge step, and the simulated SME used by the
+// §4.2.3 experiments.
+package feedback
+
+import (
+	"fmt"
+
+	"genedit/internal/knowledge"
+	"genedit/internal/llm"
+	"genedit/internal/pipeline"
+)
+
+// Recommendation is the output of the four feedback operators: which items
+// the feedback targets, the expanded explanation, the CoT edit plan, and the
+// concrete knowledge-set edits.
+type Recommendation struct {
+	Targets  []llm.FeedbackTarget
+	Expanded string
+	Plan     []string
+	Edits    []knowledge.Edit
+}
+
+// Recommender runs feedback operators 1-4 (Fig. 1, feedback mechanism).
+type Recommender struct {
+	model llm.FeedbackModel
+}
+
+// NewRecommender returns a recommender over the model.
+func NewRecommender(model llm.FeedbackModel) *Recommender {
+	return &Recommender{model: model}
+}
+
+// Recommend turns a generation record plus user feedback into recommended
+// edits.
+func (r *Recommender) Recommend(rec *pipeline.Record, userFeedback string) (*Recommendation, error) {
+	req := &llm.FeedbackRequest{
+		Question:     rec.Question,
+		Reformulated: rec.Reformulated,
+		GeneratedSQL: rec.FinalSQL,
+		ExecFeedback: lastExecFeedback(rec),
+		UserFeedback: userFeedback,
+		Examples:     rec.Context.Examples,
+		Instructions: rec.Context.Instructions,
+		DB:           rec.Context.DB,
+	}
+
+	// Operator 1: generate targets.
+	targets, err := r.model.GenerateTargets(req)
+	if err != nil {
+		return nil, fmt.Errorf("generate targets: %w", err)
+	}
+	// Operator 2: expand feedback.
+	expanded, err := r.model.ExpandFeedback(req, targets)
+	if err != nil {
+		return nil, fmt.Errorf("expand feedback: %w", err)
+	}
+	// Operator 3: plan edits.
+	plan, err := r.model.PlanEdits(req, expanded, targets)
+	if err != nil {
+		return nil, fmt.Errorf("plan edits: %w", err)
+	}
+	// Operator 4: generate edits.
+	drafts, err := r.model.GenerateEdits(req, plan, targets)
+	if err != nil {
+		return nil, fmt.Errorf("generate edits: %w", err)
+	}
+
+	rec2 := &Recommendation{Targets: targets, Expanded: expanded, Plan: plan}
+	for _, d := range drafts {
+		edit, err := draftToEdit(d)
+		if err != nil {
+			return nil, err
+		}
+		rec2.Edits = append(rec2.Edits, edit)
+	}
+	return rec2, nil
+}
+
+// draftToEdit converts a model edit draft into a knowledge-set edit.
+func draftToEdit(d llm.EditDraft) (knowledge.Edit, error) {
+	edit := knowledge.Edit{Rationale: d.Rationale}
+	switch d.Op {
+	case "insert":
+		edit.Op = knowledge.EditInsert
+	case "update":
+		edit.Op = knowledge.EditUpdate
+	case "delete":
+		edit.Op = knowledge.EditDelete
+	case "directive":
+		edit.Op = knowledge.EditDirective
+		edit.Directive = d.Directive
+		edit.Kind = knowledge.DirectiveEntity
+		return edit, nil
+	default:
+		return edit, fmt.Errorf("unknown edit op %q", d.Op)
+	}
+	switch d.Kind {
+	case "example":
+		edit.Kind = knowledge.ExampleEntity
+		edit.ID = d.ID
+		if edit.Op != knowledge.EditDelete {
+			edit.Example = &knowledge.Example{
+				ID: d.ID, NL: d.NL, SQL: d.SQL, Pseudo: d.Pseudo, Clause: d.Clause,
+				Terms: d.Terms,
+			}
+			if edit.Example.Pseudo == "" && d.SQL != "" {
+				edit.Example.Pseudo = "... " + d.SQL + " ..."
+			}
+		}
+	case "instruction":
+		edit.Kind = knowledge.InstructionEntity
+		edit.ID = d.ID
+		if edit.Op != knowledge.EditDelete {
+			edit.Instruction = &knowledge.Instruction{
+				ID: d.ID, Text: d.Text, SQLHint: d.SQLHint, Terms: d.Terms,
+			}
+		}
+	default:
+		return edit, fmt.Errorf("unknown edit kind %q", d.Kind)
+	}
+	return edit, nil
+}
+
+func lastExecFeedback(rec *pipeline.Record) string {
+	for i := len(rec.Attempts) - 1; i >= 0; i-- {
+		a := rec.Attempts[i]
+		if a.Err != "" {
+			return a.Err
+		}
+		if a.Kind == "empty" {
+			return "query executed but returned no rows"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,119 @@
+package feedback
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"genedit/internal/knowledge"
+	"genedit/internal/pipeline"
+	"genedit/internal/task"
+)
+
+// SimulatedSME is the deterministic subject-matter expert used by the
+// §4.2.3 experiments: given a failed case it writes the feedback a domain
+// expert would, reviews recommended edits, and accepts or iterates.
+type SimulatedSME struct {
+	seed uint64
+}
+
+// NewSimulatedSME returns an SME with the given seed.
+func NewSimulatedSME(seed uint64) *SimulatedSME { return &SimulatedSME{seed: seed} }
+
+func (s *SimulatedSME) draw(parts ...string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(s.seed >> (8 * i))
+	}
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte{0x1f})
+		h.Write([]byte(p))
+	}
+	// splitmix64-style finalizer; see simllm.Model.draw for why FNV alone
+	// is not enough here.
+	sum := h.Sum64()
+	sum ^= sum >> 30
+	sum *= 0xbf58476d1ce4e5b9
+	sum ^= sum >> 27
+	sum *= 0x94d049bb133111eb
+	sum ^= sum >> 31
+	return float64(sum>>11) / float64(uint64(1)<<53)
+}
+
+// FeedbackFor writes the natural-language feedback an expert gives after
+// inspecting a wrong result. The text reflects what the expert knows — the
+// business meaning — not the system internals.
+func (s *SimulatedSME) FeedbackFor(c *task.Case, rec *pipeline.Record) string {
+	// Unsatisfied domain terms dominate expert feedback (the paper's running
+	// example: "I only care about our organizations").
+	for _, tr := range c.Terms {
+		if termInContext(rec, tr.Term) {
+			continue
+		}
+		if strings.EqualFold(tr.Term, "our") {
+			return fmt.Sprintf("This response queries all %ss but I only care about our %ss.",
+				nounOf(c), nounOf(c))
+		}
+		def := c.Evidence
+		if def == "" {
+			def = tr.Term + " has a company-specific definition"
+		}
+		return fmt.Sprintf("The query misreads %s. Remember: %s.", tr.Term, def)
+	}
+	for _, d := range c.Decoys {
+		return fmt.Sprintf("For %q the numbers look off; use the %s column, not %s — the wrong example may be retrieved.",
+			c.Question, d.CorrectColumn, d.DecoyColumn)
+	}
+	return fmt.Sprintf("The result does not answer %q; please revise the calculation.", c.Question)
+}
+
+// ReviewEdits decides which recommended edits the SME stages, mimicking the
+// UI flow where the user reviews each edit. Experts stage edits that look
+// on-topic; occasionally they tweak one first (counted by the caller as a
+// manual edit).
+func (s *SimulatedSME) ReviewEdits(c *task.Case, edits []knowledge.Edit) (staged []knowledge.Edit, manual bool) {
+	for _, e := range edits {
+		staged = append(staged, e)
+	}
+	// One in five sessions the SME refines an edit's wording by hand.
+	manual = s.draw(c.ID, "manual") < 0.2
+	return staged, manual
+}
+
+// Satisfied reports whether the SME accepts the regenerated result at the
+// given iteration. The expert checks the output against their intent; the
+// caller supplies whether regeneration actually fixed the case.
+func (s *SimulatedSME) Satisfied(c *task.Case, iteration int, fixed bool) bool {
+	if !fixed {
+		return false
+	}
+	// Experts occasionally iterate once more even on fixed output
+	// (wording tweaks), per the paper's observation that users keep
+	// iterating until satisfied.
+	return s.draw(c.ID, "satisfied", fmt.Sprint(iteration)) >= 0.1
+}
+
+func termInContext(rec *pipeline.Record, term string) bool {
+	for _, ins := range rec.Context.Instructions {
+		for _, t := range ins.Terms {
+			if strings.EqualFold(t, term) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func nounOf(c *task.Case) string {
+	// The entity noun is recoverable from the question's tail; fall back to
+	// a generic noun.
+	words := strings.Fields(c.Question)
+	for i, w := range words {
+		if w == "our" && i+1 < len(words) {
+			return strings.TrimSuffix(words[i+1], "s")
+		}
+	}
+	return "organization"
+}

@@ -1,0 +1,244 @@
+package feedback
+
+import (
+	"fmt"
+
+	"genedit/internal/eval"
+	"genedit/internal/knowledge"
+	"genedit/internal/pipeline"
+	"genedit/internal/sqlexec"
+	"genedit/internal/task"
+)
+
+// Solver is the feedback-solver workflow of §4.2.1: it owns the live engine
+// for one database, opens feedback sessions, regression-tests submitted
+// edits and merges them on approval. Every merge checkpoints the knowledge
+// set first, so any prior state can be restored via the knowledge library.
+type Solver struct {
+	engine      *pipeline.Engine
+	recommender *Recommender
+	golden      []*task.Case
+	// pending holds submitted changes awaiting human approval.
+	pending []*PendingChange
+	nextFB  int
+}
+
+// NewSolver builds a solver around a live engine. The golden cases are the
+// regression suite replayed before merges.
+func NewSolver(engine *pipeline.Engine, recommender *Recommender, golden []*task.Case) *Solver {
+	return &Solver{engine: engine, recommender: recommender, golden: golden}
+}
+
+// Engine returns the current live engine (it changes after merges).
+func (s *Solver) Engine() *pipeline.Engine { return s.engine }
+
+// Pending lists changes that passed regression and await approval.
+func (s *Solver) Pending() []*PendingChange {
+	return append([]*PendingChange(nil), s.pending...)
+}
+
+// Session is one interactive feedback exchange on one question.
+type Session struct {
+	solver     *Solver
+	FeedbackID string
+	Question   string
+	Evidence   string
+	// Record is the latest generation (initial or regenerated).
+	Record *pipeline.Record
+	// Staged are the currently staged edits.
+	Staged []knowledge.Edit
+	// Iterations counts feedback rounds in this session.
+	Iterations int
+	// LastRecommendation is the most recent operator output.
+	LastRecommendation *Recommendation
+}
+
+// Open generates the initial SQL for a question and starts a session.
+func (s *Solver) Open(question, evidence string) (*Session, error) {
+	rec, err := s.engine.Generate(question, evidence)
+	if err != nil {
+		return nil, err
+	}
+	s.nextFB++
+	return &Session{
+		solver:     s,
+		FeedbackID: fmt.Sprintf("fb-%03d", s.nextFB),
+		Question:   question,
+		Evidence:   evidence,
+		Record:     rec,
+	}, nil
+}
+
+// Feedback submits user feedback text, producing recommended edits
+// (feedback operators 1-4).
+func (sess *Session) Feedback(text string) (*Recommendation, error) {
+	sess.Iterations++
+	rec, err := sess.solver.recommender.Recommend(sess.Record, text)
+	if err != nil {
+		return nil, err
+	}
+	sess.LastRecommendation = rec
+	return rec, nil
+}
+
+// Stage accepts a subset of recommended (or manually written) edits into
+// the session's staging set.
+func (sess *Session) Stage(edits ...knowledge.Edit) {
+	sess.Staged = append(sess.Staged, edits...)
+}
+
+// ClearStaged drops all staged edits.
+func (sess *Session) ClearStaged() { sess.Staged = nil }
+
+// Regenerate re-runs generation in a staging environment: the live
+// knowledge set plus the staged edits.
+func (sess *Session) Regenerate() (*pipeline.Record, error) {
+	staged, err := sess.solver.engine.KnowledgeSet().Stage(sess.Staged, "sme", sess.FeedbackID)
+	if err != nil {
+		return nil, err
+	}
+	stagedEngine := sess.solver.engine.WithKnowledge(staged)
+	rec, err := stagedEngine.Generate(sess.Question, sess.Evidence)
+	if err != nil {
+		return nil, err
+	}
+	sess.Record = rec
+	return rec, nil
+}
+
+// PendingChange is a submitted set of edits that passed regression testing
+// and awaits human approval (§4.2.1: "Currently, these staged edits require
+// human approval after passing regression testing").
+type PendingChange struct {
+	FeedbackID string
+	Edits      []knowledge.Edit
+	// RegressionPassed and RegressionDetail record the gate outcome.
+	RegressionPassed bool
+	RegressionDetail string
+}
+
+// SubmitResult reports the submission outcome.
+type SubmitResult struct {
+	Passed  bool
+	Detail  string
+	Pending *PendingChange
+}
+
+// Submit closes the session's iteration loop: the staged edits run through
+// the regression suite; on pass, a pending change is queued for approval.
+func (sess *Session) Submit() (*SubmitResult, error) {
+	if len(sess.Staged) == 0 {
+		return nil, fmt.Errorf("nothing staged to submit")
+	}
+	passed, detail, err := sess.solver.regressionTest(sess.Staged, sess.FeedbackID)
+	if err != nil {
+		return nil, err
+	}
+	res := &SubmitResult{Passed: passed, Detail: detail}
+	if passed {
+		p := &PendingChange{
+			FeedbackID:       sess.FeedbackID,
+			Edits:            append([]knowledge.Edit(nil), sess.Staged...),
+			RegressionPassed: true,
+			RegressionDetail: detail,
+		}
+		sess.solver.pending = append(sess.solver.pending, p)
+		res.Pending = p
+	}
+	return res, nil
+}
+
+// regressionTest replays the golden suite on the live engine and on a
+// staged engine; edits pass when no golden case regresses from correct to
+// incorrect.
+func (s *Solver) regressionTest(edits []knowledge.Edit, feedbackID string) (bool, string, error) {
+	staged, err := s.engine.KnowledgeSet().Stage(edits, "sme", feedbackID)
+	if err != nil {
+		return false, "", err
+	}
+	before, err := s.runGolden(s.engine)
+	if err != nil {
+		return false, "", err
+	}
+	after, err := s.runGolden(s.engine.WithKnowledge(staged))
+	if err != nil {
+		return false, "", err
+	}
+	var regressed []string
+	for id, ok := range before {
+		if ok && !after[id] {
+			regressed = append(regressed, id)
+		}
+	}
+	if len(regressed) > 0 {
+		return false, fmt.Sprintf("regressions on %d golden case(s): %v", len(regressed), regressed), nil
+	}
+	improved := 0
+	for id, ok := range after {
+		if ok && !before[id] {
+			improved++
+		}
+	}
+	return true, fmt.Sprintf("no regressions; %d golden case(s) improved", improved), nil
+}
+
+// runGolden evaluates the golden suite, returning per-case correctness.
+func (s *Solver) runGolden(engine *pipeline.Engine) (map[string]bool, error) {
+	exec := sqlexec.New(engine.Database())
+	out := make(map[string]bool, len(s.golden))
+	for _, c := range s.golden {
+		rec, err := engine.Generate(c.Question, c.Evidence)
+		if err != nil {
+			return nil, err
+		}
+		gold, err := exec.Query(c.GoldSQL)
+		if err != nil {
+			return nil, fmt.Errorf("golden case %s: gold SQL failed: %w", c.ID, err)
+		}
+		pred, err := exec.Query(rec.FinalSQL)
+		if err != nil {
+			out[c.ID] = false
+			continue
+		}
+		out[c.ID] = eval.ResultsEqual(gold, pred)
+	}
+	return out, nil
+}
+
+// Approve merges a pending change into the live knowledge set. A checkpoint
+// is recorded first so the change can be reverted from the knowledge
+// library.
+func (s *Solver) Approve(p *PendingChange, approver string) error {
+	found := -1
+	for i, q := range s.pending {
+		if q == p {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("change %s is not pending", p.FeedbackID)
+	}
+	live := s.engine.KnowledgeSet()
+	live.Checkpoint("before-" + p.FeedbackID)
+	for _, e := range p.Edits {
+		if err := live.Apply(e, approver, p.FeedbackID); err != nil {
+			return fmt.Errorf("merging %s: %w", e.Describe(), err)
+		}
+	}
+	// Rebuild retrieval indices over the merged set.
+	s.engine = s.engine.WithKnowledge(live)
+	s.pending = append(s.pending[:found], s.pending[found+1:]...)
+	return nil
+}
+
+// Reject drops a pending change without merging.
+func (s *Solver) Reject(p *PendingChange) error {
+	for i, q := range s.pending {
+		if q == p {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("change %s is not pending", p.FeedbackID)
+}

@@ -1,0 +1,175 @@
+package knowledge
+
+import (
+	"fmt"
+	"strings"
+
+	"genedit/internal/decompose"
+	"genedit/internal/schema"
+)
+
+// LogEntry is one historical (question, SQL) pair from query logs — the
+// pre-processing phase's first input (§2.1).
+type LogEntry struct {
+	ID       string
+	Question string
+	SQL      string
+	// IntentName labels the user intent; in the paper intents are mined and
+	// then verified by SMEs, so log entries arrive with verified labels.
+	IntentName string
+	// Terms lists domain terms the query exercises.
+	Terms []string
+}
+
+// DocEntry is one glossary/practice item from domain documents — the
+// pre-processing phase's second input.
+type DocEntry struct {
+	// Term is the domain term defined (e.g. "QoQFP"), empty for general
+	// practice guidance.
+	Term string
+	// Definition is the natural-language guideline text.
+	Definition string
+	// SQLHint is the expected SQL sub-expression, when relevant.
+	SQLHint string
+	// IntentName associates the entry with an intent.
+	IntentName string
+}
+
+// Document is a domain-specific terminology/practices document.
+type Document struct {
+	Title   string
+	Entries []DocEntry
+}
+
+// BuildInput bundles the pre-processing inputs.
+type BuildInput struct {
+	Schema *schema.Schema
+	Logs   []LogEntry
+	Docs   []Document
+}
+
+// Build runs the pre-processing phase: it mines intents from the labelled
+// logs and documents, decomposes every logged SQL query into sub-statement
+// examples, converts document entries into instructions, and associates
+// schema elements with intents by scanning the decomposed SQL.
+func Build(in BuildInput) (*Set, error) {
+	set := NewSet()
+	intentByName := make(map[string]*Intent)
+
+	intentFor := func(name string) *Intent {
+		if name == "" {
+			name = "general"
+		}
+		key := strings.ToLower(name)
+		if it, ok := intentByName[key]; ok {
+			return it
+		}
+		it := &Intent{
+			ID:          fmt.Sprintf("intent-%03d", len(intentByName)+1),
+			Name:        name,
+			Description: "Queries about " + name + ".",
+		}
+		intentByName[key] = it
+		set.AddIntent(it)
+		return it
+	}
+
+	// Instructions from documents first, so term definitions exist before
+	// examples reference them.
+	for _, doc := range docs(in.Docs) {
+		for _, entry := range doc.Entries {
+			it := intentFor(entry.IntentName)
+			ins := &Instruction{
+				IntentIDs: []string{it.ID},
+				Text:      entry.Definition,
+				SQLHint:   entry.SQLHint,
+				Provenance: Provenance{
+					Source: "doc:" + doc.Title,
+				},
+			}
+			if entry.Term != "" {
+				ins.Terms = []string{entry.Term}
+			}
+			if err := set.InsertInstruction(ins, "preprocessing", ""); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Examples from query logs, decomposed per §3.2.1.
+	for _, entry := range in.Logs {
+		it := intentFor(entry.IntentName)
+		frags, err := decompose.DecomposeSQL(entry.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("log %s: %w", entry.ID, err)
+		}
+		for _, frag := range frags {
+			ex := &Example{
+				IntentIDs:      []string{it.ID},
+				NL:             frag.NL,
+				Pseudo:         frag.Pseudo(),
+				SQL:            frag.SQL,
+				Clause:         string(frag.Clause),
+				SourceSQL:      entry.SQL,
+				SourceQuestion: entry.Question,
+				Terms:          termsInText(entry.Terms, frag.SQL+" "+frag.NL),
+				Provenance: Provenance{
+					Source: "log:" + entry.ID,
+				},
+			}
+			if err := set.InsertExample(ex, "preprocessing", ""); err != nil {
+				return nil, err
+			}
+		}
+		// Associate schema elements referenced by the query with the intent.
+		if in.Schema != nil {
+			for _, el := range referencedElements(entry.SQL, in.Schema) {
+				if !containsElement(it.Elements, el) {
+					it.Elements = append(it.Elements, el)
+				}
+			}
+		}
+	}
+	return set, nil
+}
+
+func docs(ds []Document) []Document { return ds }
+
+// termsInText keeps the subset of terms that actually appear in the
+// fragment's text, so fragment-level term tagging stays precise.
+func termsInText(terms []string, text string) []string {
+	upper := strings.ToUpper(text)
+	var out []string
+	for _, t := range terms {
+		if strings.Contains(upper, strings.ToUpper(t)) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// referencedElements scans SQL text for schema columns it mentions.
+func referencedElements(sql string, s *schema.Schema) []schema.Element {
+	upper := strings.ToUpper(sql)
+	var out []schema.Element
+	for _, t := range s.Tables {
+		if !strings.Contains(upper, strings.ToUpper(t.Name)) {
+			continue
+		}
+		for _, c := range t.Columns {
+			if strings.Contains(upper, strings.ToUpper(c.Name)) {
+				out = append(out, schema.Element{Table: t.Name, Column: c.Name})
+			}
+		}
+	}
+	return out
+}
+
+func containsElement(els []schema.Element, e schema.Element) bool {
+	for _, x := range els {
+		if strings.EqualFold(x.Table, e.Table) && strings.EqualFold(x.Column, e.Column) {
+			return true
+		}
+	}
+	return false
+}

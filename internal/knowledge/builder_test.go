@@ -1,0 +1,153 @@
+package knowledge
+
+import (
+	"strings"
+	"testing"
+
+	"genedit/internal/schema"
+	"genedit/internal/sqldb"
+)
+
+func buildFixture(t *testing.T) *Set {
+	t.Helper()
+	db := sqldb.NewDatabase("sports")
+	fin := sqldb.NewTable("SPORTS_FINANCIALS",
+		sqldb.Column{Name: "ORG_NAME", Type: "TEXT"},
+		sqldb.Column{Name: "REVENUE", Type: "FLOAT"},
+		sqldb.Column{Name: "COUNTRY", Type: "TEXT"},
+	)
+	fin.MustAppend(sqldb.Str("Orcas"), sqldb.Float(100), sqldb.Str("Canada"))
+	db.AddTable(fin)
+
+	in := BuildInput{
+		Schema: schema.FromDatabase(db, 5),
+		Logs: []LogEntry{
+			{
+				ID:         "q1",
+				Question:   "total revenue by organization in Canada",
+				SQL:        "SELECT ORG_NAME, SUM(REVENUE) AS TOTAL FROM SPORTS_FINANCIALS WHERE COUNTRY = 'Canada' GROUP BY ORG_NAME",
+				IntentName: "financial performance",
+			},
+			{
+				ID:         "q2",
+				Question:   "QoQFP for our organizations",
+				SQL:        "WITH F AS (SELECT ORG_NAME, SUM(REVENUE) AS R FROM SPORTS_FINANCIALS GROUP BY ORG_NAME) SELECT ORG_NAME FROM F ORDER BY R DESC",
+				IntentName: "financial performance",
+				Terms:      []string{"QoQFP"},
+			},
+		},
+		Docs: []Document{
+			{
+				Title: "finance-glossary",
+				Entries: []DocEntry{
+					{
+						Term:       "QoQFP",
+						Definition: "QoQFP means quarter-over-quarter financial performance; compare RPV between consecutive quarters.",
+						SQLHint:    "SUM(CASE WHEN quarter = 'Q1' THEN REVENUE ELSE 0 END)",
+						IntentName: "financial performance",
+					},
+					{
+						Definition: "Apply a -1 multiplier when calculating the change in performance metrics.",
+						IntentName: "financial performance",
+					},
+				},
+			},
+		},
+	}
+	set, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestBuildCreatesIntents(t *testing.T) {
+	set := buildFixture(t)
+	intents := set.Intents()
+	if len(intents) != 1 {
+		t.Fatalf("intents = %d, want 1 (shared across logs and docs)", len(intents))
+	}
+	if intents[0].Name != "financial performance" {
+		t.Errorf("intent name = %q", intents[0].Name)
+	}
+}
+
+func TestBuildDecomposesLogsIntoExamples(t *testing.T) {
+	set := buildFixture(t)
+	examples := set.Examples()
+	if len(examples) < 6 {
+		t.Fatalf("examples = %d, want at least 6 decomposed fragments", len(examples))
+	}
+	var sawWhere, sawPseudo bool
+	for _, e := range examples {
+		if e.Clause == "where" && strings.Contains(e.SQL, "'Canada'") {
+			sawWhere = true
+		}
+		if strings.HasPrefix(e.Pseudo, "... ") && strings.HasSuffix(e.Pseudo, " ...") {
+			sawPseudo = true
+		}
+		if e.Provenance.Source == "" {
+			t.Errorf("example %s has no provenance", e.ID)
+		}
+	}
+	if !sawWhere {
+		t.Error("no WHERE fragment with the Canada filter")
+	}
+	if !sawPseudo {
+		t.Error("examples missing pseudo-SQL dotted form")
+	}
+}
+
+func TestBuildInstructionsAndTerms(t *testing.T) {
+	set := buildFixture(t)
+	if len(set.Instructions()) != 2 {
+		t.Fatalf("instructions = %d, want 2", len(set.Instructions()))
+	}
+	def := set.DefinesTerm("QoQFP")
+	if def == nil {
+		t.Fatal("QoQFP definition missing")
+	}
+	if def.SQLHint == "" {
+		t.Error("QoQFP instruction lost its SQL hint")
+	}
+	if def.Provenance.Source != "doc:finance-glossary" {
+		t.Errorf("instruction provenance = %q", def.Provenance.Source)
+	}
+}
+
+func TestBuildAssociatesSchemaElements(t *testing.T) {
+	set := buildFixture(t)
+	it := set.Intents()[0]
+	if len(it.Elements) == 0 {
+		t.Fatal("intent has no schema elements")
+	}
+	found := false
+	for _, el := range it.Elements {
+		if el.Table == "SPORTS_FINANCIALS" && el.Column == "REVENUE" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("intent elements = %v, want SPORTS_FINANCIALS.REVENUE", it.Elements)
+	}
+}
+
+func TestBuildTermTaggingIsFragmentPrecise(t *testing.T) {
+	set := buildFixture(t)
+	// Only fragments whose text mentions QoQFP should carry the term;
+	// the q2 SQL never spells the term, so no example should carry it.
+	for _, e := range set.Examples() {
+		for _, term := range e.Terms {
+			if term == "QoQFP" && !strings.Contains(strings.ToUpper(e.SQL+e.NL), "QOQFP") {
+				t.Errorf("example %s tagged QoQFP without mentioning it", e.ID)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsBadSQL(t *testing.T) {
+	_, err := Build(BuildInput{Logs: []LogEntry{{ID: "bad", SQL: "SELEC nope"}}})
+	if err == nil {
+		t.Error("Build should reject unparsable log SQL")
+	}
+}

@@ -1,0 +1,623 @@
+// Package knowledge implements GenEdit's company-specific knowledge set
+// (§2.1, §3.2, §4): a materialized view of decomposed SQL examples, natural-
+// language instructions and schema elements grouped by user intents, with
+// provenance, versioning, checkpoints and an auditable edit history.
+package knowledge
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genedit/internal/schema"
+)
+
+// Provenance records where a knowledge item came from, supporting the
+// library's audit and reversion views (§4.2.2).
+type Provenance struct {
+	// Source names the origin: a query-log ID, document title, or "feedback".
+	Source string
+	// Editor is who created or last changed the item (an SME name or
+	// "preprocessing").
+	Editor string
+	// FeedbackID links items created through the feedback solver.
+	FeedbackID string
+	// Version is the knowledge-set version at which the item last changed.
+	Version int
+}
+
+// Example is a decomposed SQL sub-statement with its natural-language
+// description (§3.2.1). Unlike traditional full-query few-shot examples,
+// these are clause-granular fragments referenced by CoT plan steps.
+type Example struct {
+	ID        string
+	IntentIDs []string
+	// NL describes the sub-statement ("Compute RPV as revenue over views").
+	NL string
+	// Pseudo is the pseudo-SQL display form ("... FROM SPORTS_FINANCIALS ...").
+	Pseudo string
+	// SQL is the raw sub-statement content used during composition.
+	SQL string
+	// Clause labels the fragment kind (projection, where, ...).
+	Clause string
+	// SourceSQL is the full query the fragment was decomposed from.
+	SourceSQL string
+	// SourceQuestion is the natural-language question of the source query.
+	SourceQuestion string
+	// Terms lists domain terms this example exercises (e.g. "QoQFP", "RPV").
+	Terms      []string
+	Provenance Provenance
+}
+
+// Text renders the example for embedding and ranking.
+func (e *Example) Text() string { return e.NL + " " + e.Pseudo }
+
+// Instruction is a natural-language generation guideline, optionally with an
+// expected SQL sub-expression (§3.2.2).
+type Instruction struct {
+	ID        string
+	IntentIDs []string
+	Text      string
+	// SQLHint is the expected SQL sub-expression, when relevant.
+	SQLHint string
+	// Terms lists domain terms this instruction defines.
+	Terms      []string
+	Provenance Provenance
+}
+
+// Text renders the instruction for embedding and ranking.
+func (i *Instruction) Text2() string { return i.Text + " " + i.SQLHint }
+
+// Intent is a mined user intent grouping examples, instructions and schema
+// elements (§2.1).
+type Intent struct {
+	ID          string
+	Name        string
+	Description string
+	// Elements are schema columns considered relevant to the intent.
+	Elements []schema.Element
+}
+
+// ChangeOp enumerates audit-history operations.
+type ChangeOp string
+
+// Change operations.
+const (
+	OpInsert     ChangeOp = "insert"
+	OpUpdate     ChangeOp = "update"
+	OpDelete     ChangeOp = "delete"
+	OpRevert     ChangeOp = "revert"
+	OpCheckpoint ChangeOp = "checkpoint"
+)
+
+// EntityKind enumerates the knowledge entities edits can touch.
+type EntityKind string
+
+// Entity kinds.
+const (
+	ExampleEntity     EntityKind = "example"
+	InstructionEntity EntityKind = "instruction"
+	IntentEntity      EntityKind = "intent"
+	DirectiveEntity   EntityKind = "retrieval_directive"
+)
+
+// ChangeEvent is one audit-history record.
+type ChangeEvent struct {
+	Seq        int
+	Version    int
+	Op         ChangeOp
+	Kind       EntityKind
+	EntityID   string
+	Summary    string
+	Editor     string
+	FeedbackID string
+}
+
+// Checkpoint is a named, restorable snapshot of the set.
+type Checkpoint struct {
+	ID      int
+	Name    string
+	Version int
+	snap    *snapshot
+}
+
+type snapshot struct {
+	examples     []*Example
+	instructions []*Instruction
+	intents      []*Intent
+	directives   []string
+}
+
+// Set is the knowledge set: the paper's materialized view.
+type Set struct {
+	examples     map[string]*Example
+	instructions map[string]*Instruction
+	intents      map[string]*Intent
+	exampleIDs   []string
+	instrIDs     []string
+	intentIDs    []string
+	// directives are extra natural-language instructions attached to the
+	// retrieval and re-ranking operators (§1, "Recommending Edits").
+	directives []string
+
+	version     int
+	history     []ChangeEvent
+	checkpoints []Checkpoint
+	nextSeq     int
+}
+
+// NewSet returns an empty knowledge set.
+func NewSet() *Set {
+	return &Set{
+		examples:     make(map[string]*Example),
+		instructions: make(map[string]*Instruction),
+		intents:      make(map[string]*Intent),
+	}
+}
+
+// Version reports the current version; every mutating operation bumps it.
+func (s *Set) Version() int { return s.version }
+
+// --- intents ---
+
+// AddIntent inserts or replaces an intent definition.
+func (s *Set) AddIntent(in *Intent) {
+	if _, ok := s.intents[in.ID]; !ok {
+		s.intentIDs = append(s.intentIDs, in.ID)
+	}
+	s.intents[in.ID] = in
+	s.log(OpInsert, IntentEntity, in.ID, "intent "+in.Name, "preprocessing", "")
+}
+
+// Intent returns the intent by ID, or nil.
+func (s *Set) Intent(id string) *Intent { return s.intents[id] }
+
+// Intents returns all intents in insertion order.
+func (s *Set) Intents() []*Intent {
+	out := make([]*Intent, 0, len(s.intentIDs))
+	for _, id := range s.intentIDs {
+		out = append(out, s.intents[id])
+	}
+	return out
+}
+
+// --- examples ---
+
+// InsertExample adds a new example.
+func (s *Set) InsertExample(e *Example, editor, feedbackID string) error {
+	if e.ID == "" {
+		e.ID = fmt.Sprintf("ex-%03d", len(s.exampleIDs)+1)
+	}
+	if _, exists := s.examples[e.ID]; exists {
+		return fmt.Errorf("example %s already exists", e.ID)
+	}
+	s.examples[e.ID] = e
+	s.exampleIDs = append(s.exampleIDs, e.ID)
+	e.Provenance.Editor = editor
+	e.Provenance.FeedbackID = feedbackID
+	e.Provenance.Version = s.version + 1
+	s.log(OpInsert, ExampleEntity, e.ID, summarize(e.NL), editor, feedbackID)
+	return nil
+}
+
+// UpdateExample replaces an existing example's content.
+func (s *Set) UpdateExample(e *Example, editor, feedbackID string) error {
+	if _, exists := s.examples[e.ID]; !exists {
+		return fmt.Errorf("example %s does not exist", e.ID)
+	}
+	e.Provenance.Editor = editor
+	e.Provenance.FeedbackID = feedbackID
+	e.Provenance.Version = s.version + 1
+	s.examples[e.ID] = e
+	s.log(OpUpdate, ExampleEntity, e.ID, summarize(e.NL), editor, feedbackID)
+	return nil
+}
+
+// DeleteExample removes an example.
+func (s *Set) DeleteExample(id, editor, feedbackID string) error {
+	if _, exists := s.examples[id]; !exists {
+		return fmt.Errorf("example %s does not exist", id)
+	}
+	delete(s.examples, id)
+	s.exampleIDs = removeID(s.exampleIDs, id)
+	s.log(OpDelete, ExampleEntity, id, "", editor, feedbackID)
+	return nil
+}
+
+// Example returns the example by ID, or nil.
+func (s *Set) Example(id string) *Example { return s.examples[id] }
+
+// Examples returns all examples in insertion order.
+func (s *Set) Examples() []*Example {
+	out := make([]*Example, 0, len(s.exampleIDs))
+	for _, id := range s.exampleIDs {
+		out = append(out, s.examples[id])
+	}
+	return out
+}
+
+// ExamplesByIntent returns examples associated with the intent.
+func (s *Set) ExamplesByIntent(intentID string) []*Example {
+	var out []*Example
+	for _, id := range s.exampleIDs {
+		e := s.examples[id]
+		for _, iid := range e.IntentIDs {
+			if iid == intentID {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// --- instructions ---
+
+// InsertInstruction adds a new instruction.
+func (s *Set) InsertInstruction(in *Instruction, editor, feedbackID string) error {
+	if in.ID == "" {
+		in.ID = fmt.Sprintf("ins-%03d", len(s.instrIDs)+1)
+	}
+	if _, exists := s.instructions[in.ID]; exists {
+		return fmt.Errorf("instruction %s already exists", in.ID)
+	}
+	s.instructions[in.ID] = in
+	s.instrIDs = append(s.instrIDs, in.ID)
+	in.Provenance.Editor = editor
+	in.Provenance.FeedbackID = feedbackID
+	in.Provenance.Version = s.version + 1
+	s.log(OpInsert, InstructionEntity, in.ID, summarize(in.Text), editor, feedbackID)
+	return nil
+}
+
+// UpdateInstruction replaces an existing instruction's content.
+func (s *Set) UpdateInstruction(in *Instruction, editor, feedbackID string) error {
+	if _, exists := s.instructions[in.ID]; !exists {
+		return fmt.Errorf("instruction %s does not exist", in.ID)
+	}
+	in.Provenance.Editor = editor
+	in.Provenance.FeedbackID = feedbackID
+	in.Provenance.Version = s.version + 1
+	s.instructions[in.ID] = in
+	s.log(OpUpdate, InstructionEntity, in.ID, summarize(in.Text), editor, feedbackID)
+	return nil
+}
+
+// DeleteInstruction removes an instruction.
+func (s *Set) DeleteInstruction(id, editor, feedbackID string) error {
+	if _, exists := s.instructions[id]; !exists {
+		return fmt.Errorf("instruction %s does not exist", id)
+	}
+	delete(s.instructions, id)
+	s.instrIDs = removeID(s.instrIDs, id)
+	s.log(OpDelete, InstructionEntity, id, "", editor, feedbackID)
+	return nil
+}
+
+// Instruction returns the instruction by ID, or nil.
+func (s *Set) Instruction(id string) *Instruction { return s.instructions[id] }
+
+// Instructions returns all instructions in insertion order.
+func (s *Set) Instructions() []*Instruction {
+	out := make([]*Instruction, 0, len(s.instrIDs))
+	for _, id := range s.instrIDs {
+		out = append(out, s.instructions[id])
+	}
+	return out
+}
+
+// InstructionsByIntent returns instructions associated with the intent.
+func (s *Set) InstructionsByIntent(intentID string) []*Instruction {
+	var out []*Instruction
+	for _, id := range s.instrIDs {
+		in := s.instructions[id]
+		for _, iid := range in.IntentIDs {
+			if iid == intentID {
+				out = append(out, in)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DefinesTerm returns the instruction defining the given domain term
+// (case-insensitive), or nil.
+func (s *Set) DefinesTerm(term string) *Instruction {
+	for _, id := range s.instrIDs {
+		in := s.instructions[id]
+		for _, t := range in.Terms {
+			if strings.EqualFold(t, term) {
+				return in
+			}
+		}
+	}
+	return nil
+}
+
+// --- retrieval directives ---
+
+// AddDirective appends a retrieval/re-ranking directive.
+func (s *Set) AddDirective(text, editor, feedbackID string) {
+	s.directives = append(s.directives, text)
+	s.log(OpInsert, DirectiveEntity, fmt.Sprintf("dir-%d", len(s.directives)), summarize(text), editor, feedbackID)
+}
+
+// Directives returns the retrieval directives in insertion order.
+func (s *Set) Directives() []string {
+	return append([]string(nil), s.directives...)
+}
+
+// --- history, checkpoints, clone ---
+
+func (s *Set) log(op ChangeOp, kind EntityKind, id, summary, editor, feedbackID string) {
+	s.version++
+	s.nextSeq++
+	s.history = append(s.history, ChangeEvent{
+		Seq: s.nextSeq, Version: s.version, Op: op, Kind: kind,
+		EntityID: id, Summary: summary, Editor: editor, FeedbackID: feedbackID,
+	})
+}
+
+// History returns the audit log, oldest first.
+func (s *Set) History() []ChangeEvent {
+	return append([]ChangeEvent(nil), s.history...)
+}
+
+// Checkpoint records a named snapshot and returns its ID.
+func (s *Set) Checkpoint(name string) int {
+	cp := Checkpoint{
+		ID:      len(s.checkpoints) + 1,
+		Name:    name,
+		Version: s.version,
+		snap:    s.snapshot(),
+	}
+	s.checkpoints = append(s.checkpoints, cp)
+	s.log(OpCheckpoint, DirectiveEntity, fmt.Sprintf("cp-%d", cp.ID), "checkpoint "+name, "system", "")
+	return cp.ID
+}
+
+// Checkpoints lists recorded checkpoints, oldest first.
+func (s *Set) Checkpoints() []Checkpoint {
+	return append([]Checkpoint(nil), s.checkpoints...)
+}
+
+// Revert restores the set's contents to a checkpoint. History and
+// checkpoints are preserved (the revert itself is logged), matching the
+// paper's "revert back to any prior checkpoint" with full auditability.
+func (s *Set) Revert(checkpointID int) error {
+	var cp *Checkpoint
+	for i := range s.checkpoints {
+		if s.checkpoints[i].ID == checkpointID {
+			cp = &s.checkpoints[i]
+			break
+		}
+	}
+	if cp == nil {
+		return fmt.Errorf("checkpoint %d does not exist", checkpointID)
+	}
+	s.restore(cp.snap)
+	s.log(OpRevert, DirectiveEntity, fmt.Sprintf("cp-%d", cp.ID), "revert to "+cp.Name, "system", "")
+	return nil
+}
+
+func (s *Set) snapshot() *snapshot {
+	sn := &snapshot{directives: append([]string(nil), s.directives...)}
+	for _, id := range s.exampleIDs {
+		c := *s.examples[id]
+		sn.examples = append(sn.examples, &c)
+	}
+	for _, id := range s.instrIDs {
+		c := *s.instructions[id]
+		sn.instructions = append(sn.instructions, &c)
+	}
+	for _, id := range s.intentIDs {
+		c := *s.intents[id]
+		sn.intents = append(sn.intents, &c)
+	}
+	return sn
+}
+
+func (s *Set) restore(sn *snapshot) {
+	s.examples = make(map[string]*Example, len(sn.examples))
+	s.exampleIDs = s.exampleIDs[:0]
+	for _, e := range sn.examples {
+		c := *e
+		s.examples[c.ID] = &c
+		s.exampleIDs = append(s.exampleIDs, c.ID)
+	}
+	s.instructions = make(map[string]*Instruction, len(sn.instructions))
+	s.instrIDs = s.instrIDs[:0]
+	for _, in := range sn.instructions {
+		c := *in
+		s.instructions[c.ID] = &c
+		s.instrIDs = append(s.instrIDs, c.ID)
+	}
+	s.intents = make(map[string]*Intent, len(sn.intents))
+	s.intentIDs = s.intentIDs[:0]
+	for _, in := range sn.intents {
+		c := *in
+		s.intents[c.ID] = &c
+		s.intentIDs = append(s.intentIDs, c.ID)
+	}
+	s.directives = append([]string(nil), sn.directives...)
+}
+
+// Clone deep-copies the set's contents into a fresh set with empty history.
+// Clones are the staging environments of §4.2.1: edits are applied to a
+// clone, regenerated against, and only merged into the live set on approval.
+func (s *Set) Clone() *Set {
+	out := NewSet()
+	out.restore(s.snapshot())
+	out.version = s.version
+	return out
+}
+
+// --- edits (shared with the feedback module) ---
+
+// EditOp enumerates edit operations on the knowledge set.
+type EditOp string
+
+// Edit operations.
+const (
+	EditInsert    EditOp = "insert"
+	EditUpdate    EditOp = "update"
+	EditDelete    EditOp = "delete"
+	EditDirective EditOp = "directive"
+)
+
+// Edit is one recommended (or manual) change to the knowledge set — the unit
+// the feedback solver stages, regression-tests and merges.
+type Edit struct {
+	Op   EditOp
+	Kind EntityKind
+	// ID targets the existing entity for update/delete.
+	ID string
+	// Example/Instruction carry new content for insert/update.
+	Example     *Example
+	Instruction *Instruction
+	// Directive carries retrieval-directive text.
+	Directive string
+	// Rationale explains why the edit is recommended, shown to reviewers.
+	Rationale string
+}
+
+// Describe renders a one-line human summary of the edit.
+func (e Edit) Describe() string {
+	switch {
+	case e.Op == EditDirective:
+		return "add retrieval directive: " + summarize(e.Directive)
+	case e.Kind == ExampleEntity && e.Example != nil:
+		return fmt.Sprintf("%s example %s: %s", e.Op, e.Example.ID, summarize(e.Example.NL))
+	case e.Kind == ExampleEntity:
+		return fmt.Sprintf("%s example %s", e.Op, e.ID)
+	case e.Kind == InstructionEntity && e.Instruction != nil:
+		return fmt.Sprintf("%s instruction %s: %s", e.Op, e.Instruction.ID, summarize(e.Instruction.Text))
+	default:
+		return fmt.Sprintf("%s %s %s", e.Op, e.Kind, e.ID)
+	}
+}
+
+// Apply executes an edit against the set.
+func (s *Set) Apply(edit Edit, editor, feedbackID string) error {
+	switch edit.Op {
+	case EditDirective:
+		s.AddDirective(edit.Directive, editor, feedbackID)
+		return nil
+	case EditInsert:
+		switch edit.Kind {
+		case ExampleEntity:
+			if edit.Example == nil {
+				return fmt.Errorf("insert example edit has no payload")
+			}
+			// Copy so staging never mutates the caller's edit (auto-ID
+			// assignment and provenance are per-application).
+			e := *edit.Example
+			return s.InsertExample(&e, editor, feedbackID)
+		case InstructionEntity:
+			if edit.Instruction == nil {
+				return fmt.Errorf("insert instruction edit has no payload")
+			}
+			in := *edit.Instruction
+			return s.InsertInstruction(&in, editor, feedbackID)
+		}
+	case EditUpdate:
+		switch edit.Kind {
+		case ExampleEntity:
+			if edit.Example == nil {
+				return fmt.Errorf("update example edit has no payload")
+			}
+			e := *edit.Example
+			if e.ID == "" {
+				e.ID = edit.ID
+			}
+			return s.UpdateExample(&e, editor, feedbackID)
+		case InstructionEntity:
+			if edit.Instruction == nil {
+				return fmt.Errorf("update instruction edit has no payload")
+			}
+			in := *edit.Instruction
+			if in.ID == "" {
+				in.ID = edit.ID
+			}
+			return s.UpdateInstruction(&in, editor, feedbackID)
+		}
+	case EditDelete:
+		switch edit.Kind {
+		case ExampleEntity:
+			return s.DeleteExample(edit.ID, editor, feedbackID)
+		case InstructionEntity:
+			return s.DeleteInstruction(edit.ID, editor, feedbackID)
+		}
+	}
+	return fmt.Errorf("unsupported edit %s %s", edit.Op, edit.Kind)
+}
+
+// Stage clones the set and applies the edits to the clone, returning the
+// staging environment. The live set is untouched.
+func (s *Set) Stage(edits []Edit, editor, feedbackID string) (*Set, error) {
+	staged := s.Clone()
+	for _, e := range edits {
+		if err := staged.Apply(e, editor, feedbackID); err != nil {
+			return nil, fmt.Errorf("staging %s: %w", e.Describe(), err)
+		}
+	}
+	return staged, nil
+}
+
+// --- helpers ---
+
+func removeID(ids []string, id string) []string {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func summarize(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 72 {
+		return s[:71] + "…"
+	}
+	return s
+}
+
+// Stats summarizes set contents for display.
+type Stats struct {
+	Examples     int
+	Instructions int
+	Intents      int
+	Directives   int
+	Version      int
+}
+
+// Stats returns current set statistics.
+func (s *Set) Stats() Stats {
+	return Stats{
+		Examples:     len(s.exampleIDs),
+		Instructions: len(s.instrIDs),
+		Intents:      len(s.intentIDs),
+		Directives:   len(s.directives),
+		Version:      s.version,
+	}
+}
+
+// TermsIndex returns all domain terms defined by instructions, sorted.
+func (s *Set) TermsIndex() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range s.instrIDs {
+		for _, t := range s.instructions[id].Terms {
+			key := strings.ToUpper(t)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

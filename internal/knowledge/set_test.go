@@ -1,0 +1,236 @@
+package knowledge
+
+import (
+	"strings"
+	"testing"
+)
+
+func seedSet(t *testing.T) *Set {
+	t.Helper()
+	s := NewSet()
+	s.AddIntent(&Intent{ID: "intent-001", Name: "financial performance"})
+	s.AddIntent(&Intent{ID: "intent-002", Name: "viewership"})
+	if err := s.InsertExample(&Example{
+		ID: "ex-001", IntentIDs: []string{"intent-001"},
+		NL: "Compute RPV as revenue over views", Pseudo: "... REVENUE / NULLIF(VIEWS, 0) ...",
+		SQL: "REVENUE / NULLIF(VIEWS, 0)", Clause: "projection", Terms: []string{"RPV"},
+	}, "preprocessing", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertInstruction(&Instruction{
+		ID: "ins-001", IntentIDs: []string{"intent-001"},
+		Text:  "Apply a -1 multiplier when calculating the change in performance metrics",
+		Terms: []string{"QoQFP"},
+	}, "preprocessing", ""); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInsertUpdateDeleteExample(t *testing.T) {
+	s := seedSet(t)
+	if got := len(s.Examples()); got != 1 {
+		t.Fatalf("examples = %d, want 1", got)
+	}
+	updated := *s.Example("ex-001")
+	updated.NL = "Compute revenue per viewer"
+	if err := s.UpdateExample(&updated, "sme", "fb-1"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Example("ex-001").NL != "Compute revenue per viewer" {
+		t.Error("update did not take effect")
+	}
+	if s.Example("ex-001").Provenance.Editor != "sme" {
+		t.Error("provenance editor not recorded")
+	}
+	if err := s.DeleteExample("ex-001", "sme", "fb-1"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Example("ex-001") != nil {
+		t.Error("delete did not take effect")
+	}
+	if err := s.DeleteExample("ex-001", "sme", ""); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestInsertDuplicateFails(t *testing.T) {
+	s := seedSet(t)
+	err := s.InsertExample(&Example{ID: "ex-001"}, "x", "")
+	if err == nil {
+		t.Error("duplicate insert should fail")
+	}
+	err = s.InsertInstruction(&Instruction{ID: "ins-001"}, "x", "")
+	if err == nil {
+		t.Error("duplicate instruction insert should fail")
+	}
+}
+
+func TestAutoAssignedIDs(t *testing.T) {
+	s := NewSet()
+	e := &Example{NL: "x"}
+	if err := s.InsertExample(e, "p", ""); err != nil {
+		t.Fatal(err)
+	}
+	if e.ID == "" {
+		t.Error("example ID not auto-assigned")
+	}
+	in := &Instruction{Text: "y"}
+	if err := s.InsertInstruction(in, "p", ""); err != nil {
+		t.Fatal(err)
+	}
+	if in.ID == "" {
+		t.Error("instruction ID not auto-assigned")
+	}
+}
+
+func TestByIntentLookups(t *testing.T) {
+	s := seedSet(t)
+	if got := len(s.ExamplesByIntent("intent-001")); got != 1 {
+		t.Errorf("examples by intent-001 = %d, want 1", got)
+	}
+	if got := len(s.ExamplesByIntent("intent-002")); got != 0 {
+		t.Errorf("examples by intent-002 = %d, want 0", got)
+	}
+	if got := len(s.InstructionsByIntent("intent-001")); got != 1 {
+		t.Errorf("instructions by intent-001 = %d, want 1", got)
+	}
+}
+
+func TestDefinesTerm(t *testing.T) {
+	s := seedSet(t)
+	if s.DefinesTerm("qoqfp") == nil {
+		t.Error("DefinesTerm should be case-insensitive")
+	}
+	if s.DefinesTerm("RPV") != nil {
+		t.Error("RPV is exercised by an example, not defined by an instruction")
+	}
+}
+
+func TestHistoryRecordsOperations(t *testing.T) {
+	s := seedSet(t)
+	before := len(s.History())
+	up := *s.Example("ex-001")
+	if err := s.UpdateExample(&up, "sme", "fb-9"); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.History()
+	if len(hist) != before+1 {
+		t.Fatalf("history grew by %d, want 1", len(hist)-before)
+	}
+	last := hist[len(hist)-1]
+	if last.Op != OpUpdate || last.Kind != ExampleEntity || last.FeedbackID != "fb-9" {
+		t.Errorf("history event = %+v", last)
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Seq <= hist[i-1].Seq {
+			t.Error("history sequence numbers not increasing")
+		}
+	}
+}
+
+func TestCheckpointAndRevert(t *testing.T) {
+	s := seedSet(t)
+	cpID := s.Checkpoint("before-edits")
+	if err := s.DeleteExample("ex-001", "sme", ""); err != nil {
+		t.Fatal(err)
+	}
+	s.AddDirective("prefer quarterly examples", "sme", "")
+	if err := s.Revert(cpID); err != nil {
+		t.Fatal(err)
+	}
+	if s.Example("ex-001") == nil {
+		t.Error("revert did not restore deleted example")
+	}
+	if len(s.Directives()) != 0 {
+		t.Error("revert did not remove directive")
+	}
+	// History must still record everything including the revert.
+	hist := s.History()
+	last := hist[len(hist)-1]
+	if last.Op != OpRevert {
+		t.Errorf("last history op = %s, want revert", last.Op)
+	}
+	if err := s.Revert(999); err == nil {
+		t.Error("revert to missing checkpoint should fail")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := seedSet(t)
+	c := s.Clone()
+	if err := c.DeleteExample("ex-001", "sme", ""); err != nil {
+		t.Fatal(err)
+	}
+	c.Example("ins-no")
+	if s.Example("ex-001") == nil {
+		t.Error("mutating clone affected original")
+	}
+	// Mutating a fetched entity on the clone must not leak either.
+	c2 := s.Clone()
+	c2.Instruction("ins-001").Text = "changed"
+	if s.Instruction("ins-001").Text == "changed" {
+		t.Error("clone shares instruction pointers with original")
+	}
+}
+
+func TestStageAppliesEditsToClone(t *testing.T) {
+	s := seedSet(t)
+	edits := []Edit{
+		{Op: EditUpdate, Kind: InstructionEntity, Instruction: &Instruction{
+			ID: "ins-001", Text: "Use conditional aggregation when comparing periods",
+		}},
+		{Op: EditInsert, Kind: ExampleEntity, Example: &Example{
+			NL: "Filter to owned organizations", SQL: "OWNERSHIP_FLAG_COLUMN = 'COC'", Clause: "where",
+		}},
+		{Op: EditDirective, Directive: "rank quarter-pivot examples higher"},
+	}
+	staged, err := s.Stage(edits, "sme", "fb-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged.Instruction("ins-001").Text == s.Instruction("ins-001").Text {
+		t.Error("staged instruction update missing")
+	}
+	if len(staged.Examples()) != len(s.Examples())+1 {
+		t.Error("staged example insert missing")
+	}
+	if len(staged.Directives()) != 1 {
+		t.Error("staged directive missing")
+	}
+	if s.Version() == staged.Version() {
+		t.Error("staging should bump only the clone's version")
+	}
+}
+
+func TestStageInvalidEditFails(t *testing.T) {
+	s := seedSet(t)
+	_, err := s.Stage([]Edit{{Op: EditDelete, Kind: ExampleEntity, ID: "nope"}}, "sme", "")
+	if err == nil {
+		t.Error("staging a delete of a missing example should fail")
+	}
+	_, err = s.Stage([]Edit{{Op: EditInsert, Kind: ExampleEntity}}, "sme", "")
+	if err == nil || !strings.Contains(err.Error(), "payload") {
+		t.Errorf("insert without payload error = %v", err)
+	}
+}
+
+func TestEditDescribe(t *testing.T) {
+	e := Edit{Op: EditInsert, Kind: InstructionEntity,
+		Instruction: &Instruction{ID: "ins-9", Text: "Always filter by country"}}
+	if !strings.Contains(e.Describe(), "ins-9") {
+		t.Errorf("Describe = %q", e.Describe())
+	}
+}
+
+func TestStatsAndTermsIndex(t *testing.T) {
+	s := seedSet(t)
+	st := s.Stats()
+	if st.Examples != 1 || st.Instructions != 1 || st.Intents != 2 {
+		t.Errorf("Stats = %+v", st)
+	}
+	terms := s.TermsIndex()
+	if len(terms) != 1 || terms[0] != "QoQFP" {
+		t.Errorf("TermsIndex = %v", terms)
+	}
+}

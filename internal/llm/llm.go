@@ -1,0 +1,173 @@
+// Package llm defines the typed operator interfaces between GenEdit's
+// pipeline and the underlying language model, plus the prompt renderer that
+// reproduces the structure of the paper's Fig. 2 generation prompt.
+//
+// The production system calls GPT-4o behind each of these methods; this
+// reproduction wires them to internal/simllm's deterministic model. Keeping
+// the interface typed (rather than raw prompt strings) lets the pipeline,
+// baselines and feedback module share one contract while the renderer
+// produces the human-readable prompt for logging and the examples.
+package llm
+
+import (
+	"genedit/internal/schema"
+)
+
+// RetrievedExample is a knowledge-set example selected for generation.
+type RetrievedExample struct {
+	ID     string
+	NL     string
+	Pseudo string
+	SQL    string
+	Clause string
+	Terms  []string
+	Score  float64
+	// FullSQL carries the whole source query when decomposition is ablated
+	// (Table 2's "w/o Decomposition" row uses traditional full-query
+	// few-shot examples).
+	FullSQL string
+}
+
+// RetrievedInstruction is a knowledge-set instruction selected for
+// generation.
+type RetrievedInstruction struct {
+	ID      string
+	Text    string
+	SQLHint string
+	Terms   []string
+	Score   float64
+}
+
+// IntentOption is one intent the classifier may assign.
+type IntentOption struct {
+	ID          string
+	Name        string
+	Description string
+}
+
+// PlanStep is one step of the CoT plan: a natural-language description
+// optionally anchored by pseudo-SQL (§3.1.2).
+type PlanStep struct {
+	Description string
+	// Pseudo is the pseudo-SQL display form; empty when the step has no
+	// anchor (ablated, or no similar example was retrieved).
+	Pseudo string
+	// Unit and Clause locate the step's fragment within the output query
+	// (CTE name + clause kind); used when composing the final SQL.
+	Unit   string
+	Clause string
+	// SQL is the fragment content backing Pseudo; empty when unanchored.
+	SQL string
+	// AnchorSQL is the anchoring example's raw sub-statement when it
+	// differs from the target fragment (same pattern, different
+	// parameters); generation may copy it insufficiently adapted.
+	AnchorSQL string
+	// Distinct propagates SELECT DISTINCT for projection fragments.
+	Distinct bool
+}
+
+// Plan is the chain-of-thought plan: an ordered list of steps, serialized
+// into the prompt as a JSON object per §3.1.2.
+type Plan struct {
+	Steps []PlanStep
+}
+
+// Context is the assembled generation context: everything the prompt of
+// Fig. 2 contains besides the plan.
+type Context struct {
+	// Question is the reformulated canonical question.
+	Question string
+	// Original is the user's question before reformulation.
+	Original string
+	// DB names the target database.
+	DB string
+	// Intents are the classified intent names.
+	Intents []string
+	// Examples are the selected decomposed examples.
+	Examples []RetrievedExample
+	// Instructions are the selected instructions.
+	Instructions []RetrievedInstruction
+	// SchemaDDL is the (possibly linked-subset) schema description.
+	SchemaDDL string
+	// LinkedElements are the schema-linking output columns; empty when
+	// schema linking is disabled (full schema in context).
+	LinkedElements []schema.Element
+	// Evidence is the benchmark-provided external knowledge string.
+	Evidence string
+	// Directives are knowledge-set retrieval directives in force.
+	Directives []string
+	// Attempt is the regeneration attempt number (0 = first).
+	Attempt int
+	// PriorSQL and PriorError carry self-correction context (§3, operator 8).
+	PriorSQL   string
+	PriorError string
+}
+
+// Model is the full operator contract GenEdit needs from a language model.
+type Model interface {
+	// Reformulate rewrites the query into the canonical "Show me ..." form
+	// (inference operator 1).
+	Reformulate(question string) (string, error)
+	// ClassifyIntents picks the user intents (operator 2).
+	ClassifyIntents(question string, options []IntentOption) ([]string, error)
+	// LinkSchema identifies relevant schema elements (operator 5).
+	LinkSchema(question string, full *schema.Schema, ctx *Context) ([]schema.Element, error)
+	// Plan produces the CoT plan with pseudo-SQL (operator 6).
+	Plan(ctx *Context) (Plan, error)
+	// GenerateSQL produces a candidate query from the plan (operator 7).
+	GenerateSQL(ctx *Context, plan Plan) (string, error)
+	// RepairSQL regenerates after execution feedback (operators 8-9).
+	RepairSQL(ctx *Context, plan Plan, priorSQL, execError string) (string, error)
+}
+
+// FeedbackModel is the operator contract of the edits-recommendation module
+// (§4.1, feedback operators 1-4).
+type FeedbackModel interface {
+	// GenerateTargets selects which retrieved items the feedback concerns
+	// and explains why (feedback operator 1).
+	GenerateTargets(req *FeedbackRequest) ([]FeedbackTarget, error)
+	// ExpandFeedback elaborates the explanation (operator 2).
+	ExpandFeedback(req *FeedbackRequest, targets []FeedbackTarget) (string, error)
+	// PlanEdits produces a step-by-step edit plan (operator 3).
+	PlanEdits(req *FeedbackRequest, expanded string, targets []FeedbackTarget) ([]string, error)
+	// GenerateEdits produces the revised knowledge content (operator 4).
+	// The returned payloads use knowledge-set representations; the feedback
+	// package converts them into knowledge.Edit values.
+	GenerateEdits(req *FeedbackRequest, plan []string, targets []FeedbackTarget) ([]EditDraft, error)
+}
+
+// FeedbackRequest bundles what the feedback operators see: the generation
+// record context and the user's free-text feedback.
+type FeedbackRequest struct {
+	Question     string
+	Reformulated string
+	GeneratedSQL string
+	ExecFeedback string
+	UserFeedback string
+	Examples     []RetrievedExample
+	Instructions []RetrievedInstruction
+	DB           string
+}
+
+// FeedbackTarget is one retrieved item the feedback is judged relevant to.
+type FeedbackTarget struct {
+	Kind string // "example" | "instruction" | "new"
+	ID   string
+	Why  string
+}
+
+// EditDraft is a model-produced edit before conversion to knowledge.Edit.
+type EditDraft struct {
+	Op        string // "insert" | "update" | "delete" | "directive"
+	Kind      string // "example" | "instruction" | "retrieval_directive"
+	ID        string
+	NL        string
+	SQL       string
+	Pseudo    string
+	Clause    string
+	Text      string
+	SQLHint   string
+	Terms     []string
+	Directive string
+	Rationale string
+}

@@ -1,0 +1,554 @@
+// Package pipeline implements GenEdit's SQL generation module: the
+// compounding operator pipeline of Fig. 1 (inference operators 1-9) over a
+// company-specific knowledge set, with the ablation switches of Table 2.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genedit/internal/embed"
+	"genedit/internal/knowledge"
+	"genedit/internal/llm"
+	"genedit/internal/schema"
+	"genedit/internal/sqldb"
+	"genedit/internal/sqlexec"
+	"genedit/internal/sqlparse"
+)
+
+// Config controls pipeline behaviour. The Disable* switches implement the
+// ablations of Table 2 plus the extra design-choice ablations DESIGN.md
+// calls out.
+type Config struct {
+	// MaxAttempts is k, the regeneration budget (§3: "up to k times",
+	// k=3 in Fig. 1).
+	MaxAttempts int
+	// TopExamples caps selected examples.
+	TopExamples int
+	// TopInstructions caps selected instructions.
+	TopInstructions int
+	// ExpansionWeight blends example-context similarity into instruction
+	// re-ranking (context expansion, §3.1.1).
+	ExpansionWeight float64
+	// SemanticCheck enables the model-based empty-result regeneration.
+	SemanticCheck bool
+
+	// Table 2 ablations.
+	DisableSchemaLinking bool
+	DisableInstructions  bool
+	DisableExamples      bool
+	DisablePseudoSQL     bool
+	DisableDecomposition bool
+
+	// Additional design-choice ablations.
+	DisableContextExpansion bool
+	DisablePlanning         bool
+	DisableSelfCorrection   bool
+	DisableReformulation    bool
+}
+
+// DefaultConfig returns the production configuration.
+func DefaultConfig() Config {
+	return Config{
+		MaxAttempts:     3,
+		TopExamples:     12,
+		TopInstructions: 6,
+		ExpansionWeight: 0.45,
+		SemanticCheck:   true,
+	}
+}
+
+// Attempt records one generation attempt and its execution feedback.
+type Attempt struct {
+	SQL string
+	// Kind classifies the outcome: "ok", "empty", "syntax", "exec".
+	Kind string
+	// Err is the execution error message, if any.
+	Err string
+	// Rows is the result cardinality on success.
+	Rows int
+}
+
+// Record is the full trace of one generation: the feedback module's input
+// and the source for rendering the Fig. 2 prompt.
+type Record struct {
+	Question     string
+	Reformulated string
+	Evidence     string
+	IntentIDs    []string
+	IntentNames  []string
+	Context      llm.Context
+	Plan         llm.Plan
+	Attempts     []Attempt
+	FinalSQL     string
+	// OK reports whether the final SQL executed without error.
+	OK bool
+	// Result is the final execution result when OK.
+	Result *sqlexec.Result
+}
+
+// Prompt renders the generation prompt for this record (Fig. 2 structure).
+func (r *Record) Prompt() string {
+	ctx := r.Context
+	return llm.RenderPrompt(&ctx, &r.Plan)
+}
+
+// Engine is the GenEdit generation pipeline bound to one database and one
+// knowledge set.
+type Engine struct {
+	model llm.Model
+	kset  *knowledge.Set
+	db    *sqldb.Database
+	sch   *schema.Schema
+	exec  *sqlexec.Executor
+	cfg   Config
+
+	exIndex  *embed.Index
+	insIndex *embed.Index
+}
+
+// New builds an engine. The knowledge set is indexed for retrieval once.
+func New(model llm.Model, kset *knowledge.Set, db *sqldb.Database, cfg Config) *Engine {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	e := &Engine{
+		model: model,
+		kset:  kset,
+		db:    db,
+		sch:   schema.FromDatabase(db, schema.DefaultTopValues),
+		exec:  sqlexec.New(db),
+		cfg:   cfg,
+	}
+	e.buildIndices()
+	return e
+}
+
+func (e *Engine) buildIndices() {
+	e.exIndex = embed.NewIndex()
+	for _, ex := range e.kset.Examples() {
+		e.exIndex.Add(ex.ID, ex.Text())
+	}
+	e.insIndex = embed.NewIndex()
+	for _, ins := range e.kset.Instructions() {
+		e.insIndex.Add(ins.ID, ins.Text+" "+ins.SQLHint)
+	}
+}
+
+// KnowledgeSet returns the engine's live knowledge set.
+func (e *Engine) KnowledgeSet() *knowledge.Set { return e.kset }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Database returns the bound database.
+func (e *Engine) Database() *sqldb.Database { return e.db }
+
+// Schema returns the profiled schema.
+func (e *Engine) Schema() *schema.Schema { return e.sch }
+
+// WithKnowledge returns a new engine over a different knowledge set (the
+// staging environment of §4.2.1), sharing model, database and config.
+func (e *Engine) WithKnowledge(kset *knowledge.Set) *Engine {
+	out := &Engine{
+		model: e.model, kset: kset, db: e.db, sch: e.sch,
+		exec: e.exec, cfg: e.cfg,
+	}
+	out.buildIndices()
+	return out
+}
+
+// Generate runs the full inference pipeline for one question. The evidence
+// string is the benchmark-provided external knowledge (may be empty).
+func (e *Engine) Generate(question, evidence string) (*Record, error) {
+	rec := &Record{Question: question, Evidence: evidence}
+
+	// Operator 1: query reformulation.
+	reformulated := question
+	if !e.cfg.DisableReformulation {
+		var err error
+		reformulated, err = e.model.Reformulate(question)
+		if err != nil {
+			return nil, fmt.Errorf("reformulation: %w", err)
+		}
+	}
+	rec.Reformulated = reformulated
+
+	// Operator 2: intent classification.
+	var options []llm.IntentOption
+	for _, it := range e.kset.Intents() {
+		options = append(options, llm.IntentOption{ID: it.ID, Name: it.Name, Description: it.Description})
+	}
+	intentIDs, err := e.model.ClassifyIntents(reformulated, options)
+	if err != nil {
+		return nil, fmt.Errorf("intent classification: %w", err)
+	}
+	rec.IntentIDs = intentIDs
+	for _, id := range intentIDs {
+		if it := e.kset.Intent(id); it != nil {
+			rec.IntentNames = append(rec.IntentNames, it.Name)
+		}
+	}
+
+	ctx := llm.Context{
+		Question:   reformulated,
+		Original:   question,
+		DB:         e.db.Name,
+		Intents:    rec.IntentNames,
+		Evidence:   evidence,
+		Directives: e.kset.Directives(),
+	}
+
+	// Operator 3: example selection (intent retrieval + query re-ranking).
+	// When examples are ablated (Table 2 "w/o Examples"), selection still
+	// runs for the internal operators — the planner derives its pseudo-SQL
+	// from selected examples (§3.3.4 notes examples "are what we use to add
+	// pseudo-SQL to the CoT plan") — but the examples are withheld from the
+	// generation prompt.
+	ctx.Examples = e.selectExamples(reformulated, intentIDs)
+
+	// Operator 4: instruction selection (re-ranked with example context —
+	// the compounding/context-expansion step).
+	if !e.cfg.DisableInstructions {
+		ctx.Instructions = e.selectInstructions(reformulated, intentIDs, ctx.Examples)
+	}
+
+	// Operator 5: schema linking with re-rank filtering.
+	if e.cfg.DisableSchemaLinking {
+		ctx.SchemaDDL = e.sch.DDL()
+		ctx.LinkedElements = nil
+	} else {
+		els, err := e.model.LinkSchema(reformulated, e.sch, &ctx)
+		if err != nil {
+			return nil, fmt.Errorf("schema linking: %w", err)
+		}
+		linked := make([]schema.Element, 0, len(els))
+		linked = append(linked, els...)
+		ctx.LinkedElements = linked
+		sub := e.sch.Subset(linked)
+		if sub.ColumnCount() == 0 {
+			ctx.SchemaDDL = e.sch.DDL()
+		} else {
+			ctx.SchemaDDL = sub.DDL()
+		}
+	}
+
+	// Operator 6: CoT plan generation with pseudo-SQL.
+	var plan llm.Plan
+	if !e.cfg.DisablePlanning {
+		plan, err = e.model.Plan(&ctx)
+		if err != nil {
+			return nil, fmt.Errorf("planning: %w", err)
+		}
+		if e.cfg.DisablePseudoSQL {
+			for i := range plan.Steps {
+				plan.Steps[i].Pseudo = ""
+				plan.Steps[i].SQL = ""
+				plan.Steps[i].AnchorSQL = ""
+			}
+		}
+	}
+	rec.Plan = plan
+
+	// Withhold ablated examples from the generation prompt (see operator 3
+	// above: the planner has already consumed them).
+	if e.cfg.DisableExamples {
+		ctx.Examples = nil
+	}
+
+	// Operators 7-9: generation with execution feedback and regeneration.
+	e.generateWithCorrection(rec, &ctx, plan)
+	rec.Context = ctx
+	return rec, nil
+}
+
+// generateWithCorrection runs the generate → execute → repair loop.
+func (e *Engine) generateWithCorrection(rec *Record, ctx *llm.Context, plan llm.Plan) {
+	type candidate struct {
+		sql  string
+		res  *sqlexec.Result
+		kind string
+	}
+	var best *candidate
+	better := func(a, b *candidate) bool { // is a better than b
+		rank := func(c *candidate) int {
+			switch c.kind {
+			case "ok":
+				return 2
+			case "empty":
+				return 1
+			default:
+				return 0
+			}
+		}
+		return b == nil || rank(a) > rank(b)
+	}
+
+	sql, err := e.model.GenerateSQL(ctx, plan)
+	if err != nil {
+		rec.Attempts = append(rec.Attempts, Attempt{Kind: "exec", Err: err.Error()})
+		return
+	}
+	emptyRetried := false
+	for attempt := 0; ; attempt++ {
+		att := Attempt{SQL: sql}
+		res, execErr := e.exec.Query(sql)
+		switch {
+		case execErr == nil && (len(res.Rows) > 0 || !e.cfg.SemanticCheck):
+			att.Kind = "ok"
+			att.Rows = len(res.Rows)
+		case execErr == nil:
+			att.Kind = "empty"
+		case isSyntaxError(execErr):
+			att.Kind = "syntax"
+			att.Err = execErr.Error()
+		default:
+			att.Kind = "exec"
+			att.Err = execErr.Error()
+		}
+		rec.Attempts = append(rec.Attempts, att)
+
+		cand := &candidate{sql: sql, res: res, kind: att.Kind}
+		if execErr != nil {
+			cand.res = nil
+		}
+		if better(cand, best) {
+			best = cand
+		}
+
+		if att.Kind == "ok" {
+			break
+		}
+		if att.Kind == "empty" {
+			// The model-based semantic check flags empty results once; an
+			// empty result may still be the right answer.
+			if emptyRetried {
+				break
+			}
+			emptyRetried = true
+		}
+		if e.cfg.DisableSelfCorrection || attempt+1 >= e.cfg.MaxAttempts {
+			break
+		}
+		feedback := att.Err
+		if att.Kind == "empty" {
+			feedback = "semantic check: the query executed but returned no rows; verify filters and joins"
+		}
+		ctx.Attempt = attempt + 1
+		ctx.PriorSQL = sql
+		ctx.PriorError = feedback
+		repaired, rerr := e.model.RepairSQL(ctx, plan, sql, feedback)
+		if rerr != nil || repaired == "" {
+			break
+		}
+		sql = repaired
+	}
+
+	if best != nil {
+		rec.FinalSQL = best.sql
+		rec.OK = best.kind == "ok" || best.kind == "empty"
+		rec.Result = best.res
+	}
+}
+
+func isSyntaxError(err error) bool {
+	_, ok := err.(*sqlparse.SyntaxError)
+	if ok {
+		return true
+	}
+	return strings.Contains(err.Error(), "syntax error")
+}
+
+// selectExamples implements operator 3. Candidates come from the classified
+// intents plus a global query-similarity search; all candidates are
+// re-ranked by cosine similarity with the reformulated query. When
+// decomposition is ablated the knowledge set's fragments are regrouped into
+// traditional full-query examples.
+func (e *Engine) selectExamples(query string, intentIDs []string) []llm.RetrievedExample {
+	if e.cfg.DisableDecomposition {
+		return e.selectFullExamples(query)
+	}
+	seen := make(map[string]bool)
+	var candidates []*knowledge.Example
+	for _, id := range intentIDs {
+		for _, ex := range e.kset.ExamplesByIntent(id) {
+			if !seen[ex.ID] {
+				seen[ex.ID] = true
+				candidates = append(candidates, ex)
+			}
+		}
+	}
+	for _, hit := range e.exIndex.Search(query, 24) {
+		if ex := e.kset.Example(hit.ID); ex != nil && !seen[ex.ID] {
+			seen[ex.ID] = true
+			candidates = append(candidates, ex)
+		}
+	}
+	qv := embed.Text(query)
+	srcVecs := make(map[string]embed.Vector)
+	scored := make([]llm.RetrievedExample, 0, len(candidates))
+	for _, ex := range candidates {
+		// A fragment is relevant when its own text matches the query or
+		// when the question of the query it was decomposed from does —
+		// sub-statements of similar historical questions are the reusable
+		// unit §3.2 is built around.
+		score := embed.Cosine(qv, embed.Text(ex.Text()))
+		if ex.SourceQuestion != "" {
+			sv, ok := srcVecs[ex.SourceQuestion]
+			if !ok {
+				sv = embed.Text(ex.SourceQuestion)
+				srcVecs[ex.SourceQuestion] = sv
+			}
+			if s := 0.92 * embed.Cosine(qv, sv); s > score {
+				score = s
+			}
+		}
+		scored = append(scored, llm.RetrievedExample{
+			ID: ex.ID, NL: ex.NL, Pseudo: ex.Pseudo, SQL: ex.SQL,
+			Clause: ex.Clause, Terms: ex.Terms,
+			Score: score,
+		})
+	}
+	sortHits := func(s []llm.RetrievedExample) {
+		sort.SliceStable(s, func(i, j int) bool {
+			if s[i].Score != s[j].Score {
+				return s[i].Score > s[j].Score
+			}
+			return s[i].ID < s[j].ID
+		})
+	}
+	sortHits(scored)
+	if len(scored) > e.cfg.TopExamples {
+		scored = scored[:e.cfg.TopExamples]
+	}
+	return scored
+}
+
+// selectFullExamples regroups decomposed fragments into whole-query
+// examples (the traditional representation, used by the "w/o Decomposition"
+// ablation).
+func (e *Engine) selectFullExamples(query string) []llm.RetrievedExample {
+	type fullEx struct {
+		sql      string
+		question string
+	}
+	seen := make(map[string]*fullEx)
+	var order []string
+	for _, ex := range e.kset.Examples() {
+		if ex.SourceSQL == "" {
+			continue
+		}
+		if _, ok := seen[ex.SourceSQL]; !ok {
+			seen[ex.SourceSQL] = &fullEx{sql: ex.SourceSQL, question: ex.SourceQuestion}
+			order = append(order, ex.SourceSQL)
+		}
+	}
+	qv := embed.Text(query)
+	var scored []llm.RetrievedExample
+	for i, sql := range order {
+		fe := seen[sql]
+		text := fe.question
+		if text == "" {
+			text = fe.sql
+		}
+		scored = append(scored, llm.RetrievedExample{
+			ID:      fmt.Sprintf("full-%03d", i+1),
+			NL:      fe.question,
+			FullSQL: fe.sql,
+			Score:   embed.Cosine(qv, embed.Text(text)),
+		})
+	}
+	sort.SliceStable(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].ID < scored[j].ID
+	})
+	if len(scored) > e.cfg.TopExamples {
+		scored = scored[:e.cfg.TopExamples]
+	}
+	return scored
+}
+
+// selectInstructions implements operator 4: candidates from intents plus
+// global search, re-ranked by similarity to the query AND to the already-
+// selected examples — the context expansion the paper's compounding
+// operators are named for.
+func (e *Engine) selectInstructions(query string, intentIDs []string, examples []llm.RetrievedExample) []llm.RetrievedInstruction {
+	seen := make(map[string]bool)
+	var candidates []*knowledge.Instruction
+	for _, id := range intentIDs {
+		for _, ins := range e.kset.InstructionsByIntent(id) {
+			if !seen[ins.ID] {
+				seen[ins.ID] = true
+				candidates = append(candidates, ins)
+			}
+		}
+	}
+	for _, hit := range e.insIndex.Search(query, 16) {
+		if ins := e.kset.Instruction(hit.ID); ins != nil && !seen[ins.ID] {
+			seen[ins.ID] = true
+			candidates = append(candidates, ins)
+		}
+	}
+	qv := embed.Text(query)
+	exVecs := make([]embed.Vector, len(examples))
+	for i, ex := range examples {
+		exVecs[i] = embed.Text(ex.NL + " " + ex.SQL)
+	}
+	directiveBoost := e.directiveBoost()
+
+	var scored []llm.RetrievedInstruction
+	for _, ins := range candidates {
+		insVec := embed.Text(ins.Text + " " + ins.SQLHint)
+		score := embed.Cosine(qv, insVec)
+		if !e.cfg.DisableContextExpansion && len(exVecs) > 0 {
+			maxEx := 0.0
+			for _, ev := range exVecs {
+				if c := embed.Cosine(ev, insVec); c > maxEx {
+					maxEx = c
+				}
+			}
+			score += e.cfg.ExpansionWeight * maxEx
+		}
+		score += directiveBoost(ins)
+		scored = append(scored, llm.RetrievedInstruction{
+			ID: ins.ID, Text: ins.Text, SQLHint: ins.SQLHint, Terms: ins.Terms,
+			Score: score,
+		})
+	}
+	sort.SliceStable(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].ID < scored[j].ID
+	})
+	if len(scored) > e.cfg.TopInstructions {
+		scored = scored[:e.cfg.TopInstructions]
+	}
+	return scored
+}
+
+// directiveBoost applies knowledge-set retrieval directives: instructions
+// matching a directive's vocabulary get a small ranking boost.
+func (e *Engine) directiveBoost() func(*knowledge.Instruction) float64 {
+	directives := e.kset.Directives()
+	if len(directives) == 0 {
+		return func(*knowledge.Instruction) float64 { return 0 }
+	}
+	vecs := make([]embed.Vector, len(directives))
+	for i, d := range directives {
+		vecs[i] = embed.Text(d)
+	}
+	return func(ins *knowledge.Instruction) float64 {
+		iv := embed.Text(ins.Text)
+		best := 0.0
+		for _, dv := range vecs {
+			if c := embed.Cosine(dv, iv); c > best {
+				best = c
+			}
+		}
+		return 0.1 * best
+	}
+}

@@ -1,0 +1,162 @@
+package sqldb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndRender(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Float(3), "3"},
+		{Str("hello"), "hello"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("%+v.String() = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want float64
+		ok   bool
+	}{
+		{Int(3), 3, true},
+		{Float(1.5), 1.5, true},
+		{Str("2.25"), 2.25, true},
+		{Str(" 7 "), 7, true},
+		{Str("abc"), 0, false},
+		{Bool(true), 1, true},
+		{Null(), 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := tt.v.AsFloat()
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("%v.AsFloat() = (%v, %v), want (%v, %v)", tt.v, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Float(2.0), 0, true},
+		{Float(3.5), Int(3), 1, true},
+		{Str("a"), Str("b"), -1, true},
+		{Bool(false), Bool(true), -1, true},
+		{Null(), Int(1), 0, false},
+		{Null(), Null(), 0, true},
+		{Str("10"), Int(9), -1, true}, // string vs int compares as strings: "10" < "9"
+	}
+	for _, tt := range tests {
+		got, ok := Compare(tt.a, tt.b)
+		if ok != tt.ok {
+			t.Errorf("Compare(%v, %v) ok = %v, want %v", tt.a, tt.b, ok, tt.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		// For the mixed string/int case only the sign is asserted elsewhere.
+		if tt.a.K == tt.b.K || (tt.a.IsNumeric() && tt.b.IsNumeric()) {
+			if got != tt.want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestCompareForSortTotalOrder(t *testing.T) {
+	vals := []Value{Null(), Int(1), Float(1.5), Str("x"), Bool(true)}
+	for _, a := range vals {
+		if CompareForSort(a, a) != 0 {
+			t.Errorf("CompareForSort(%v, %v) != 0", a, a)
+		}
+		for _, b := range vals {
+			if CompareForSort(a, b) != -CompareForSort(b, a) {
+				t.Errorf("CompareForSort not antisymmetric for %v, %v", a, b)
+			}
+		}
+	}
+	if CompareForSort(Null(), Int(0)) != -1 {
+		t.Error("NULL should sort first")
+	}
+}
+
+func TestKeyEquatesIntAndFloat(t *testing.T) {
+	if Int(3).Key() != Float(3).Key() {
+		t.Error("3 and 3.0 should share a grouping key")
+	}
+	if Int(3).Key() == Str("3").Key() {
+		t.Error("int 3 and string \"3\" must not share a grouping key")
+	}
+}
+
+func TestCast(t *testing.T) {
+	tests := []struct {
+		v    Value
+		typ  string
+		want Value
+		err  bool
+	}{
+		{Str("3.5"), "FLOAT", Float(3.5), false},
+		{Float(3.9), "INTEGER", Int(3), false},
+		{Int(5), "TEXT", Str("5"), false},
+		{Str("true"), "BOOLEAN", Bool(true), false},
+		{Int(0), "BOOLEAN", Bool(false), false},
+		{Str("abc"), "FLOAT", Null(), true},
+		{Null(), "INTEGER", Null(), false},
+		{Int(7), "VARCHAR(20)", Str("7"), false},
+		{Str("2.5"), "DECIMAL(10,2)", Float(2.5), false},
+	}
+	for _, tt := range tests {
+		got, err := Cast(tt.v, tt.typ)
+		if (err != nil) != tt.err {
+			t.Errorf("Cast(%v, %s) err = %v, want err=%v", tt.v, tt.typ, err, tt.err)
+			continue
+		}
+		if err == nil && !got.Equal(tt.want) && !(got.IsNull() && tt.want.IsNull()) {
+			t.Errorf("Cast(%v, %s) = %v, want %v", tt.v, tt.typ, got, tt.want)
+		}
+	}
+}
+
+// Property: Compare is reflexive and antisymmetric over ints and floats.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		va, vb := Int(int64(a)), Int(int64(b))
+		ca, _ := Compare(va, vb)
+		cb, _ := Compare(vb, va)
+		self, _ := Compare(va, va)
+		return ca == -cb && self == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a float64) bool {
+		v := Float(a)
+		c, ok := Compare(v, v)
+		if a != a { // NaN: engine renders NaN; equality with itself via string compare
+			return ok
+		}
+		return ok && c == 0
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}

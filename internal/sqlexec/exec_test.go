@@ -1,0 +1,423 @@
+package sqlexec
+
+import (
+	"strings"
+	"testing"
+
+	"genedit/internal/sqldb"
+)
+
+// testDB builds a small fixture database used across executor tests.
+func testDB() *sqldb.Database {
+	db := sqldb.NewDatabase("fixture")
+
+	emp := sqldb.NewTable("EMP",
+		sqldb.Column{Name: "ID", Type: "INTEGER"},
+		sqldb.Column{Name: "NAME", Type: "TEXT"},
+		sqldb.Column{Name: "DEPT", Type: "TEXT"},
+		sqldb.Column{Name: "SALARY", Type: "FLOAT"},
+		sqldb.Column{Name: "HIRED", Type: "DATE"},
+	)
+	rows := []struct {
+		id     int64
+		name   string
+		dept   string
+		salary float64
+		hired  string
+	}{
+		{1, "ann", "eng", 100, "2021-01-15"},
+		{2, "bob", "eng", 80, "2021-06-01"},
+		{3, "cat", "sales", 60, "2022-02-10"},
+		{4, "dan", "sales", 70, "2022-08-20"},
+		{5, "eve", "ops", 90, "2023-03-05"},
+	}
+	for _, r := range rows {
+		emp.MustAppend(sqldb.Int(r.id), sqldb.Str(r.name), sqldb.Str(r.dept),
+			sqldb.Float(r.salary), sqldb.Str(r.hired))
+	}
+	db.AddTable(emp)
+
+	dept := sqldb.NewTable("DEPT",
+		sqldb.Column{Name: "DEPT", Type: "TEXT"},
+		sqldb.Column{Name: "REGION", Type: "TEXT"},
+	)
+	dept.MustAppend(sqldb.Str("eng"), sqldb.Str("west"))
+	dept.MustAppend(sqldb.Str("sales"), sqldb.Str("east"))
+	dept.MustAppend(sqldb.Str("hr"), sqldb.Str("east"))
+	db.AddTable(dept)
+
+	nulls := sqldb.NewTable("NULLTAB",
+		sqldb.Column{Name: "X", Type: "INTEGER"},
+	)
+	nulls.MustAppend(sqldb.Int(1))
+	nulls.MustAppend(sqldb.Null())
+	nulls.MustAppend(sqldb.Int(3))
+	db.AddTable(nulls)
+
+	return db
+}
+
+func mustQuery(t *testing.T, db *sqldb.Database, sql string) *Result {
+	t.Helper()
+	res, err := New(db).Query(sql)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return res
+}
+
+func rowStrings(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+func assertRows(t *testing.T, res *Result, want []string) {
+	t.Helper()
+	got := rowStrings(res)
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows %v, want %d rows %v", len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSelectConstants(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT 1, 'x', NULL, TRUE")
+	assertRows(t, res, []string{"1|x|NULL|TRUE"})
+}
+
+func TestWhereFilter(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT NAME FROM EMP WHERE SALARY > 75 ORDER BY NAME")
+	assertRows(t, res, []string{"ann", "bob", "eve"})
+}
+
+func TestProjectionArithmetic(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT NAME, SALARY * 2 AS double FROM EMP WHERE ID = 1")
+	assertRows(t, res, []string{"ann|200"})
+	if res.Columns[1] != "double" {
+		t.Errorf("column name = %q, want double", res.Columns[1])
+	}
+}
+
+func TestIntegerDivision(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT 7 / 2, 7.0 / 2, 7 % 3, 1 / 0")
+	assertRows(t, res, []string{"3|3.5|1|NULL"})
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT NAME FROM EMP ORDER BY SALARY DESC LIMIT 2 OFFSET 1")
+	assertRows(t, res, []string{"eve", "bob"})
+}
+
+func TestOrderByAliasAndPosition(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT NAME, SALARY AS s FROM EMP ORDER BY s LIMIT 1")
+	assertRows(t, res, []string{"cat|60"})
+	res = mustQuery(t, testDB(), "SELECT NAME, SALARY FROM EMP ORDER BY 2 DESC LIMIT 1")
+	assertRows(t, res, []string{"ann|100"})
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT DEPT, COUNT(*), SUM(SALARY), AVG(SALARY), MIN(SALARY), MAX(SALARY) FROM EMP GROUP BY DEPT ORDER BY DEPT")
+	assertRows(t, res, []string{
+		"eng|2|180|90|80|100",
+		"ops|1|90|90|90|90",
+		"sales|2|130|65|60|70",
+	})
+}
+
+func TestHaving(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT DEPT FROM EMP GROUP BY DEPT HAVING COUNT(*) > 1 ORDER BY DEPT")
+	assertRows(t, res, []string{"eng", "sales"})
+}
+
+func TestWholeTableAggregateOnEmptyInput(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT COUNT(*), SUM(SALARY) FROM EMP WHERE SALARY > 1000")
+	assertRows(t, res, []string{"0|NULL"})
+}
+
+func TestCountDistinct(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT COUNT(DISTINCT DEPT) FROM EMP")
+	assertRows(t, res, []string{"3"})
+}
+
+func TestAggregateSkipsNulls(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT COUNT(X), SUM(X), AVG(X) FROM NULLTAB")
+	assertRows(t, res, []string{"2|4|2"})
+}
+
+func TestConditionalAggregation(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT SUM(CASE WHEN DEPT = 'eng' THEN SALARY ELSE 0 END) AS eng_total FROM EMP")
+	assertRows(t, res, []string{"180"})
+}
+
+func TestJoins(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT e.NAME, d.REGION FROM EMP e JOIN DEPT d ON e.DEPT = d.DEPT WHERE e.ID <= 3 ORDER BY e.ID")
+	assertRows(t, res, []string{"ann|west", "bob|west", "cat|east"})
+}
+
+func TestLeftJoinProducesNulls(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT e.NAME, d.REGION FROM EMP e LEFT JOIN DEPT d ON e.DEPT = d.DEPT WHERE e.DEPT = 'ops'")
+	assertRows(t, res, []string{"eve|NULL"})
+}
+
+func TestRightJoin(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT d.DEPT, e.NAME FROM EMP e RIGHT JOIN DEPT d ON e.DEPT = d.DEPT WHERE e.ID IS NULL")
+	assertRows(t, res, []string{"hr|NULL"})
+}
+
+func TestCrossJoinCount(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT COUNT(*) FROM EMP, DEPT")
+	assertRows(t, res, []string{"15"})
+}
+
+func TestCTE(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		WITH high AS (SELECT NAME, SALARY FROM EMP WHERE SALARY >= 80)
+		SELECT COUNT(*) FROM high`)
+	assertRows(t, res, []string{"3"})
+}
+
+func TestChainedCTEs(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		WITH a AS (SELECT SALARY FROM EMP WHERE DEPT = 'eng'),
+		     b AS (SELECT SUM(SALARY) AS total FROM a)
+		SELECT total FROM b`)
+	assertRows(t, res, []string{"180"})
+}
+
+func TestCTEColumnRename(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		WITH w (who, pay) AS (SELECT NAME, SALARY FROM EMP WHERE ID = 1)
+		SELECT who, pay FROM w`)
+	assertRows(t, res, []string{"ann|100"})
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT s.d, s.n FROM (SELECT DEPT AS d, COUNT(*) AS n FROM EMP GROUP BY DEPT) AS s ORDER BY s.d")
+	assertRows(t, res, []string{"eng|2", "ops|1", "sales|2"})
+}
+
+func TestInList(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT NAME FROM EMP WHERE DEPT IN ('eng', 'ops') ORDER BY NAME")
+	assertRows(t, res, []string{"ann", "bob", "eve"})
+}
+
+func TestInSubquery(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT NAME FROM EMP WHERE DEPT IN (SELECT DEPT FROM DEPT WHERE REGION = 'east') ORDER BY NAME")
+	assertRows(t, res, []string{"cat", "dan"})
+}
+
+func TestNotInWithNullIsUnknown(t *testing.T) {
+	// x NOT IN (set containing NULL) is never true.
+	res := mustQuery(t, testDB(), "SELECT COUNT(*) FROM EMP WHERE ID NOT IN (SELECT X FROM NULLTAB)")
+	assertRows(t, res, []string{"0"})
+}
+
+func TestExistsCorrelated(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		SELECT d.DEPT FROM DEPT d
+		WHERE EXISTS (SELECT 1 FROM EMP e WHERE e.DEPT = d.DEPT)
+		ORDER BY d.DEPT`)
+	assertRows(t, res, []string{"eng", "sales"})
+}
+
+func TestScalarSubqueryCorrelated(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		SELECT NAME, (SELECT REGION FROM DEPT d WHERE d.DEPT = e.DEPT) AS region
+		FROM EMP e WHERE ID = 3`)
+	assertRows(t, res, []string{"cat|east"})
+}
+
+func TestScalarSubqueryEmptyIsNull(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT (SELECT REGION FROM DEPT WHERE DEPT = 'nope')")
+	assertRows(t, res, []string{"NULL"})
+}
+
+func TestCaseSearchedAndOperand(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		SELECT NAME,
+		  CASE WHEN SALARY >= 90 THEN 'high' WHEN SALARY >= 70 THEN 'mid' ELSE 'low' END,
+		  CASE DEPT WHEN 'eng' THEN 'tech' ELSE 'biz' END
+		FROM EMP ORDER BY ID`)
+	assertRows(t, res, []string{
+		"ann|high|tech", "bob|mid|tech", "cat|low|biz", "dan|mid|biz", "eve|high|biz",
+	})
+}
+
+func TestLike(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT NAME FROM EMP WHERE NAME LIKE 'a%' OR NAME LIKE '_ob' ORDER BY NAME")
+	assertRows(t, res, []string{"ann", "bob"})
+}
+
+func TestBetween(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT NAME FROM EMP WHERE SALARY BETWEEN 70 AND 90 ORDER BY NAME")
+	assertRows(t, res, []string{"bob", "dan", "eve"})
+}
+
+func TestDistinct(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT DISTINCT DEPT FROM EMP ORDER BY DEPT")
+	assertRows(t, res, []string{"eng", "ops", "sales"})
+}
+
+func TestUnionAndUnionAll(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT DEPT FROM EMP UNION SELECT DEPT FROM DEPT ORDER BY DEPT")
+	assertRows(t, res, []string{"eng", "hr", "ops", "sales"})
+	res = mustQuery(t, testDB(),
+		"SELECT DEPT FROM DEPT UNION ALL SELECT DEPT FROM DEPT")
+	if len(res.Rows) != 6 {
+		t.Errorf("UNION ALL rows = %d, want 6", len(res.Rows))
+	}
+}
+
+func TestExceptIntersect(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT DEPT FROM DEPT EXCEPT SELECT DEPT FROM EMP")
+	assertRows(t, res, []string{"hr"})
+	res = mustQuery(t, testDB(),
+		"SELECT DEPT FROM DEPT INTERSECT SELECT DEPT FROM EMP ORDER BY DEPT")
+	assertRows(t, res, []string{"eng", "sales"})
+}
+
+func TestWindowRowNumber(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		SELECT NAME, ROW_NUMBER() OVER (PARTITION BY DEPT ORDER BY SALARY DESC) AS rn
+		FROM EMP ORDER BY NAME`)
+	assertRows(t, res, []string{"ann|1", "bob|2", "cat|2", "dan|1", "eve|1"})
+}
+
+func TestWindowRankAndDenseRank(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		SELECT NAME,
+		  RANK() OVER (ORDER BY SALARY DESC) AS r,
+		  DENSE_RANK() OVER (ORDER BY SALARY DESC) AS dr
+		FROM EMP ORDER BY SALARY DESC, NAME`)
+	assertRows(t, res, []string{"ann|1|1", "eve|2|2", "bob|3|3", "dan|4|4", "cat|5|5"})
+}
+
+func TestWindowAggregate(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		SELECT NAME, SUM(SALARY) OVER (PARTITION BY DEPT) AS dept_total
+		FROM EMP ORDER BY NAME`)
+	assertRows(t, res, []string{"ann|180", "bob|180", "cat|130", "dan|130", "eve|90"})
+}
+
+func TestWindowLagLead(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		SELECT NAME, LAG(SALARY) OVER (ORDER BY ID) AS prev,
+		       LEAD(SALARY, 1, -1) OVER (ORDER BY ID) AS next
+		FROM EMP ORDER BY ID`)
+	assertRows(t, res, []string{
+		"ann|NULL|80", "bob|100|60", "cat|80|70", "dan|60|90", "eve|70|-1",
+	})
+}
+
+func TestWindowOverGroupedRows(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		SELECT DEPT, SUM(SALARY) AS total,
+		  ROW_NUMBER() OVER (ORDER BY SUM(SALARY) DESC) AS rnk
+		FROM EMP GROUP BY DEPT ORDER BY rnk`)
+	assertRows(t, res, []string{"eng|180|1", "sales|130|2", "ops|90|3"})
+}
+
+func TestToChar(t *testing.T) {
+	res := mustQuery(t, testDB(), `
+		SELECT NAME, TO_CHAR(HIRED, 'YYYY"Q"Q') FROM EMP ORDER BY ID`)
+	assertRows(t, res, []string{
+		"ann|2021Q1", "bob|2021Q2", "cat|2022Q1", "dan|2022Q3", "eve|2023Q1",
+	})
+}
+
+func TestDateParts(t *testing.T) {
+	res := mustQuery(t, testDB(),
+		"SELECT YEAR(HIRED), MONTH(HIRED), DAY(HIRED), QUARTER(HIRED) FROM EMP WHERE ID = 4")
+	assertRows(t, res, []string{"2022|8|20|3"})
+}
+
+func TestScalarFunctions(t *testing.T) {
+	res := mustQuery(t, testDB(), `SELECT ABS(-3), ROUND(2.567, 2), UPPER('ab'), LOWER('AB'),
+		LENGTH('abc'), SUBSTR('hello', 2, 3), COALESCE(NULL, 5), NULLIF(3, 3), NULLIF(4, 3),
+		TRIM('  x '), REPLACE('aaa', 'a', 'b'), CONCAT('x', 1, 'y')`)
+	assertRows(t, res, []string{"3|2.57|AB|ab|3|ell|5|NULL|4|x|bbb|x1y"})
+}
+
+func TestNullArithmeticPropagates(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT X + 1 FROM NULLTAB ORDER BY X")
+	assertRows(t, res, []string{"NULL", "2", "4"})
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	// NULL OR TRUE = TRUE; NULL AND TRUE = NULL (filtered out).
+	res := mustQuery(t, testDB(), "SELECT COUNT(*) FROM NULLTAB WHERE X > 0 OR 1 = 1")
+	assertRows(t, res, []string{"3"})
+	res = mustQuery(t, testDB(), "SELECT COUNT(*) FROM NULLTAB WHERE X > 0 AND 1 = 1")
+	assertRows(t, res, []string{"2"})
+}
+
+func TestStarExpansion(t *testing.T) {
+	res := mustQuery(t, testDB(), "SELECT * FROM DEPT ORDER BY DEPT LIMIT 1")
+	if len(res.Columns) != 2 || res.Columns[0] != "DEPT" || res.Columns[1] != "REGION" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	res = mustQuery(t, testDB(),
+		"SELECT d.* FROM EMP e JOIN DEPT d ON e.DEPT = d.DEPT WHERE e.ID = 1")
+	assertRows(t, res, []string{"eng|west"})
+}
+
+func TestExecErrors(t *testing.T) {
+	tests := []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT * FROM missing", "unknown table"},
+		{"SELECT nope FROM EMP", "unknown column"},
+		{"SELECT e.SALARY FROM EMP", "unknown column"},
+		{"SELECT UNKNOWN_FUNC(1)", "unknown function"},
+		{"SELECT SUM(SALARY, 2) FROM EMP", "exactly 1 argument"},
+		{"SELECT NAME FROM EMP ORDER BY 9", "out of range"},
+		{"SELECT 1 UNION SELECT 1, 2", "columns"},
+		{"SELECT (SELECT NAME, DEPT FROM EMP)", "one column"},
+		{"SELECT NAME FROM EMP WHERE SALARY > (SELECT SALARY FROM EMP)", "rows"},
+	}
+	db := testDB()
+	for _, tt := range tests {
+		_, err := New(db).Query(tt.sql)
+		if err == nil {
+			t.Errorf("Query(%q): want error containing %q, got nil", tt.sql, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("Query(%q) error = %q, want containing %q", tt.sql, err, tt.want)
+		}
+	}
+}
+
+func TestExecErrorTypeDistinguishedFromSyntax(t *testing.T) {
+	_, err := New(testDB()).Query("SELECT * FROM missing")
+	if _, ok := err.(*ExecError); !ok {
+		t.Errorf("semantic failure should be *ExecError, got %T", err)
+	}
+	_, err = New(testDB()).Query("SELECT FROM")
+	if _, ok := err.(*ExecError); ok {
+		t.Error("syntax failure should not be *ExecError")
+	}
+}

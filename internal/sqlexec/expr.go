@@ -1,0 +1,490 @@
+package sqlexec
+
+import (
+	"strings"
+
+	"genedit/internal/sqldb"
+	"genedit/internal/sqlparse"
+)
+
+// evalExpr evaluates an expression in a row environment, following SQL
+// three-valued logic: comparisons and arithmetic with NULL yield NULL.
+func evalExpr(e sqlparse.Expr, env *rowEnv) (sqldb.Value, error) {
+	switch x := e.(type) {
+	case *sqlparse.NumberLit:
+		return parseNumber(x.Text)
+	case *sqlparse.StringLit:
+		return sqldb.Str(x.Val), nil
+	case *sqlparse.NullLit:
+		return sqldb.Null(), nil
+	case *sqlparse.BoolLit:
+		return sqldb.Bool(x.Val), nil
+	case *sqlparse.ColumnRef:
+		return resolveColumn(x, env)
+	case *sqlparse.Unary:
+		return evalUnary(x, env)
+	case *sqlparse.Binary:
+		return evalBinary(x, env)
+	case *sqlparse.FuncCall:
+		return evalFuncCall(x, env)
+	case *sqlparse.CaseExpr:
+		return evalCase(x, env)
+	case *sqlparse.CastExpr:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		cv, err := sqldb.Cast(v, x.Type)
+		if err != nil {
+			return sqldb.Null(), &ExecError{Msg: err.Error()}
+		}
+		return cv, nil
+	case *sqlparse.InExpr:
+		return evalIn(x, env)
+	case *sqlparse.BetweenExpr:
+		return evalBetween(x, env)
+	case *sqlparse.LikeExpr:
+		return evalLike(x, env)
+	case *sqlparse.IsNullExpr:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		return sqldb.Bool(v.IsNull() != x.Not), nil
+	case *sqlparse.ExistsExpr:
+		res, err := env.exec.evalStmt(x.Select, env.sc, env)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		return sqldb.Bool((len(res.Rows) > 0) != x.Not), nil
+	case *sqlparse.SubqueryExpr:
+		return evalScalarSubquery(x.Select, env)
+	}
+	return sqldb.Null(), execErrf("unsupported expression %T", e)
+}
+
+func parseNumber(text string) (sqldb.Value, error) {
+	if !strings.ContainsAny(text, ".eE") {
+		v := sqldb.Str(text)
+		if i, ok := v.AsInt(); ok {
+			return sqldb.Int(i), nil
+		}
+	}
+	v := sqldb.Str(text)
+	f, ok := v.AsFloat()
+	if !ok {
+		return sqldb.Null(), execErrf("bad numeric literal %q", text)
+	}
+	return sqldb.Float(f), nil
+}
+
+// resolveColumn finds a column binding, searching the current environment
+// then enclosing query environments (correlation).
+func resolveColumn(cr *sqlparse.ColumnRef, env *rowEnv) (sqldb.Value, error) {
+	for cur := env; cur != nil; cur = cur.outer {
+		for i, c := range cur.cols {
+			if cr.Table != "" && !strings.EqualFold(cr.Table, c.qual) {
+				continue
+			}
+			if strings.EqualFold(cr.Name, c.name) {
+				if i < len(cur.row) {
+					return cur.row[i], nil
+				}
+				return sqldb.Null(), nil
+			}
+		}
+	}
+	name := cr.Name
+	if cr.Table != "" {
+		name = cr.Table + "." + name
+	}
+	return sqldb.Null(), execErrf("unknown column %q", name)
+}
+
+func evalUnary(u *sqlparse.Unary, env *rowEnv) (sqldb.Value, error) {
+	v, err := evalExpr(u.X, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	switch u.Op {
+	case "-":
+		if v.IsNull() {
+			return sqldb.Null(), nil
+		}
+		if v.K == sqldb.KindInt {
+			return sqldb.Int(-v.I), nil
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return sqldb.Null(), execErrf("cannot negate %q", v.String())
+		}
+		return sqldb.Float(-f), nil
+	case "+":
+		return v, nil
+	case "NOT":
+		if v.IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Bool(!truthy(v)), nil
+	}
+	return sqldb.Null(), execErrf("unsupported unary operator %q", u.Op)
+}
+
+func evalBinary(b *sqlparse.Binary, env *rowEnv) (sqldb.Value, error) {
+	// AND/OR use three-valued logic with short-circuiting.
+	switch b.Op {
+	case "AND":
+		l, err := evalExpr(b.L, env)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if !l.IsNull() && !truthy(l) {
+			return sqldb.Bool(false), nil
+		}
+		r, err := evalExpr(b.R, env)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if !r.IsNull() && !truthy(r) {
+			return sqldb.Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Bool(true), nil
+	case "OR":
+		l, err := evalExpr(b.L, env)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if !l.IsNull() && truthy(l) {
+			return sqldb.Bool(true), nil
+		}
+		r, err := evalExpr(b.R, env)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if !r.IsNull() && truthy(r) {
+			return sqldb.Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Bool(false), nil
+	}
+
+	l, err := evalExpr(b.L, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	r, err := evalExpr(b.R, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+
+	switch b.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Null(), nil
+		}
+		c, ok := sqldb.Compare(l, r)
+		if !ok {
+			return sqldb.Null(), nil
+		}
+		switch b.Op {
+		case "=":
+			return sqldb.Bool(c == 0), nil
+		case "<>":
+			return sqldb.Bool(c != 0), nil
+		case "<":
+			return sqldb.Bool(c < 0), nil
+		case "<=":
+			return sqldb.Bool(c <= 0), nil
+		case ">":
+			return sqldb.Bool(c > 0), nil
+		case ">=":
+			return sqldb.Bool(c >= 0), nil
+		}
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Str(l.String() + r.String()), nil
+	case "+", "-", "*", "/", "%":
+		return evalArith(b.Op, l, r)
+	}
+	return sqldb.Null(), execErrf("unsupported operator %q", b.Op)
+}
+
+func evalArith(op string, l, r sqldb.Value) (sqldb.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return sqldb.Null(), nil
+	}
+	bothInt := l.K == sqldb.KindInt && r.K == sqldb.KindInt
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return sqldb.Null(), execErrf("non-numeric operand for %q: %q, %q", op, l.String(), r.String())
+	}
+	if bothInt {
+		switch op {
+		case "+":
+			return sqldb.Int(l.I + r.I), nil
+		case "-":
+			return sqldb.Int(l.I - r.I), nil
+		case "*":
+			return sqldb.Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return sqldb.Null(), nil
+			}
+			return sqldb.Int(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return sqldb.Null(), nil
+			}
+			return sqldb.Int(l.I % r.I), nil
+		}
+	}
+	switch op {
+	case "+":
+		return sqldb.Float(lf + rf), nil
+	case "-":
+		return sqldb.Float(lf - rf), nil
+	case "*":
+		return sqldb.Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Float(lf / rf), nil
+	case "%":
+		if rf == 0 {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Float(float64(int64(lf) % int64(rf))), nil
+	}
+	return sqldb.Null(), execErrf("unsupported arithmetic operator %q", op)
+}
+
+func evalCase(ce *sqlparse.CaseExpr, env *rowEnv) (sqldb.Value, error) {
+	if ce.Operand != nil {
+		op, err := evalExpr(ce.Operand, env)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		for _, w := range ce.Whens {
+			cv, err := evalExpr(w.Cond, env)
+			if err != nil {
+				return sqldb.Null(), err
+			}
+			if !op.IsNull() && !cv.IsNull() && op.Equal(cv) {
+				return evalExpr(w.Then, env)
+			}
+		}
+	} else {
+		for _, w := range ce.Whens {
+			cv, err := evalExpr(w.Cond, env)
+			if err != nil {
+				return sqldb.Null(), err
+			}
+			if truthy(cv) {
+				return evalExpr(w.Then, env)
+			}
+		}
+	}
+	if ce.Else != nil {
+		return evalExpr(ce.Else, env)
+	}
+	return sqldb.Null(), nil
+}
+
+func evalIn(in *sqlparse.InExpr, env *rowEnv) (sqldb.Value, error) {
+	x, err := evalExpr(in.X, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	if x.IsNull() {
+		return sqldb.Null(), nil
+	}
+	var candidates []sqldb.Value
+	if in.Select != nil {
+		res, err := env.exec.evalStmt(in.Select, env.sc, env)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if len(res.Columns) != 1 {
+			return sqldb.Null(), execErrf("IN subquery must return one column, got %d", len(res.Columns))
+		}
+		for _, r := range res.Rows {
+			candidates = append(candidates, r[0])
+		}
+	} else {
+		for _, item := range in.List {
+			v, err := evalExpr(item, env)
+			if err != nil {
+				return sqldb.Null(), err
+			}
+			candidates = append(candidates, v)
+		}
+	}
+	sawNull := false
+	for _, c := range candidates {
+		if c.IsNull() {
+			sawNull = true
+			continue
+		}
+		if x.Equal(c) {
+			return sqldb.Bool(!in.Not), nil
+		}
+	}
+	if sawNull {
+		return sqldb.Null(), nil
+	}
+	return sqldb.Bool(in.Not), nil
+}
+
+func evalBetween(b *sqlparse.BetweenExpr, env *rowEnv) (sqldb.Value, error) {
+	x, err := evalExpr(b.X, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	lo, err := evalExpr(b.Lo, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	hi, err := evalExpr(b.Hi, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	if x.IsNull() || lo.IsNull() || hi.IsNull() {
+		return sqldb.Null(), nil
+	}
+	c1, ok1 := sqldb.Compare(x, lo)
+	c2, ok2 := sqldb.Compare(x, hi)
+	if !ok1 || !ok2 {
+		return sqldb.Null(), nil
+	}
+	in := c1 >= 0 && c2 <= 0
+	return sqldb.Bool(in != b.Not), nil
+}
+
+func evalLike(l *sqlparse.LikeExpr, env *rowEnv) (sqldb.Value, error) {
+	x, err := evalExpr(l.X, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	p, err := evalExpr(l.Pattern, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	if x.IsNull() || p.IsNull() {
+		return sqldb.Null(), nil
+	}
+	matched := likeMatch(strings.ToLower(x.String()), strings.ToLower(p.String()))
+	return sqldb.Bool(matched != l.Not), nil
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (single char)
+// wildcards, case-folded by the caller.
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over pattern/string positions.
+	m, n := len(pattern), len(s)
+	prev := make([]bool, n+1)
+	curr := make([]bool, n+1)
+	prev[0] = true
+	for i := 1; i <= m; i++ {
+		pc := pattern[i-1]
+		if pc == '%' {
+			curr[0] = prev[0]
+		} else {
+			curr[0] = false
+		}
+		for j := 1; j <= n; j++ {
+			switch pc {
+			case '%':
+				curr[j] = curr[j-1] || prev[j]
+			case '_':
+				curr[j] = prev[j-1]
+			default:
+				curr[j] = prev[j-1] && s[j-1] == pc
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[n]
+}
+
+func evalScalarSubquery(sel *sqlparse.SelectStmt, env *rowEnv) (sqldb.Value, error) {
+	res, err := env.exec.evalStmt(sel, env.sc, env)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	if len(res.Columns) != 1 {
+		return sqldb.Null(), execErrf("scalar subquery must return one column, got %d", len(res.Columns))
+	}
+	if len(res.Rows) == 0 {
+		return sqldb.Null(), nil
+	}
+	if len(res.Rows) > 1 {
+		return sqldb.Null(), execErrf("scalar subquery returned %d rows", len(res.Rows))
+	}
+	return res.Rows[0][0], nil
+}
+
+// truthy maps a value to filter acceptance: NULL and FALSE reject.
+func truthy(v sqldb.Value) bool {
+	switch v.K {
+	case sqldb.KindNull:
+		return false
+	case sqldb.KindBool:
+		return v.B
+	case sqldb.KindInt:
+		return v.I != 0
+	case sqldb.KindFloat:
+		return v.F != 0
+	case sqldb.KindString:
+		return v.S != ""
+	}
+	return false
+}
+
+// containsAggregate reports whether the expression contains a non-windowed
+// aggregate call.
+func containsAggregate(e sqlparse.Expr) bool {
+	found := false
+	sqlparse.WalkExprs(e, func(x sqlparse.Expr) {
+		if fc, ok := x.(*sqlparse.FuncCall); ok && fc.Over == nil && isAggregateName(fc.Name) {
+			found = true
+		}
+	})
+	return found
+}
+
+func isAggregateName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "TOTAL":
+		return true
+	}
+	return false
+}
+
+// collectWindowCalls gathers distinct windowed function calls from the
+// projection and ORDER BY expressions.
+func collectWindowCalls(items []sqlparse.SelectItem, orderBy []sqlparse.OrderItem) []*sqlparse.FuncCall {
+	var calls []*sqlparse.FuncCall
+	add := func(e sqlparse.Expr) {
+		sqlparse.WalkExprs(e, func(x sqlparse.Expr) {
+			if fc, ok := x.(*sqlparse.FuncCall); ok && fc.Over != nil {
+				calls = append(calls, fc)
+			}
+		})
+	}
+	for _, item := range items {
+		add(item.Expr)
+	}
+	for _, o := range orderBy {
+		add(o.Expr)
+	}
+	return calls
+}

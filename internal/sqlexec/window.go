@@ -1,0 +1,225 @@
+package sqlexec
+
+import (
+	"sort"
+
+	"genedit/internal/sqldb"
+	"genedit/internal/sqlparse"
+)
+
+// evalWindow computes the per-row values of one windowed function call over
+// the ordered list of output environments. Supported functions: ROW_NUMBER,
+// RANK, DENSE_RANK, NTILE-free aggregates (SUM/COUNT/AVG/MIN/MAX over the
+// whole partition), and LAG/LEAD with optional offset and default.
+func (e *Executor) evalWindow(fc *sqlparse.FuncCall, envs []*rowEnv) ([]sqldb.Value, error) {
+	n := len(envs)
+	out := make([]sqldb.Value, n)
+
+	// Partition.
+	partKeys := make([]string, n)
+	for i, env := range envs {
+		key := ""
+		for _, pe := range fc.Over.PartitionBy {
+			v, err := evalExpr(pe, env)
+			if err != nil {
+				return nil, err
+			}
+			key += v.Key() + "\x1f"
+		}
+		partKeys[i] = key
+	}
+	partitions := make(map[string][]int)
+	var order []string
+	for i, key := range partKeys {
+		if _, ok := partitions[key]; !ok {
+			order = append(order, key)
+		}
+		partitions[key] = append(partitions[key], i)
+	}
+
+	for _, key := range order {
+		idxs := partitions[key]
+
+		// Order within the partition.
+		var sortKeys [][]sqldb.Value
+		if len(fc.Over.OrderBy) > 0 {
+			sortKeys = make([][]sqldb.Value, len(idxs))
+			for pi, ri := range idxs {
+				keys := make([]sqldb.Value, len(fc.Over.OrderBy))
+				for ki, item := range fc.Over.OrderBy {
+					v, err := evalExpr(item.Expr, envs[ri])
+					if err != nil {
+						return nil, err
+					}
+					keys[ki] = v
+				}
+				sortKeys[pi] = keys
+			}
+			perm := make([]int, len(idxs))
+			for i := range perm {
+				perm[i] = i
+			}
+			sort.SliceStable(perm, func(a, b int) bool {
+				for ki, item := range fc.Over.OrderBy {
+					c := sqldb.CompareForSort(sortKeys[perm[a]][ki], sortKeys[perm[b]][ki])
+					if c == 0 {
+						continue
+					}
+					if item.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+				return false
+			})
+			reordered := make([]int, len(idxs))
+			reorderedKeys := make([][]sqldb.Value, len(idxs))
+			for i, p := range perm {
+				reordered[i] = idxs[p]
+				reorderedKeys[i] = sortKeys[p]
+			}
+			idxs = reordered
+			sortKeys = reorderedKeys
+		}
+
+		if err := e.applyWindowFunc(fc, envs, idxs, sortKeys, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) applyWindowFunc(fc *sqlparse.FuncCall, envs []*rowEnv,
+	idxs []int, sortKeys [][]sqldb.Value, out []sqldb.Value) error {
+
+	sameKeys := func(a, b []sqldb.Value) bool {
+		for i := range a {
+			if sqldb.CompareForSort(a[i], b[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	switch fc.Name {
+	case "ROW_NUMBER":
+		for pos, ri := range idxs {
+			out[ri] = sqldb.Int(int64(pos + 1))
+		}
+	case "RANK":
+		rank := 1
+		for pos, ri := range idxs {
+			if pos > 0 && sortKeys != nil && !sameKeys(sortKeys[pos-1], sortKeys[pos]) {
+				rank = pos + 1
+			}
+			out[ri] = sqldb.Int(int64(rank))
+		}
+	case "DENSE_RANK":
+		rank := 1
+		for pos, ri := range idxs {
+			if pos > 0 && sortKeys != nil && !sameKeys(sortKeys[pos-1], sortKeys[pos]) {
+				rank++
+			}
+			out[ri] = sqldb.Int(int64(rank))
+		}
+	case "LAG", "LEAD":
+		if len(fc.Args) < 1 || len(fc.Args) > 3 {
+			return execErrf("%s expects 1 to 3 arguments", fc.Name)
+		}
+		offset := int64(1)
+		if len(fc.Args) >= 2 {
+			v, err := evalExpr(fc.Args[1], envs[idxs[0]])
+			if err != nil {
+				return err
+			}
+			if o, ok := v.AsInt(); ok {
+				offset = o
+			}
+		}
+		for pos, ri := range idxs {
+			var src int
+			if fc.Name == "LAG" {
+				src = pos - int(offset)
+			} else {
+				src = pos + int(offset)
+			}
+			if src < 0 || src >= len(idxs) {
+				if len(fc.Args) == 3 {
+					v, err := evalExpr(fc.Args[2], envs[ri])
+					if err != nil {
+						return err
+					}
+					out[ri] = v
+				} else {
+					out[ri] = sqldb.Null()
+				}
+				continue
+			}
+			v, err := evalExpr(fc.Args[0], envs[idxs[src]])
+			if err != nil {
+				return err
+			}
+			out[ri] = v
+		}
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		// Aggregate over the whole partition (no frame support).
+		var vals []sqldb.Value
+		if fc.Star {
+			if fc.Name != "COUNT" {
+				return execErrf("%s(*) is not a valid window aggregate", fc.Name)
+			}
+			for _, ri := range idxs {
+				out[ri] = sqldb.Int(int64(len(idxs)))
+			}
+			return nil
+		}
+		if len(fc.Args) != 1 {
+			return execErrf("window aggregate %s expects 1 argument", fc.Name)
+		}
+		for _, ri := range idxs {
+			v, err := evalExpr(fc.Args[0], envs[ri])
+			if err != nil {
+				return err
+			}
+			if !v.IsNull() {
+				vals = append(vals, v)
+			}
+		}
+		var agg sqldb.Value
+		switch fc.Name {
+		case "COUNT":
+			agg = sqldb.Int(int64(len(vals)))
+		case "SUM":
+			if len(vals) == 0 {
+				agg = sqldb.Null()
+			} else {
+				s, err := sumValues(vals)
+				if err != nil {
+					return err
+				}
+				agg = s
+			}
+		case "AVG":
+			if len(vals) == 0 {
+				agg = sqldb.Null()
+			} else {
+				s, err := sumValues(vals)
+				if err != nil {
+					return err
+				}
+				f, _ := s.AsFloat()
+				agg = sqldb.Float(f / float64(len(vals)))
+			}
+		case "MIN":
+			agg = extremum(vals, -1)
+		case "MAX":
+			agg = extremum(vals, 1)
+		}
+		for _, ri := range idxs {
+			out[ri] = agg
+		}
+	default:
+		return execErrf("unsupported window function %s", fc.Name)
+	}
+	return nil
+}

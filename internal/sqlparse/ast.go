@@ -1,0 +1,305 @@
+package sqlparse
+
+// SelectStmt is a full SELECT statement: optional WITH clause, a first
+// select core, optional compound (UNION/EXCEPT/INTERSECT) tails, and
+// statement-level ORDER BY / LIMIT / OFFSET.
+type SelectStmt struct {
+	With     []CTE
+	Core     *SelectCore
+	Compound []CompoundPart
+	OrderBy  []OrderItem
+	Limit    Expr // nil when absent
+	Offset   Expr // nil when absent
+}
+
+// CTE is a single WITH-clause entry: name AS (select).
+type CTE struct {
+	Name    string
+	Columns []string // optional explicit column list
+	Select  *SelectStmt
+}
+
+// CompoundOp is a set operation joining select cores.
+type CompoundOp int
+
+// Compound operators.
+const (
+	UnionOp CompoundOp = iota
+	UnionAllOp
+	ExceptOp
+	IntersectOp
+)
+
+func (op CompoundOp) String() string {
+	switch op {
+	case UnionOp:
+		return "UNION"
+	case UnionAllOp:
+		return "UNION ALL"
+	case ExceptOp:
+		return "EXCEPT"
+	case IntersectOp:
+		return "INTERSECT"
+	}
+	return "?"
+}
+
+// CompoundPart is one set-operation tail: op followed by a select core.
+type CompoundPart struct {
+	Op   CompoundOp
+	Core *SelectCore
+}
+
+// SelectCore is one SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ...
+// block without statement-level clauses.
+type SelectCore struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableExpr // nil when the statement has no FROM clause
+	Where    Expr      // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+}
+
+// SelectItem is a single projection: an expression with an optional alias,
+// or a star (optionally table-qualified).
+type SelectItem struct {
+	Expr  Expr   // nil when Star
+	Alias string // optional
+	Star  bool
+	Table string // qualifier for table.* form
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableExpr is anything that can appear in a FROM clause.
+type TableExpr interface{ tableNode() }
+
+// TableName references a base table or CTE, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryTable is a parenthesized SELECT used as a table, with an alias.
+type SubqueryTable struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// JoinKind distinguishes join flavours.
+type JoinKind int
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+	RightJoin
+	FullJoin
+	CrossJoin
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case InnerJoin:
+		return "JOIN"
+	case LeftJoin:
+		return "LEFT JOIN"
+	case RightJoin:
+		return "RIGHT JOIN"
+	case FullJoin:
+		return "FULL JOIN"
+	case CrossJoin:
+		return "CROSS JOIN"
+	}
+	return "?"
+}
+
+// JoinExpr combines two table expressions.
+type JoinExpr struct {
+	Kind  JoinKind
+	Left  TableExpr
+	Right TableExpr
+	On    Expr // nil for CROSS JOIN
+}
+
+func (*TableName) tableNode()     {}
+func (*SubqueryTable) tableNode() {}
+func (*JoinExpr) tableNode()      {}
+
+// Expr is any scalar expression node.
+type Expr interface{ exprNode() }
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // empty when unqualified
+	Name  string
+}
+
+// NumberLit is a numeric literal; Text preserves the source spelling.
+type NumberLit struct{ Text string }
+
+// StringLit is a single-quoted string literal (unescaped).
+type StringLit struct{ Val string }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Val bool }
+
+// Unary applies a prefix operator: "-", "+" or "NOT".
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary applies an infix operator: arithmetic, comparison, AND/OR or "||".
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// FuncCall is a function invocation, possibly an aggregate (with DISTINCT or
+// *) and possibly windowed with OVER.
+type FuncCall struct {
+	Name     string
+	Distinct bool
+	Star     bool // COUNT(*)
+	Args     []Expr
+	Over     *WindowDef // nil for non-window calls
+}
+
+// WindowDef is the OVER (...) specification.
+type WindowDef struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+}
+
+// When is one WHEN ... THEN ... arm of a CASE expression.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr // nil when absent
+}
+
+// CastExpr is CAST(x AS type).
+type CastExpr struct {
+	X    Expr
+	Type string
+}
+
+// InExpr is x [NOT] IN (list) or x [NOT] IN (select).
+type InExpr struct {
+	X      Expr
+	Not    bool
+	List   []Expr
+	Select *SelectStmt // nil unless subquery form
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X      Expr
+	Not    bool
+	Lo, Hi Expr
+}
+
+// LikeExpr is x [NOT] LIKE pattern.
+type LikeExpr struct {
+	X       Expr
+	Not     bool
+	Pattern Expr
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// ExistsExpr is [NOT] EXISTS (select).
+type ExistsExpr struct {
+	Not    bool
+	Select *SelectStmt
+}
+
+// SubqueryExpr is a scalar subquery.
+type SubqueryExpr struct{ Select *SelectStmt }
+
+func (*ColumnRef) exprNode()    {}
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*NullLit) exprNode()      {}
+func (*BoolLit) exprNode()      {}
+func (*Unary) exprNode()        {}
+func (*Binary) exprNode()       {}
+func (*FuncCall) exprNode()     {}
+func (*CaseExpr) exprNode()     {}
+func (*CastExpr) exprNode()     {}
+func (*InExpr) exprNode()       {}
+func (*BetweenExpr) exprNode()  {}
+func (*LikeExpr) exprNode()     {}
+func (*IsNullExpr) exprNode()   {}
+func (*ExistsExpr) exprNode()   {}
+func (*SubqueryExpr) exprNode() {}
+
+// WalkExprs calls fn for every expression node reachable from e, including e
+// itself. It does not descend into subquery statements.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Unary:
+		WalkExprs(x.X, fn)
+	case *Binary:
+		WalkExprs(x.L, fn)
+		WalkExprs(x.R, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExprs(a, fn)
+		}
+		if x.Over != nil {
+			for _, p := range x.Over.PartitionBy {
+				WalkExprs(p, fn)
+			}
+			for _, o := range x.Over.OrderBy {
+				WalkExprs(o.Expr, fn)
+			}
+		}
+	case *CaseExpr:
+		WalkExprs(x.Operand, fn)
+		for _, w := range x.Whens {
+			WalkExprs(w.Cond, fn)
+			WalkExprs(w.Then, fn)
+		}
+		WalkExprs(x.Else, fn)
+	case *CastExpr:
+		WalkExprs(x.X, fn)
+	case *InExpr:
+		WalkExprs(x.X, fn)
+		for _, it := range x.List {
+			WalkExprs(it, fn)
+		}
+	case *BetweenExpr:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Lo, fn)
+		WalkExprs(x.Hi, fn)
+	case *LikeExpr:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Pattern, fn)
+	case *IsNullExpr:
+		WalkExprs(x.X, fn)
+	}
+}

@@ -1,0 +1,145 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	tests := []struct {
+		name  string
+		src   string
+		want  []string
+		kinds []TokenKind
+	}{
+		{
+			name:  "keywords and idents",
+			src:   "SELECT name FROM users",
+			want:  []string{"SELECT", "name", "FROM", "users", ""},
+			kinds: []TokenKind{KEYWORD, IDENT, KEYWORD, IDENT, EOF},
+		},
+		{
+			name:  "case insensitive keywords",
+			src:   "select Name frOm T",
+			want:  []string{"SELECT", "Name", "FROM", "T", ""},
+			kinds: []TokenKind{KEYWORD, IDENT, KEYWORD, IDENT, EOF},
+		},
+		{
+			name:  "numbers",
+			src:   "1 2.5 .5 1e3 1.5E-2",
+			want:  []string{"1", "2.5", ".5", "1e3", "1.5E-2", ""},
+			kinds: []TokenKind{NUMBER, NUMBER, NUMBER, NUMBER, NUMBER, EOF},
+		},
+		{
+			name:  "string with embedded double quotes",
+			src:   `'YYYY"Q"Q'`,
+			want:  []string{`YYYY"Q"Q`, ""},
+			kinds: []TokenKind{STRING, EOF},
+		},
+		{
+			name:  "string with escaped quote",
+			src:   "'it''s'",
+			want:  []string{"it's", ""},
+			kinds: []TokenKind{STRING, EOF},
+		},
+		{
+			name:  "quoted identifier",
+			src:   `"Order Total"`,
+			want:  []string{"Order Total", ""},
+			kinds: []TokenKind{QUOTED_IDENT, EOF},
+		},
+		{
+			name:  "two char symbols",
+			src:   "a <= b <> c != d || e >= f",
+			want:  []string{"a", "<=", "b", "<>", "c", "!=", "d", "||", "e", ">=", "f", ""},
+			kinds: []TokenKind{IDENT, SYMBOL, IDENT, SYMBOL, IDENT, SYMBOL, IDENT, SYMBOL, IDENT, SYMBOL, IDENT, EOF},
+		},
+		{
+			name:  "line comment",
+			src:   "SELECT 1 -- trailing\n, 2",
+			want:  []string{"SELECT", "1", ",", "2", ""},
+			kinds: []TokenKind{KEYWORD, NUMBER, SYMBOL, NUMBER, EOF},
+		},
+		{
+			name:  "block comment",
+			src:   "SELECT /* inline */ 1",
+			want:  []string{"SELECT", "1", ""},
+			kinds: []TokenKind{KEYWORD, NUMBER, EOF},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			toks, err := Lex(tt.src)
+			if err != nil {
+				t.Fatalf("Lex(%q): %v", tt.src, err)
+			}
+			if len(toks) != len(tt.want) {
+				t.Fatalf("got %d tokens, want %d: %v", len(toks), len(tt.want), toks)
+			}
+			for i := range toks {
+				if toks[i].Text != tt.want[i] || toks[i].Kind != tt.kinds[i] {
+					t.Errorf("token %d = (%v, %q), want (%v, %q)",
+						i, toks[i].Kind, toks[i].Text, tt.kinds[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"'unterminated", "unterminated string"},
+		{`"unterminated`, "unterminated quoted identifier"},
+		{"/* open", "unterminated block comment"},
+		{"SELECT @x", "unexpected character"},
+		{"12abc", "malformed number"},
+	}
+	for _, tt := range tests {
+		_, err := Lex(tt.src)
+		if err == nil {
+			t.Errorf("Lex(%q): want error containing %q, got nil", tt.src, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("Lex(%q) error = %q, want containing %q", tt.src, err, tt.want)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("SELECT\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("SELECT pos = %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x pos = %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexKindsOnAppendixQuery(t *testing.T) {
+	toks, err := Lex(appendixQuery)
+	if err != nil {
+		t.Fatalf("lexing appendix query: %v", err)
+	}
+	ks := kinds(toks)
+	if ks[len(ks)-1] != EOF {
+		t.Error("token stream not EOF-terminated")
+	}
+	if len(toks) < 100 {
+		t.Errorf("appendix query produced only %d tokens; expected a long stream", len(toks))
+	}
+}

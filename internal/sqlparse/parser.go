@@ -1,0 +1,904 @@
+package sqlparse
+
+import (
+	"strings"
+)
+
+// Parser turns a token stream into an AST.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single SELECT statement (optionally terminated by a
+// semicolon) from src.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	stmt, err := p.parseSelectStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(SYMBOL, ";")
+	if !p.at(EOF, "") {
+		return nil, errf(p.cur().Pos, "unexpected %s %q after statement", p.cur().Kind, p.cur().Text)
+	}
+	return stmt, nil
+}
+
+// ParseExpr parses a standalone scalar expression from src.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(EOF, "") {
+		return nil, errf(p.cur().Pos, "unexpected %q after expression", p.cur().Text)
+	}
+	return e, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) atKeyword(words ...string) bool {
+	t := p.cur()
+	if t.Kind != KEYWORD {
+		return false
+	}
+	for _, w := range words {
+		if t.Text == w {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokenKind, text string) (Token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = kind.String()
+		}
+		return Token{}, errf(t.Pos, "expected %q, found %q", want, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) expectKeyword(word string) error {
+	_, err := p.expect(KEYWORD, word)
+	return err
+}
+
+// parseIdent accepts a plain or quoted identifier.
+func (p *Parser) parseIdent() (string, error) {
+	t := p.cur()
+	if t.Kind == IDENT || t.Kind == QUOTED_IDENT {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", errf(t.Pos, "expected identifier, found %q", t.Text)
+}
+
+func (p *Parser) parseSelectStmt() (*SelectStmt, error) {
+	stmt := &SelectStmt{}
+	if p.accept(KEYWORD, "WITH") {
+		for {
+			cte, err := p.parseCTE()
+			if err != nil {
+				return nil, err
+			}
+			stmt.With = append(stmt.With, cte)
+			if !p.accept(SYMBOL, ",") {
+				break
+			}
+		}
+	}
+	core, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Core = core
+	for p.atKeyword("UNION", "EXCEPT", "INTERSECT") {
+		var op CompoundOp
+		switch p.cur().Text {
+		case "UNION":
+			p.pos++
+			if p.accept(KEYWORD, "ALL") {
+				op = UnionAllOp
+			} else {
+				op = UnionOp
+			}
+		case "EXCEPT":
+			p.pos++
+			op = ExceptOp
+		case "INTERSECT":
+			p.pos++
+			op = IntersectOp
+		}
+		c, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Compound = append(stmt.Compound, CompoundPart{Op: op, Core: c})
+	}
+	if p.accept(KEYWORD, "ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseOrderItems()
+		if err != nil {
+			return nil, err
+		}
+		stmt.OrderBy = items
+	}
+	if p.accept(KEYWORD, "LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = e
+	}
+	if p.accept(KEYWORD, "OFFSET") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Offset = e
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseCTE() (CTE, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return CTE{}, err
+	}
+	cte := CTE{Name: name}
+	if p.accept(SYMBOL, "(") {
+		for {
+			col, err := p.parseIdent()
+			if err != nil {
+				return CTE{}, err
+			}
+			cte.Columns = append(cte.Columns, col)
+			if !p.accept(SYMBOL, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(SYMBOL, ")"); err != nil {
+			return CTE{}, err
+		}
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return CTE{}, err
+	}
+	if _, err := p.expect(SYMBOL, "("); err != nil {
+		return CTE{}, err
+	}
+	sel, err := p.parseSelectStmt()
+	if err != nil {
+		return CTE{}, err
+	}
+	if _, err := p.expect(SYMBOL, ")"); err != nil {
+		return CTE{}, err
+	}
+	cte.Select = sel
+	return cte, nil
+}
+
+func (p *Parser) parseSelectCore() (*SelectCore, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	core := &SelectCore{}
+	core.Distinct = p.accept(KEYWORD, "DISTINCT")
+	p.accept(KEYWORD, "ALL")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		core.Items = append(core.Items, item)
+		if !p.accept(SYMBOL, ",") {
+			break
+		}
+	}
+	if p.accept(KEYWORD, "FROM") {
+		from, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		core.From = from
+	}
+	if p.accept(KEYWORD, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		core.Where = e
+	}
+	if p.accept(KEYWORD, "GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			core.GroupBy = append(core.GroupBy, e)
+			if !p.accept(SYMBOL, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(KEYWORD, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		core.Having = e
+	}
+	return core, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(SYMBOL, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// table.* form: IDENT "." "*"
+	if p.cur().Kind == IDENT || p.cur().Kind == QUOTED_IDENT {
+		if p.pos+2 < len(p.toks) &&
+			p.toks[p.pos+1].Kind == SYMBOL && p.toks[p.pos+1].Text == "." &&
+			p.toks[p.pos+2].Kind == SYMBOL && p.toks[p.pos+2].Text == "*" {
+			table := p.cur().Text
+			p.pos += 3
+			return SelectItem{Star: true, Table: table}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(KEYWORD, "AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.cur().Kind == IDENT || p.cur().Kind == QUOTED_IDENT {
+		item.Alias = p.cur().Text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *Parser) parseOrderItems() ([]OrderItem, error) {
+	var items []OrderItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := OrderItem{Expr: e}
+		if p.accept(KEYWORD, "DESC") {
+			item.Desc = true
+		} else {
+			p.accept(KEYWORD, "ASC")
+		}
+		// Accept and ignore NULLS FIRST / NULLS LAST (engine uses a fixed rule).
+		if p.accept(KEYWORD, "NULLS") {
+			if !p.accept(KEYWORD, "FIRST") && !p.accept(KEYWORD, "LAST") {
+				return nil, errf(p.cur().Pos, "expected FIRST or LAST after NULLS")
+			}
+		}
+		items = append(items, item)
+		if !p.accept(SYMBOL, ",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+// parseTableExpr parses a FROM clause content: comma-joined factors and
+// explicit JOIN chains. Comma joins are normalized to CROSS JOIN nodes.
+func (p *Parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseJoinChain()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(SYMBOL, ",") {
+		right, err := p.parseJoinChain()
+		if err != nil {
+			return nil, err
+		}
+		left = &JoinExpr{Kind: CrossJoin, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseJoinChain() (TableExpr, error) {
+	left, err := p.parseTableFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kind, ok := p.acceptJoinKeyword()
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseTableFactor()
+		if err != nil {
+			return nil, err
+		}
+		join := &JoinExpr{Kind: kind, Left: left, Right: right}
+		if kind != CrossJoin {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			join.On = on
+		}
+		left = join
+	}
+}
+
+func (p *Parser) acceptJoinKeyword() (JoinKind, bool) {
+	switch {
+	case p.accept(KEYWORD, "JOIN"):
+		return InnerJoin, true
+	case p.accept(KEYWORD, "INNER"):
+		p.accept(KEYWORD, "JOIN")
+		return InnerJoin, true
+	case p.accept(KEYWORD, "LEFT"):
+		p.accept(KEYWORD, "OUTER")
+		p.accept(KEYWORD, "JOIN")
+		return LeftJoin, true
+	case p.accept(KEYWORD, "RIGHT"):
+		p.accept(KEYWORD, "OUTER")
+		p.accept(KEYWORD, "JOIN")
+		return RightJoin, true
+	case p.accept(KEYWORD, "FULL"):
+		p.accept(KEYWORD, "OUTER")
+		p.accept(KEYWORD, "JOIN")
+		return FullJoin, true
+	case p.accept(KEYWORD, "CROSS"):
+		p.accept(KEYWORD, "JOIN")
+		return CrossJoin, true
+	}
+	return 0, false
+}
+
+func (p *Parser) parseTableFactor() (TableExpr, error) {
+	if p.accept(SYMBOL, "(") {
+		sel, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SYMBOL, ")"); err != nil {
+			return nil, err
+		}
+		sub := &SubqueryTable{Select: sel}
+		p.accept(KEYWORD, "AS")
+		if p.cur().Kind == IDENT || p.cur().Kind == QUOTED_IDENT {
+			sub.Alias = p.cur().Text
+			p.pos++
+		}
+		return sub, nil
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	tn := &TableName{Name: name}
+	if p.accept(KEYWORD, "AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		tn.Alias = alias
+	} else if p.cur().Kind == IDENT || p.cur().Kind == QUOTED_IDENT {
+		tn.Alias = p.cur().Text
+		p.pos++
+	}
+	return tn, nil
+}
+
+// Expression parsing: precedence climbing.
+//
+//	OR
+//	AND
+//	NOT (prefix)
+//	comparison / IS / IN / LIKE / BETWEEN
+//	additive (+ - ||)
+//	multiplicative (* / %)
+//	unary (- +)
+//	primary
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(KEYWORD, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(KEYWORD, "AND") {
+		// Do not consume the AND of "BETWEEN x AND y" — parseComparison
+		// handles BETWEEN fully, so any AND seen here is a logical AND.
+		p.pos++
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.at(KEYWORD, "NOT") && !p.atNotExists() {
+		p.pos++
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) atNotExists() bool {
+	return p.at(KEYWORD, "NOT") && p.pos+1 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == KEYWORD && p.toks[p.pos+1].Text == "EXISTS"
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(SYMBOL, "=") || p.at(SYMBOL, "<>") || p.at(SYMBOL, "!=") ||
+			p.at(SYMBOL, "<") || p.at(SYMBOL, "<=") || p.at(SYMBOL, ">") || p.at(SYMBOL, ">="):
+			op := p.cur().Text
+			if op == "!=" {
+				op = "<>"
+			}
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: op, L: left, R: right}
+		case p.at(KEYWORD, "IS"):
+			p.pos++
+			not := p.accept(KEYWORD, "NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{X: left, Not: not}
+		case p.at(KEYWORD, "IN"):
+			p.pos++
+			in, err := p.parseInTail(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = in
+		case p.at(KEYWORD, "LIKE"):
+			p.pos++
+			pat, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &LikeExpr{X: left, Pattern: pat}
+		case p.at(KEYWORD, "BETWEEN"):
+			p.pos++
+			b, err := p.parseBetweenTail(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = b
+		case p.at(KEYWORD, "NOT"):
+			// x NOT IN / NOT LIKE / NOT BETWEEN
+			next := p.toks[p.pos+1]
+			if next.Kind != KEYWORD {
+				return left, nil
+			}
+			switch next.Text {
+			case "IN":
+				p.pos += 2
+				in, err := p.parseInTail(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = in
+			case "LIKE":
+				p.pos += 2
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &LikeExpr{X: left, Not: true, Pattern: pat}
+			case "BETWEEN":
+				p.pos += 2
+				b, err := p.parseBetweenTail(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = b
+			default:
+				return left, nil
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseInTail(x Expr, not bool) (Expr, error) {
+	if _, err := p.expect(SYMBOL, "("); err != nil {
+		return nil, err
+	}
+	if p.at(KEYWORD, "SELECT") || p.at(KEYWORD, "WITH") {
+		sel, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SYMBOL, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: x, Not: not, Select: sel}, nil
+	}
+	in := &InExpr{X: x, Not: not}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		in.List = append(in.List, e)
+		if !p.accept(SYMBOL, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(SYMBOL, ")"); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (p *Parser) parseBetweenTail(x Expr, not bool) (Expr, error) {
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{X: x, Not: not, Lo: lo, Hi: hi}, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(SYMBOL, "+") || p.at(SYMBOL, "-") || p.at(SYMBOL, "||") {
+		op := p.cur().Text
+		p.pos++
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(SYMBOL, "*") || p.at(SYMBOL, "/") || p.at(SYMBOL, "%") {
+		op := p.cur().Text
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.at(SYMBOL, "-") || p.at(SYMBOL, "+") {
+		op := p.cur().Text
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == NUMBER:
+		p.pos++
+		return &NumberLit{Text: t.Text}, nil
+	case t.Kind == STRING:
+		p.pos++
+		return &StringLit{Val: t.Text}, nil
+	case p.at(KEYWORD, "NULL"):
+		p.pos++
+		return &NullLit{}, nil
+	case p.at(KEYWORD, "TRUE"):
+		p.pos++
+		return &BoolLit{Val: true}, nil
+	case p.at(KEYWORD, "FALSE"):
+		p.pos++
+		return &BoolLit{Val: false}, nil
+	case p.at(KEYWORD, "CASE"):
+		return p.parseCase()
+	case p.at(KEYWORD, "CAST"):
+		return p.parseCast()
+	case p.at(KEYWORD, "EXISTS"):
+		p.pos++
+		return p.parseExistsTail(false)
+	case p.atNotExists():
+		p.pos += 2
+		return p.parseExistsTail(true)
+	case p.at(SYMBOL, "("):
+		p.pos++
+		if p.at(KEYWORD, "SELECT") || p.at(KEYWORD, "WITH") {
+			sel, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(SYMBOL, ")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Select: sel}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SYMBOL, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == IDENT || t.Kind == QUOTED_IDENT:
+		return p.parseIdentExpr()
+	}
+	return nil, errf(t.Pos, "unexpected %s %q in expression", t.Kind, t.Text)
+}
+
+func (p *Parser) parseExistsTail(not bool) (Expr, error) {
+	if _, err := p.expect(SYMBOL, "("); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SYMBOL, ")"); err != nil {
+		return nil, err
+	}
+	return &ExistsExpr{Not: not, Select: sel}, nil
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	if !p.at(KEYWORD, "WHEN") {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = operand
+	}
+	for p.accept(KEYWORD, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, When{Cond: cond, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, errf(p.cur().Pos, "CASE requires at least one WHEN arm")
+	}
+	if p.accept(KEYWORD, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+func (p *Parser) parseCast() (Expr, error) {
+	if err := p.expectKeyword("CAST"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SYMBOL, "("); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	// Type name: one or more identifiers with optional (n[,m]) suffix.
+	var parts []string
+	for p.cur().Kind == IDENT || p.cur().Kind == QUOTED_IDENT {
+		parts = append(parts, strings.ToUpper(p.cur().Text))
+		p.pos++
+	}
+	if len(parts) == 0 {
+		return nil, errf(p.cur().Pos, "expected type name in CAST")
+	}
+	if p.accept(SYMBOL, "(") {
+		for !p.at(SYMBOL, ")") {
+			if p.at(EOF, "") {
+				return nil, errf(p.cur().Pos, "unterminated type suffix in CAST")
+			}
+			p.pos++
+		}
+		p.pos++
+	}
+	if _, err := p.expect(SYMBOL, ")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{X: x, Type: strings.Join(parts, " ")}, nil
+}
+
+// parseIdentExpr parses column references and function calls beginning with
+// an identifier.
+func (p *Parser) parseIdentExpr() (Expr, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(SYMBOL, "(") {
+		return p.parseFuncTail(name)
+	}
+	if p.accept(SYMBOL, ".") {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: name, Name: col}, nil
+	}
+	return &ColumnRef{Name: name}, nil
+}
+
+func (p *Parser) parseFuncTail(name string) (Expr, error) {
+	if _, err := p.expect(SYMBOL, "("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	switch {
+	case p.accept(SYMBOL, "*"):
+		fc.Star = true
+	case p.at(SYMBOL, ")"):
+		// zero-arg call
+	default:
+		fc.Distinct = p.accept(KEYWORD, "DISTINCT")
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, e)
+			if !p.accept(SYMBOL, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(SYMBOL, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(KEYWORD, "OVER") {
+		if _, err := p.expect(SYMBOL, "("); err != nil {
+			return nil, err
+		}
+		w := &WindowDef{}
+		if p.accept(KEYWORD, "PARTITION") {
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				w.PartitionBy = append(w.PartitionBy, e)
+				if !p.accept(SYMBOL, ",") {
+					break
+				}
+			}
+		}
+		if p.accept(KEYWORD, "ORDER") {
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			items, err := p.parseOrderItems()
+			if err != nil {
+				return nil, err
+			}
+			w.OrderBy = items
+		}
+		if _, err := p.expect(SYMBOL, ")"); err != nil {
+			return nil, err
+		}
+		fc.Over = w
+	}
+	return fc, nil
+}

@@ -1,0 +1,337 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// appendixQuery is the paper's Appendix A output (lightly normalized: the
+// paper's PDF has one unbalanced parenthesis in the IMPACT expression, fixed
+// here, as any executable reproduction must).
+const appendixQuery = `
+WITH
+FINANCIALS AS (
+  SELECT ORG_NAME,
+    SUM(CASE WHEN TO_CHAR(FIN_MONTH, 'YYYY"Q"Q') = '2023Q1' THEN REVENUE ELSE 0 END) AS REVENUE_2023Q1,
+    SUM(CASE WHEN TO_CHAR(FIN_MONTH, 'YYYY"Q"Q') = '2023Q2' THEN REVENUE ELSE 0 END) AS REVENUE_2023Q2
+  FROM SPORTS_FINANCIALS
+  WHERE TO_CHAR(FIN_MONTH, 'YYYY"Q"Q') IN ('2023Q1', '2023Q2')
+    AND COUNTRY = 'Canada'
+    AND OWNERSHIP_FLAG_COLUMN = 'COC'
+  GROUP BY ORG_NAME
+),
+VIEWERSHIP AS (
+  SELECT ORG_NAME,
+    SUM(CASE WHEN TO_CHAR(VIEW_MONTH, 'YYYY"Q"Q') = '2023Q1' THEN VIEWS ELSE 0 END) AS VIEWS_2023Q1,
+    SUM(CASE WHEN TO_CHAR(VIEW_MONTH, 'YYYY"Q"Q') = '2023Q2' THEN VIEWS ELSE 0 END) AS VIEWS_2023Q2
+  FROM SPORTS_VIEWERSHIP
+  WHERE TO_CHAR(VIEW_MONTH, 'YYYY"Q"Q') IN ('2023Q1', '2023Q2')
+    AND COUNTRY = 'Canada'
+    AND OWNERSHIP_FLAG_COLUMN = 'COC'
+  GROUP BY ORG_NAME
+),
+CHANGE_IN_REVENUE AS (
+  SELECT
+    f.ORG_NAME,
+    CAST(f.REVENUE_2023Q2 AS FLOAT) / NULLIF(v.VIEWS_2023Q2, 0) AS RPV,
+    CAST(f.REVENUE_2023Q1 AS FLOAT) / NULLIF(v.VIEWS_2023Q1, 0) AS PRIOR_QTR_RPV,
+    -1 * (
+      (CAST(f.REVENUE_2023Q2 AS FLOAT) / NULLIF(v.VIEWS_2023Q2, 0)) -
+      (CAST(f.REVENUE_2023Q1 AS FLOAT) / NULLIF(v.VIEWS_2023Q1, 0))
+    ) AS RPV_CHANGE,
+    ((CAST(f.REVENUE_2023Q2 AS FLOAT) / NULLIF(v.VIEWS_2023Q2, 0)) -
+      (CAST(f.REVENUE_2023Q1 AS FLOAT) / NULLIF(v.VIEWS_2023Q1, 0))
+    ) * NULLIF(v.VIEWS_2023Q2, 0) AS IMPACT,
+    ROW_NUMBER() OVER (PARTITION BY f.COUNTRY ORDER BY (-1 * (
+      (CAST(f.REVENUE_2023Q2 AS FLOAT) / NULLIF(v.VIEWS_2023Q2, 0)) -
+      (CAST(f.REVENUE_2023Q1 AS FLOAT) / NULLIF(v.VIEWS_2023Q1, 0)))
+    ) DESC) AS SPORT_RANK,
+    ROW_NUMBER() OVER (PARTITION BY f.COUNTRY ORDER BY (-1 * (
+      (CAST(f.REVENUE_2023Q2 AS FLOAT) / NULLIF(v.VIEWS_2023Q2, 0)) -
+      (CAST(f.REVENUE_2023Q1 AS FLOAT) / NULLIF(v.VIEWS_2023Q1, 0)))
+    ) ASC) AS WORST_SPORT_RANK
+  FROM FINANCIALS f
+  JOIN VIEWERSHIP v ON f.ORG_NAME = v.ORG_NAME
+)
+SELECT
+  SPORT_RANK, ORG_NAME, RPV, PRIOR_QTR_RPV, RPV_CHANGE, IMPACT
+FROM
+  CHANGE_IN_REVENUE
+WHERE
+  SPORT_RANK <= 5 OR WORST_SPORT_RANK <= 5
+ORDER BY
+  SPORT_RANK;
+`
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b AS total FROM t WHERE a > 1 ORDER BY b DESC LIMIT 10")
+	if len(stmt.Core.Items) != 2 {
+		t.Fatalf("items = %d, want 2", len(stmt.Core.Items))
+	}
+	if stmt.Core.Items[1].Alias != "total" {
+		t.Errorf("alias = %q, want total", stmt.Core.Items[1].Alias)
+	}
+	if stmt.Core.Where == nil {
+		t.Error("missing WHERE")
+	}
+	if len(stmt.OrderBy) != 1 || !stmt.OrderBy[0].Desc {
+		t.Errorf("order by = %+v, want one DESC item", stmt.OrderBy)
+	}
+	if stmt.Limit == nil {
+		t.Error("missing LIMIT")
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	stmt := mustParse(t, "SELECT a total FROM t u")
+	if stmt.Core.Items[0].Alias != "total" {
+		t.Errorf("implicit column alias = %q, want total", stmt.Core.Items[0].Alias)
+	}
+	tn, ok := stmt.Core.From.(*TableName)
+	if !ok || tn.Alias != "u" {
+		t.Errorf("table alias = %+v, want alias u", stmt.Core.From)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id")
+	j, ok := stmt.Core.From.(*JoinExpr)
+	if !ok {
+		t.Fatalf("from = %T, want *JoinExpr", stmt.Core.From)
+	}
+	if j.Kind != LeftJoin {
+		t.Errorf("outer join kind = %v, want LEFT JOIN", j.Kind)
+	}
+	inner, ok := j.Left.(*JoinExpr)
+	if !ok || inner.Kind != InnerJoin {
+		t.Errorf("inner join = %+v, want INNER", j.Left)
+	}
+}
+
+func TestParseCommaJoinBecomesCross(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM a, b WHERE a.id = b.id")
+	j, ok := stmt.Core.From.(*JoinExpr)
+	if !ok || j.Kind != CrossJoin {
+		t.Fatalf("from = %+v, want cross join", stmt.Core.From)
+	}
+}
+
+func TestParseGroupHaving(t *testing.T) {
+	stmt := mustParse(t, "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3")
+	if len(stmt.Core.GroupBy) != 1 {
+		t.Fatalf("group by = %d exprs, want 1", len(stmt.Core.GroupBy))
+	}
+	if stmt.Core.Having == nil {
+		t.Fatal("missing HAVING")
+	}
+	fc, ok := stmt.Core.Items[1].Expr.(*FuncCall)
+	if !ok || !fc.Star {
+		t.Errorf("COUNT(*) = %+v, want star call", stmt.Core.Items[1].Expr)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	stmt := mustParse(t, "SELECT CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END FROM t")
+	ce, ok := stmt.Core.Items[0].Expr.(*CaseExpr)
+	if !ok {
+		t.Fatalf("expr = %T, want *CaseExpr", stmt.Core.Items[0].Expr)
+	}
+	if len(ce.Whens) != 2 || ce.Else == nil || ce.Operand != nil {
+		t.Errorf("case = %+v, want 2 whens + else, searched form", ce)
+	}
+}
+
+func TestParseOperandCase(t *testing.T) {
+	stmt := mustParse(t, "SELECT CASE x WHEN 1 THEN 'a' END FROM t")
+	ce := stmt.Core.Items[0].Expr.(*CaseExpr)
+	if ce.Operand == nil {
+		t.Error("operand CASE lost its operand")
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	stmt := mustParse(t, "SELECT ROW_NUMBER() OVER (PARTITION BY dept ORDER BY sal DESC) FROM emp")
+	fc := stmt.Core.Items[0].Expr.(*FuncCall)
+	if fc.Over == nil {
+		t.Fatal("missing OVER")
+	}
+	if len(fc.Over.PartitionBy) != 1 || len(fc.Over.OrderBy) != 1 || !fc.Over.OrderBy[0].Desc {
+		t.Errorf("window = %+v", fc.Over)
+	}
+}
+
+func TestParseInForms(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT IN (SELECT id FROM u)")
+	b := stmt.Core.Where.(*Binary)
+	in1 := b.L.(*InExpr)
+	if len(in1.List) != 3 || in1.Not {
+		t.Errorf("list IN = %+v", in1)
+	}
+	in2 := b.R.(*InExpr)
+	if in2.Select == nil || !in2.Not {
+		t.Errorf("subquery NOT IN = %+v", in2)
+	}
+}
+
+func TestParseBetweenLikeIsNull(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b LIKE 'x%' AND c IS NOT NULL")
+	var between, like, isnull bool
+	WalkExprs(stmt.Core.Where, func(e Expr) {
+		switch e.(type) {
+		case *BetweenExpr:
+			between = true
+		case *LikeExpr:
+			like = true
+		case *IsNullExpr:
+			isnull = true
+		}
+	})
+	if !between || !like || !isnull {
+		t.Errorf("between=%v like=%v isnull=%v, want all true", between, like, isnull)
+	}
+}
+
+func TestParseCastAndNullif(t *testing.T) {
+	stmt := mustParse(t, "SELECT CAST(x AS FLOAT) / NULLIF(y, 0) FROM t")
+	b := stmt.Core.Items[0].Expr.(*Binary)
+	if _, ok := b.L.(*CastExpr); !ok {
+		t.Errorf("left = %T, want cast", b.L)
+	}
+	fc, ok := b.R.(*FuncCall)
+	if !ok || fc.Name != "NULLIF" {
+		t.Errorf("right = %+v, want NULLIF call", b.R)
+	}
+}
+
+func TestParseCTEs(t *testing.T) {
+	stmt := mustParse(t, "WITH a AS (SELECT 1 AS x), b (y) AS (SELECT x FROM a) SELECT y FROM b")
+	if len(stmt.With) != 2 {
+		t.Fatalf("with = %d CTEs, want 2", len(stmt.With))
+	}
+	if stmt.With[1].Columns[0] != "y" {
+		t.Errorf("cte column list = %v", stmt.With[1].Columns)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t UNION ALL SELECT a FROM u ORDER BY a")
+	if len(stmt.Compound) != 1 || stmt.Compound[0].Op != UnionAllOp {
+		t.Fatalf("compound = %+v", stmt.Compound)
+	}
+	if len(stmt.OrderBy) != 1 {
+		t.Error("statement-level ORDER BY lost")
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u) AND NOT EXISTS (SELECT 1 FROM v)")
+	b := stmt.Core.Where.(*Binary)
+	e1 := b.L.(*ExistsExpr)
+	e2 := b.R.(*ExistsExpr)
+	if e1.Not || !e2.Not {
+		t.Errorf("exists flags: %v %v", e1.Not, e2.Not)
+	}
+}
+
+func TestParseScalarSubquery(t *testing.T) {
+	stmt := mustParse(t, "SELECT (SELECT MAX(x) FROM u) AS mx FROM t")
+	if _, ok := stmt.Core.Items[0].Expr.(*SubqueryExpr); !ok {
+		t.Errorf("expr = %T, want scalar subquery", stmt.Core.Items[0].Expr)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 WHERE a OR b AND c = 1 + 2 * 3")
+	or := stmt.Core.Where.(*Binary)
+	if or.Op != "OR" {
+		t.Fatalf("top op = %s, want OR", or.Op)
+	}
+	and := or.R.(*Binary)
+	if and.Op != "AND" {
+		t.Fatalf("second op = %s, want AND", and.Op)
+	}
+	eq := and.R.(*Binary)
+	if eq.Op != "=" {
+		t.Fatalf("third op = %s, want =", eq.Op)
+	}
+	plus := eq.R.(*Binary)
+	if plus.Op != "+" {
+		t.Fatalf("fourth op = %s, want +", plus.Op)
+	}
+	times := plus.R.(*Binary)
+	if times.Op != "*" {
+		t.Fatalf("fifth op = %s, want *", times.Op)
+	}
+}
+
+func TestParseAppendixQuery(t *testing.T) {
+	stmt := mustParse(t, appendixQuery)
+	if len(stmt.With) != 3 {
+		t.Fatalf("appendix query has %d CTEs, want 3", len(stmt.With))
+	}
+	names := []string{"FINANCIALS", "VIEWERSHIP", "CHANGE_IN_REVENUE"}
+	for i, want := range names {
+		if stmt.With[i].Name != want {
+			t.Errorf("cte %d = %q, want %q", i, stmt.With[i].Name, want)
+		}
+	}
+	if len(stmt.Core.Items) != 6 {
+		t.Errorf("final select has %d items, want 6", len(stmt.Core.Items))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"", `expected "SELECT"`},
+		{"SELECT", "unexpected"},
+		{"SELECT * FROM", "expected identifier"},
+		{"SELECT * FROM t WHERE", "unexpected"},
+		{"SELECT CASE x END", "at least one WHEN"},
+		{"SELECT * FROM t GROUP", `expected "BY"`},
+		{"SELECT a FROM t ORDER a", `expected "BY"`},
+		{"SELECT CAST(x AS) FROM t", "expected type name"},
+		{"SELECT * FROM t; SELECT 1", "after statement"},
+		{"SELECT f(1,) FROM t", "unexpected"},
+	}
+	for _, tt := range tests {
+		_, err := Parse(tt.src)
+		if err == nil {
+			t.Errorf("Parse(%q): want error containing %q, got nil", tt.src, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("Parse(%q) error = %q, want containing %q", tt.src, err, tt.want)
+		}
+	}
+}
+
+func TestParseErrorsAreSyntaxErrors(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE (")
+	var se *SyntaxError
+	if !asSyntaxError(err, &se) {
+		t.Fatalf("error %T is not *SyntaxError", err)
+	}
+	if se.Pos.Line == 0 {
+		t.Error("syntax error carries no position")
+	}
+}
+
+func asSyntaxError(err error, out **SyntaxError) bool {
+	se, ok := err.(*SyntaxError)
+	if ok {
+		*out = se
+	}
+	return ok
+}

@@ -1,0 +1,391 @@
+package sqlparse
+
+import (
+	"strings"
+)
+
+// Print renders a statement back to SQL text. The output is canonical: all
+// keywords upper-case, binary expressions fully parenthesized, one space
+// between tokens. Re-parsing printed output yields a structurally identical
+// AST (tested as a property).
+func Print(stmt *SelectStmt) string {
+	var sb strings.Builder
+	printStmt(&sb, stmt)
+	return sb.String()
+}
+
+// PrintExpr renders a single expression to SQL text.
+func PrintExpr(e Expr) string {
+	var sb strings.Builder
+	printExpr(&sb, e)
+	return sb.String()
+}
+
+// PrintSelectItems renders a projection list (without the SELECT keyword).
+func PrintSelectItems(items []SelectItem) string {
+	var sb strings.Builder
+	for i, item := range items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.Table != "":
+			sb.WriteString(quoteIdent(item.Table))
+			sb.WriteString(".*")
+		case item.Star:
+			sb.WriteString("*")
+		default:
+			printExpr(&sb, item.Expr)
+			if item.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(quoteIdent(item.Alias))
+			}
+		}
+	}
+	return sb.String()
+}
+
+// PrintTableExpr renders a FROM-clause table expression.
+func PrintTableExpr(t TableExpr) string {
+	var sb strings.Builder
+	printTableExpr(&sb, t)
+	return sb.String()
+}
+
+// PrintOrderItems renders an ORDER BY list (without the keywords).
+func PrintOrderItems(items []OrderItem) string {
+	var sb strings.Builder
+	printOrderItems(&sb, items)
+	return sb.String()
+}
+
+// PrintExprList renders a comma-separated expression list.
+func PrintExprList(exprs []Expr) string {
+	var sb strings.Builder
+	for i, e := range exprs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		printExpr(&sb, e)
+	}
+	return sb.String()
+}
+
+func printStmt(sb *strings.Builder, stmt *SelectStmt) {
+	if len(stmt.With) > 0 {
+		sb.WriteString("WITH ")
+		for i, cte := range stmt.With {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(quoteIdent(cte.Name))
+			if len(cte.Columns) > 0 {
+				sb.WriteString(" (")
+				for j, c := range cte.Columns {
+					if j > 0 {
+						sb.WriteString(", ")
+					}
+					sb.WriteString(quoteIdent(c))
+				}
+				sb.WriteString(")")
+			}
+			sb.WriteString(" AS (")
+			printStmt(sb, cte.Select)
+			sb.WriteString(")")
+		}
+		sb.WriteString(" ")
+	}
+	printCore(sb, stmt.Core)
+	for _, part := range stmt.Compound {
+		sb.WriteString(" ")
+		sb.WriteString(part.Op.String())
+		sb.WriteString(" ")
+		printCore(sb, part.Core)
+	}
+	if len(stmt.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		printOrderItems(sb, stmt.OrderBy)
+	}
+	if stmt.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		printExpr(sb, stmt.Limit)
+	}
+	if stmt.Offset != nil {
+		sb.WriteString(" OFFSET ")
+		printExpr(sb, stmt.Offset)
+	}
+}
+
+func printCore(sb *strings.Builder, core *SelectCore) {
+	sb.WriteString("SELECT ")
+	if core.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, item := range core.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.Table != "":
+			sb.WriteString(quoteIdent(item.Table))
+			sb.WriteString(".*")
+		case item.Star:
+			sb.WriteString("*")
+		default:
+			printExpr(sb, item.Expr)
+			if item.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(quoteIdent(item.Alias))
+			}
+		}
+	}
+	if core.From != nil {
+		sb.WriteString(" FROM ")
+		printTableExpr(sb, core.From)
+	}
+	if core.Where != nil {
+		sb.WriteString(" WHERE ")
+		printExpr(sb, core.Where)
+	}
+	if len(core.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range core.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, e)
+		}
+	}
+	if core.Having != nil {
+		sb.WriteString(" HAVING ")
+		printExpr(sb, core.Having)
+	}
+}
+
+func printOrderItems(sb *strings.Builder, items []OrderItem) {
+	for i, it := range items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		printExpr(sb, it.Expr)
+		if it.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+}
+
+func printTableExpr(sb *strings.Builder, t TableExpr) {
+	switch x := t.(type) {
+	case *TableName:
+		sb.WriteString(quoteIdent(x.Name))
+		if x.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(quoteIdent(x.Alias))
+		}
+	case *SubqueryTable:
+		sb.WriteString("(")
+		printStmt(sb, x.Select)
+		sb.WriteString(")")
+		if x.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(quoteIdent(x.Alias))
+		}
+	case *JoinExpr:
+		printTableExpr(sb, x.Left)
+		sb.WriteString(" ")
+		sb.WriteString(x.Kind.String())
+		sb.WriteString(" ")
+		printTableExpr(sb, x.Right)
+		if x.On != nil {
+			sb.WriteString(" ON ")
+			printExpr(sb, x.On)
+		}
+	}
+}
+
+func printExpr(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			sb.WriteString(quoteIdent(x.Table))
+			sb.WriteString(".")
+		}
+		sb.WriteString(quoteIdent(x.Name))
+	case *NumberLit:
+		sb.WriteString(x.Text)
+	case *StringLit:
+		sb.WriteString("'")
+		sb.WriteString(strings.ReplaceAll(x.Val, "'", "''"))
+		sb.WriteString("'")
+	case *NullLit:
+		sb.WriteString("NULL")
+	case *BoolLit:
+		if x.Val {
+			sb.WriteString("TRUE")
+		} else {
+			sb.WriteString("FALSE")
+		}
+	case *Unary:
+		if x.Op == "NOT" {
+			sb.WriteString("NOT (")
+			printExpr(sb, x.X)
+			sb.WriteString(")")
+		} else {
+			sb.WriteString(x.Op)
+			sb.WriteString("(")
+			printExpr(sb, x.X)
+			sb.WriteString(")")
+		}
+	case *Binary:
+		sb.WriteString("(")
+		printExpr(sb, x.L)
+		sb.WriteString(" ")
+		sb.WriteString(x.Op)
+		sb.WriteString(" ")
+		printExpr(sb, x.R)
+		sb.WriteString(")")
+	case *FuncCall:
+		sb.WriteString(x.Name)
+		sb.WriteString("(")
+		switch {
+		case x.Star:
+			sb.WriteString("*")
+		default:
+			if x.Distinct {
+				sb.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				printExpr(sb, a)
+			}
+		}
+		sb.WriteString(")")
+		if x.Over != nil {
+			sb.WriteString(" OVER (")
+			if len(x.Over.PartitionBy) > 0 {
+				sb.WriteString("PARTITION BY ")
+				for i, pexpr := range x.Over.PartitionBy {
+					if i > 0 {
+						sb.WriteString(", ")
+					}
+					printExpr(sb, pexpr)
+				}
+			}
+			if len(x.Over.OrderBy) > 0 {
+				if len(x.Over.PartitionBy) > 0 {
+					sb.WriteString(" ")
+				}
+				sb.WriteString("ORDER BY ")
+				printOrderItems(sb, x.Over.OrderBy)
+			}
+			sb.WriteString(")")
+		}
+	case *CaseExpr:
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteString(" ")
+			printExpr(sb, x.Operand)
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN ")
+			printExpr(sb, w.Cond)
+			sb.WriteString(" THEN ")
+			printExpr(sb, w.Then)
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE ")
+			printExpr(sb, x.Else)
+		}
+		sb.WriteString(" END")
+	case *CastExpr:
+		sb.WriteString("CAST(")
+		printExpr(sb, x.X)
+		sb.WriteString(" AS ")
+		sb.WriteString(x.Type)
+		sb.WriteString(")")
+	case *InExpr:
+		sb.WriteString("(")
+		printExpr(sb, x.X)
+		if x.Not {
+			sb.WriteString(" NOT IN (")
+		} else {
+			sb.WriteString(" IN (")
+		}
+		if x.Select != nil {
+			printStmt(sb, x.Select)
+		} else {
+			for i, it := range x.List {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				printExpr(sb, it)
+			}
+		}
+		sb.WriteString("))")
+	case *BetweenExpr:
+		sb.WriteString("(")
+		printExpr(sb, x.X)
+		if x.Not {
+			sb.WriteString(" NOT BETWEEN ")
+		} else {
+			sb.WriteString(" BETWEEN ")
+		}
+		printExpr(sb, x.Lo)
+		sb.WriteString(" AND ")
+		printExpr(sb, x.Hi)
+		sb.WriteString(")")
+	case *LikeExpr:
+		sb.WriteString("(")
+		printExpr(sb, x.X)
+		if x.Not {
+			sb.WriteString(" NOT LIKE ")
+		} else {
+			sb.WriteString(" LIKE ")
+		}
+		printExpr(sb, x.Pattern)
+		sb.WriteString(")")
+	case *IsNullExpr:
+		sb.WriteString("(")
+		printExpr(sb, x.X)
+		if x.Not {
+			sb.WriteString(" IS NOT NULL")
+		} else {
+			sb.WriteString(" IS NULL")
+		}
+		sb.WriteString(")")
+	case *ExistsExpr:
+		if x.Not {
+			sb.WriteString("NOT ")
+		}
+		sb.WriteString("EXISTS (")
+		printStmt(sb, x.Select)
+		sb.WriteString(")")
+	case *SubqueryExpr:
+		sb.WriteString("(")
+		printStmt(sb, x.Select)
+		sb.WriteString(")")
+	}
+}
+
+// quoteIdent renders an identifier, double-quoting it only when required
+// (reserved word or non-identifier characters).
+func quoteIdent(name string) string {
+	if name == "" {
+		return name
+	}
+	needQuote := IsKeyword(strings.ToUpper(name)) || !isIdentStart(name[0])
+	if !needQuote {
+		for i := 0; i < len(name); i++ {
+			if !isIdentPart(name[i]) {
+				needQuote = true
+				break
+			}
+		}
+	}
+	if !needQuote {
+		return name
+	}
+	return "\"" + strings.ReplaceAll(name, "\"", "\"\"") + "\""
+}

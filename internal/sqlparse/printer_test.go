@@ -1,0 +1,101 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// roundTripSources exercise the printer across the whole dialect.
+var roundTripSources = []string{
+	"SELECT 1",
+	"SELECT a, b AS c FROM t",
+	"SELECT DISTINCT a FROM t WHERE a > 1 AND b < 2 OR NOT c = 3",
+	"SELECT * FROM t",
+	"SELECT t.* FROM t",
+	"SELECT COUNT(*) FROM t",
+	"SELECT COUNT(DISTINCT a) FROM t GROUP BY b HAVING COUNT(*) > 2",
+	"SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2",
+	"SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y",
+	"SELECT * FROM a CROSS JOIN b",
+	"SELECT * FROM (SELECT x FROM t) AS sub",
+	"WITH w AS (SELECT 1 AS x) SELECT x FROM w",
+	"WITH w (a, b) AS (SELECT 1, 2) SELECT a FROM w",
+	"SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+	"SELECT CASE a WHEN 1 THEN 'x' END FROM t",
+	"SELECT CAST(a AS FLOAT) FROM t",
+	"SELECT NULLIF(a, 0), COALESCE(b, 1, 2) FROM t",
+	"SELECT a FROM t WHERE b IN (1, 2) AND c NOT IN (SELECT d FROM u)",
+	"SELECT a FROM t WHERE b BETWEEN 1 AND 2 AND c NOT BETWEEN 3 AND 4",
+	"SELECT a FROM t WHERE b LIKE 'x%' AND c NOT LIKE '%y'",
+	"SELECT a FROM t WHERE b IS NULL AND c IS NOT NULL",
+	"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u) AND NOT EXISTS (SELECT 1 FROM v)",
+	"SELECT (SELECT MAX(x) FROM u) FROM t",
+	"SELECT ROW_NUMBER() OVER (PARTITION BY a ORDER BY b DESC) FROM t",
+	"SELECT SUM(x) OVER (ORDER BY y) FROM t",
+	"SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v",
+	"SELECT a FROM t EXCEPT SELECT a FROM u",
+	"SELECT a FROM t INTERSECT SELECT a FROM u",
+	"SELECT -a, +b, NOT c FROM t",
+	"SELECT a || '-' || b FROM t",
+	"SELECT \"select\" FROM \"weird name\"",
+	"SELECT TO_CHAR(d, 'YYYY\"Q\"Q') FROM t",
+	appendixQuery,
+}
+
+// TestPrintParseIdentity checks the core printer property: re-parsing printed
+// SQL yields a structurally identical AST.
+func TestPrintParseIdentity(t *testing.T) {
+	for _, src := range roundTripSources {
+		stmt1 := mustParse(t, src)
+		printed := Print(stmt1)
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v\nprinted: %s", src, err, printed)
+			continue
+		}
+		if !reflect.DeepEqual(stmt1, stmt2) {
+			t.Errorf("round trip changed AST for %q\nprinted: %s", src, printed)
+		}
+	}
+}
+
+// TestPrintIsFixpoint checks that printing is idempotent: print(parse(print))
+// returns the identical string.
+func TestPrintIsFixpoint(t *testing.T) {
+	for _, src := range roundTripSources {
+		p1 := Print(mustParse(t, src))
+		p2 := Print(mustParse(t, p1))
+		if p1 != p2 {
+			t.Errorf("printer not a fixpoint:\nfirst:  %s\nsecond: %s", p1, p2)
+		}
+	}
+}
+
+func TestPrintQuotesReservedAliases(t *testing.T) {
+	stmt := mustParse(t, `SELECT a AS "order" FROM t`)
+	printed := Print(stmt)
+	if want := `"order"`; !containsStr(printed, want) {
+		t.Errorf("printed = %s, want alias quoted as %s", printed, want)
+	}
+}
+
+func TestPrintEscapesStringQuotes(t *testing.T) {
+	stmt := mustParse(t, "SELECT 'it''s' FROM t")
+	printed := Print(stmt)
+	if !containsStr(printed, "'it''s'") {
+		t.Errorf("printed = %s, want escaped quote preserved", printed)
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && indexOf(haystack, needle) >= 0
+}
+
+func indexOf(haystack, needle string) int {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,94 @@
+// Package sqlparse implements a lexer, parser and printer for the analytic
+// SQL dialect used throughout the GenEdit reproduction. The dialect covers
+// everything the paper's appendix query needs: common table expressions,
+// joins, grouped and conditional aggregation, window functions, CASE
+// expressions, CAST/NULLIF/COALESCE and warehouse-style TO_CHAR date
+// formatting.
+package sqlparse
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. Keywords are lexed as KEYWORD with the normalized upper-case
+// text in Token.Text; everything the parser treats specially is matched by
+// that text.
+const (
+	EOF TokenKind = iota
+	IDENT
+	QUOTED_IDENT
+	NUMBER
+	STRING
+	KEYWORD
+	SYMBOL
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case IDENT:
+		return "identifier"
+	case QUOTED_IDENT:
+		return "quoted identifier"
+	case NUMBER:
+		return "number"
+	case STRING:
+		return "string"
+	case KEYWORD:
+		return "keyword"
+	case SYMBOL:
+		return "symbol"
+	}
+	return "unknown token"
+}
+
+// Pos is a byte offset plus human-readable line/column location in the input.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical element.
+type Token struct {
+	Kind TokenKind
+	Text string // normalized: keywords upper-cased, strings unescaped
+	Pos  Pos
+}
+
+// keywords is the set of reserved words recognized by the lexer. Unquoted
+// identifiers matching these (case-insensitively) lex as KEYWORD.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "IS": true,
+	"NULL": true, "LIKE": true, "BETWEEN": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "RIGHT": true, "FULL": true, "OUTER": true, "ON": true,
+	"CROSS": true, "WITH": true, "UNION": true, "ALL": true,
+	"DISTINCT": true, "ASC": true, "DESC": true, "CAST": true, "OVER": true,
+	"PARTITION": true, "EXISTS": true, "TRUE": true, "FALSE": true,
+	"EXCEPT": true, "INTERSECT": true, "NULLS": true, "FIRST": true,
+	"LAST": true, "USING": true,
+}
+
+// IsKeyword reports whether the upper-cased word is reserved in this dialect.
+func IsKeyword(word string) bool { return keywords[word] }
+
+// SyntaxError describes a lexing or parsing failure with its location.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at %s: %s", e.Pos, e.Msg)
+}
+
+func errf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

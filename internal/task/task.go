@@ -1,0 +1,124 @@
+// Package task defines the benchmark case model shared by the workload
+// generator, the simulated model and the evaluation harness.
+//
+// A Case bundles a natural-language question with its gold SQL and a set of
+// requirement tags describing what knowledge is needed to answer it
+// correctly. The tags are the honest core of the LLM substitution (see
+// DESIGN.md §1): instead of replacing natural-language understanding with a
+// network, the simulated model checks explicitly whether the supplied
+// context satisfies each requirement, and emits the corresponding wrong —
+// but executable — SQL when it does not.
+package task
+
+import (
+	"strings"
+
+	"genedit/internal/schema"
+)
+
+// Difficulty mirrors BIRD's three tiers.
+type Difficulty string
+
+// Difficulty tiers.
+const (
+	Simple      Difficulty = "simple"
+	Moderate    Difficulty = "moderate"
+	Challenging Difficulty = "challenging"
+)
+
+// TermRequirement marks a domain term (e.g. "QoQFP") the question uses. A
+// generator that lacks the term's definition produces WrongSQL — the query a
+// model would plausibly write under the naive interpretation.
+type TermRequirement struct {
+	Term string
+	// WrongSQL is the full query under the naive interpretation.
+	WrongSQL string
+}
+
+// DecoyRequirement marks a schema ambiguity: the correct column has a
+// plausible decoy (e.g. REVENUE vs REVENUE_LEGACY). Without schema-linking
+// context a generator may resolve to the decoy, producing WrongSQL.
+type DecoyRequirement struct {
+	CorrectColumn string
+	DecoyColumn   string
+	Table         string
+	// WrongSQL is the gold query with the decoy column substituted.
+	WrongSQL string
+}
+
+// Case is one benchmark question.
+type Case struct {
+	ID         string
+	DB         string
+	Difficulty Difficulty
+	// Intent is the verified user-intent label (mined in pre-processing).
+	Intent string
+	// Question is the natural-language input, possibly using domain jargon.
+	Question string
+	// Evidence is the BIRD-style external-knowledge string handed to every
+	// system (baselines exploit it probabilistically; GenEdit instead
+	// retrieves from its knowledge set).
+	Evidence string
+	GoldSQL  string
+	// Terms lists jargon requirements.
+	Terms []TermRequirement
+	// Decoys lists schema-ambiguity requirements.
+	Decoys []DecoyRequirement
+	// Patterns tags structural sub-statement patterns the query needs
+	// (e.g. "quarter_pivot", "window_rank", "cond_agg"); plan steps only
+	// receive pseudo-SQL anchors for patterns covered by retrieved examples.
+	Patterns []string
+	// Needed lists the schema columns the gold query references; schema
+	// linking and its miss model operate over this list.
+	Needed []schema.Element
+	// Steps is the number of decomposed fragments in the gold query,
+	// the complexity measure used by the derivation budget.
+	Steps int
+	// Fragile marks cases whose gold SQL depends on subtle clause details,
+	// so unanchored re-derivation is more error-prone.
+	Fragile bool
+}
+
+// QuestionKey normalizes a question for registry lookup: the simulated
+// model identifies a task by its question text the way a real model
+// identifies it by meaning.
+func QuestionKey(question string) string {
+	return strings.Join(strings.Fields(strings.ToLower(question)), " ")
+}
+
+// Registry maps questions to cases for the simulated model.
+type Registry struct {
+	byKey map[string]*Case
+}
+
+// NewRegistry builds a registry over the cases.
+func NewRegistry(cases []*Case) *Registry {
+	r := &Registry{byKey: make(map[string]*Case, len(cases))}
+	for _, c := range cases {
+		r.byKey[QuestionKey(c.Question)] = c
+	}
+	return r
+}
+
+// Add registers one case.
+func (r *Registry) Add(c *Case) { r.byKey[QuestionKey(c.Question)] = c }
+
+// Lookup resolves a question (original or reformulated) to its case. The
+// reformulated "Show me ..." prefix is stripped before matching.
+func (r *Registry) Lookup(question string) *Case {
+	key := QuestionKey(question)
+	if c, ok := r.byKey[key]; ok {
+		return c
+	}
+	for _, prefix := range []string{"show me ", "show me, "} {
+		if strings.HasPrefix(key, prefix) {
+			if c, ok := r.byKey[strings.TrimPrefix(key, prefix)]; ok {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// Len reports the number of registered cases.
+func (r *Registry) Len() int { return len(r.byKey) }

@@ -1,0 +1,57 @@
+package task
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuestionKeyNormalizes(t *testing.T) {
+	tests := []struct {
+		a, b string
+	}{
+		{"Top 5 orgs", "top  5  ORGS"},
+		{"  leading and trailing  ", "leading and trailing"},
+		{"tabs\tand\nnewlines", "tabs and newlines"},
+	}
+	for _, tt := range tests {
+		if QuestionKey(tt.a) != QuestionKey(tt.b) {
+			t.Errorf("QuestionKey(%q) != QuestionKey(%q)", tt.a, tt.b)
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	c := &Case{ID: "x", Question: "total revenue for our organisations in 2023"}
+	r := NewRegistry([]*Case{c})
+	if got := r.Lookup("Total  Revenue for our organisations in 2023"); got != c {
+		t.Error("case-insensitive, whitespace-normalized lookup failed")
+	}
+	if got := r.Lookup("Show me total revenue for our organisations in 2023"); got != c {
+		t.Error("reformulated-prefix lookup failed")
+	}
+	if got := r.Lookup("something else entirely"); got != nil {
+		t.Error("unknown question should not resolve")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryAdd(t *testing.T) {
+	r := NewRegistry(nil)
+	c := &Case{ID: "y", Question: "how many widgets"}
+	r.Add(c)
+	if r.Lookup("how many widgets") != c {
+		t.Error("Add did not register the case")
+	}
+}
+
+func TestQuestionKeyIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		k := QuestionKey(s)
+		return QuestionKey(k) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

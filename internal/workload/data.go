@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"genedit/internal/sqldb"
+)
+
+// months is the seeded data range: July 2022 through December 2023, so
+// every 2023 quarter is complete and year-over-year comparisons have data.
+var months = buildMonths()
+
+func buildMonths() []string {
+	var out []string
+	for m := 7; m <= 12; m++ {
+		out = append(out, fmt.Sprintf("2022-%02d-15", m))
+	}
+	for m := 1; m <= 12; m++ {
+		out = append(out, fmt.Sprintf("2023-%02d-15", m))
+	}
+	return out
+}
+
+// noise produces a deterministic pseudo-random integer in [0, mod) from the
+// suite seed and salt parts.
+func noise(seed uint64, mod int, parts ...string) int {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte{0x1f})
+		h.Write([]byte(p))
+	}
+	return int(h.Sum64() % uint64(mod))
+}
+
+// entityRegion assigns each entity a home region.
+func (d *domainSpec) entityRegion(i int) string { return d.Regions[i%len(d.Regions)] }
+
+// entityFlag marks two of the eight entities as externally held.
+func (d *domainSpec) entityFlag(i int) string {
+	if i%4 == 3 {
+		return d.OtherFlag
+	}
+	return d.OwnedFlag
+}
+
+// buildDatabase materializes one domain's database with seeded rows.
+func buildDatabase(d *domainSpec, seed uint64) *sqldb.Database {
+	db := sqldb.NewDatabase(d.DB)
+
+	factA := sqldb.NewTable(d.FactA.Table,
+		sqldb.Column{Name: d.EntityCol, Type: "TEXT"},
+		sqldb.Column{Name: d.FactA.DateCol, Type: "DATE"},
+		sqldb.Column{Name: d.FactA.Metric, Type: "FLOAT"},
+		sqldb.Column{Name: d.FactA.Decoy, Type: "FLOAT",
+			Description: "legacy pre-restatement figures; do not use for reporting"},
+		sqldb.Column{Name: d.CategoryCol, Type: "TEXT"},
+		sqldb.Column{Name: d.RegionCol, Type: "TEXT"},
+		sqldb.Column{Name: d.FlagCol, Type: "TEXT"},
+	)
+	factB := sqldb.NewTable(d.FactB.Table,
+		sqldb.Column{Name: d.EntityCol, Type: "TEXT"},
+		sqldb.Column{Name: d.FactB.DateCol, Type: "DATE"},
+		sqldb.Column{Name: d.FactB.Metric, Type: "INTEGER"},
+		sqldb.Column{Name: d.RegionCol, Type: "TEXT"},
+		sqldb.Column{Name: d.FlagCol, Type: "TEXT"},
+	)
+	dim := sqldb.NewTable(d.DimTable,
+		sqldb.Column{Name: d.EntityCol, Type: "TEXT"},
+		sqldb.Column{Name: d.SegmentCol, Type: "TEXT"},
+		sqldb.Column{Name: d.RegionCol, Type: "TEXT"},
+	)
+
+	for i, entity := range d.Entities {
+		region := d.entityRegion(i)
+		flag := d.entityFlag(i)
+		dim.MustAppend(sqldb.Str(entity), sqldb.Str(d.Segments[i%len(d.Segments)]), sqldb.Str(region))
+		base := 900.0 + 137.0*float64(i)
+		baseB := 400 + 61*i
+		for mi, month := range months {
+			metric := base + 25.0*float64(mi) +
+				float64(noise(seed, 120, d.DB, entity, month, "a"))
+			decoy := 0.8*metric + 7.0
+			category := d.Categories[(i+mi)%len(d.Categories)]
+			factA.MustAppend(
+				sqldb.Str(entity), sqldb.Str(month), sqldb.Float(metric),
+				sqldb.Float(decoy), sqldb.Str(category), sqldb.Str(region), sqldb.Str(flag),
+			)
+			metricB := int64(baseB + 17*mi + noise(seed, 80, d.DB, entity, month, "b") + 1)
+			factB.MustAppend(
+				sqldb.Str(entity), sqldb.Str(month), sqldb.Int(metricB),
+				sqldb.Str(region), sqldb.Str(flag),
+			)
+		}
+	}
+	db.AddTable(factA)
+	db.AddTable(factB)
+	db.AddTable(dim)
+	return db
+}

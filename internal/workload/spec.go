@@ -1,0 +1,212 @@
+// Package workload generates the synthetic BIRD-like benchmark ("mini-BIRD")
+// the reproduction evaluates on: eight enterprise databases with seeded data,
+// natural-language questions in three difficulty tiers sized to the paper's
+// implied eval-set denominators (93 simple / 28 moderate / 11 challenging),
+// gold SQL, requirement tags, evidence strings, and the query-log/document
+// inputs GenEdit's pre-processing phase builds its knowledge set from.
+package workload
+
+// factSpec describes one fact table of a domain.
+type factSpec struct {
+	Table   string
+	Metric  string
+	Decoy   string // legacy/duplicate metric column ("" when none)
+	DateCol string
+}
+
+// domainSpec declares one synthetic enterprise database: its schema
+// vocabulary, entities, and the domain-specific terminology (jargon) its
+// analysts use.
+type domainSpec struct {
+	DB        string
+	EntityCol string
+	Entities  []string
+	// EntityNoun / MetricNoun / MetricBNoun word the questions.
+	EntityNoun  string
+	MetricNoun  string
+	MetricBNoun string
+
+	RegionCol string
+	Regions   []string
+
+	FlagCol   string
+	OwnedFlag string
+	OtherFlag string
+	// OwnPhrase is how analysts refer to owned entities ("our").
+	OwnPhrase string
+
+	CategoryCol string
+	Categories  []string
+
+	FactA factSpec
+	FactB factSpec
+
+	DimTable   string
+	SegmentCol string
+	Segments   []string
+
+	// RatioTerm is the metricA-per-metricB jargon (e.g. RPV = revenue per
+	// viewer); RatioDesc defines it.
+	RatioTerm string
+	RatioDesc string
+	// ChangeTerm is the quarter-over-quarter performance jargon (QoQFP);
+	// it implies the ratio change with the company's -1 multiplier
+	// convention.
+	ChangeTerm string
+	ChangeDesc string
+	// AdjTerm is the adjusted-metric jargon (e.g. AGR = adjusted gross
+	// revenue): Metric × AdjFactor excluding AdjExcluded categories.
+	AdjTerm     string
+	AdjDesc     string
+	AdjFactor   string
+	AdjExcluded string
+
+	// Intent names for the domain.
+	IntentPerformance string
+	IntentEfficiency  string
+}
+
+// domains is the eight-database suite. The first domain mirrors the paper's
+// running example (sports holding company, QoQFP/RPV).
+var domains = []domainSpec{
+	{
+		DB: "sports_holdings", EntityCol: "ORG_NAME",
+		Entities:   []string{"Orcas", "Pines", "Quarry", "Rapids", "Summit", "Tundra", "Vortex", "Wolves"},
+		EntityNoun: "sports organisation", MetricNoun: "revenue", MetricBNoun: "viewers",
+		RegionCol: "COUNTRY", Regions: []string{"Canada", "USA", "Mexico"},
+		FlagCol: "OWNERSHIP_FLAG_COLUMN", OwnedFlag: "COC", OtherFlag: "EXT", OwnPhrase: "our",
+		CategoryCol: "LEAGUE", Categories: []string{"hockey", "soccer", "exhibition"},
+		FactA:    factSpec{Table: "SPORTS_FINANCIALS", Metric: "REVENUE", Decoy: "REVENUE_LEGACY", DateCol: "FIN_MONTH"},
+		FactB:    factSpec{Table: "SPORTS_VIEWERSHIP", Metric: "VIEWS", DateCol: "VIEW_MONTH"},
+		DimTable: "ORG_DIRECTORY", SegmentCol: "SEGMENT", Segments: []string{"pro", "amateur", "youth"},
+		RatioTerm: "RPV", RatioDesc: "RPV (revenue per viewer) is total revenue divided by total viewers",
+		ChangeTerm: "QoQFP", ChangeDesc: "QoQFP (quarter-over-quarter financial performance) is the change in RPV between consecutive quarters with a -1 multiplier applied",
+		AdjTerm: "AGR", AdjDesc: "AGR (adjusted gross revenue) is revenue scaled by 0.9 excluding exhibition league rows",
+		AdjFactor: "0.9", AdjExcluded: "exhibition",
+		IntentPerformance: "financial performance", IntentEfficiency: "viewership analytics",
+	},
+	{
+		DB: "retail_chain", EntityCol: "STORE_NAME",
+		Entities:   []string{"Aspen", "Birch", "Cedar", "Dogwood", "Elm", "Fir", "Grove", "Hazel"},
+		EntityNoun: "store", MetricNoun: "net sales", MetricBNoun: "visitors",
+		RegionCol: "DISTRICT", Regions: []string{"North", "Central", "South"},
+		FlagCol: "BANNER_FLAG", OwnedFlag: "CORE", OtherFlag: "FRN", OwnPhrase: "our",
+		CategoryCol: "DEPT", Categories: []string{"grocery", "apparel", "clearance"},
+		FactA:    factSpec{Table: "STORE_SALES", Metric: "NET_SALES", Decoy: "NET_SALES_OLD", DateCol: "SALE_MONTH"},
+		FactB:    factSpec{Table: "STORE_TRAFFIC", Metric: "FOOTFALL", DateCol: "TRAFFIC_MONTH"},
+		DimTable: "STORE_DIRECTORY", SegmentCol: "FORMAT", Segments: []string{"flagship", "standard", "outlet"},
+		RatioTerm: "SPV", RatioDesc: "SPV (sales per visitor) is net sales divided by footfall",
+		ChangeTerm: "QoQSP", ChangeDesc: "QoQSP (quarter-over-quarter sales performance) is the change in SPV between consecutive quarters with a -1 multiplier applied",
+		AdjTerm: "ANS", AdjDesc: "ANS (adjusted net sales) is net sales scaled by 0.95 excluding clearance departments",
+		AdjFactor: "0.95", AdjExcluded: "clearance",
+		IntentPerformance: "sales performance", IntentEfficiency: "traffic analytics",
+	},
+	{
+		DB: "healthcare_network", EntityCol: "CLINIC_NAME",
+		Entities:   []string{"Alder", "Basil", "Clover", "Dahlia", "Ember", "Fable", "Garnet", "Harbor"},
+		EntityNoun: "clinic", MetricNoun: "billed amount", MetricBNoun: "visits",
+		RegionCol: "STATE", Regions: []string{"OR", "WA", "ID"},
+		FlagCol: "NETWORK_FLAG", OwnedFlag: "INN", OtherFlag: "OON", OwnPhrase: "our",
+		CategoryCol: "SERVICE_LINE", Categories: []string{"primary", "specialty", "elective"},
+		FactA:    factSpec{Table: "CLINIC_BILLING", Metric: "BILLED_AMOUNT", Decoy: "BILLED_AMOUNT_RAW", DateCol: "BILL_MONTH"},
+		FactB:    factSpec{Table: "CLINIC_VISITS", Metric: "VISITS", DateCol: "VISIT_MONTH"},
+		DimTable: "CLINIC_DIRECTORY", SegmentCol: "TIER", Segments: []string{"urban", "suburban", "rural"},
+		RatioTerm: "BPV", RatioDesc: "BPV (billed per visit) is billed amount divided by visit count",
+		ChangeTerm: "QoQCP", ChangeDesc: "QoQCP (quarter-over-quarter clinical performance) is the change in BPV between consecutive quarters with a -1 multiplier applied",
+		AdjTerm: "ABA", AdjDesc: "ABA (adjusted billed amount) is billed amount scaled by 0.85 excluding elective service lines",
+		AdjFactor: "0.85", AdjExcluded: "elective",
+		IntentPerformance: "billing performance", IntentEfficiency: "visit analytics",
+	},
+	{
+		DB: "logistics_fleet", EntityCol: "ROUTE_NAME",
+		Entities:   []string{"Anchor", "Beacon", "Compass", "Derrick", "Escort", "Freight", "Gantry", "Harbor"},
+		EntityNoun: "route", MetricNoun: "haul cost", MetricBNoun: "deliveries",
+		RegionCol: "CORRIDOR", Regions: []string{"East", "West", "Gulf"},
+		FlagCol: "FLEET_FLAG", OwnedFlag: "OWN", OtherFlag: "3PL", OwnPhrase: "our",
+		CategoryCol: "CARGO_TYPE", Categories: []string{"dry", "reefer", "expedited"},
+		FactA:    factSpec{Table: "ROUTE_COSTS", Metric: "HAUL_COST", Decoy: "HAUL_COST_LEGACY", DateCol: "COST_MONTH"},
+		FactB:    factSpec{Table: "ROUTE_DELIVERIES", Metric: "DELIVERIES", DateCol: "DELIVERY_MONTH"},
+		DimTable: "ROUTE_DIRECTORY", SegmentCol: "MODE", Segments: []string{"rail", "road", "intermodal"},
+		RatioTerm: "CPD", RatioDesc: "CPD (cost per delivery) is haul cost divided by delivery count",
+		ChangeTerm: "QoQLC", ChangeDesc: "QoQLC (quarter-over-quarter logistics cost performance) is the change in CPD between consecutive quarters with a -1 multiplier applied",
+		AdjTerm: "ALC", AdjDesc: "ALC (adjusted logistics cost) is haul cost scaled by 0.9 excluding expedited cargo",
+		AdjFactor: "0.9", AdjExcluded: "expedited",
+		IntentPerformance: "cost performance", IntentEfficiency: "delivery analytics",
+	},
+	{
+		DB: "banking_branches", EntityCol: "BRANCH_NAME",
+		Entities:   []string{"Atlas", "Bedrock", "Cornice", "Drake", "Emblem", "Fulcrum", "Granite", "Helm"},
+		EntityNoun: "branch", MetricNoun: "interest income", MetricBNoun: "accounts",
+		RegionCol: "REGION", Regions: []string{"Coastal", "Inland", "Metro"},
+		FlagCol: "CHARTER_FLAG", OwnedFlag: "CHR", OtherFlag: "AGY", OwnPhrase: "our",
+		CategoryCol: "PRODUCT_LINE", Categories: []string{"mortgage", "commercial", "feewaived"},
+		FactA:    factSpec{Table: "BRANCH_INCOME", Metric: "INTEREST_INCOME", Decoy: "INTEREST_INCOME_PRIOR", DateCol: "INCOME_MONTH"},
+		FactB:    factSpec{Table: "BRANCH_ACCOUNTS", Metric: "ACCOUNTS", DateCol: "ACCT_MONTH"},
+		DimTable: "BRANCH_DIRECTORY", SegmentCol: "TIER", Segments: []string{"hub", "satellite", "kiosk"},
+		RatioTerm: "IPA", RatioDesc: "IPA (income per account) is interest income divided by account count",
+		ChangeTerm: "QoQBP", ChangeDesc: "QoQBP (quarter-over-quarter branch performance) is the change in IPA between consecutive quarters with a -1 multiplier applied",
+		AdjTerm: "AII", AdjDesc: "AII (adjusted interest income) is interest income scaled by 0.92 excluding feewaived product lines",
+		AdjFactor: "0.92", AdjExcluded: "feewaived",
+		IntentPerformance: "income performance", IntentEfficiency: "account analytics",
+	},
+	{
+		DB: "telecom_subscribers", EntityCol: "MARKET_NAME",
+		Entities:   []string{"Aria", "Breve", "Chord", "Diapason", "Encore", "Forte", "Groove", "Hymn"},
+		EntityNoun: "market", MetricNoun: "service revenue", MetricBNoun: "subscribers",
+		RegionCol: "ZONE", Regions: []string{"Urban", "Suburban", "Rural"},
+		FlagCol: "CARRIER_FLAG", OwnedFlag: "MNO", OtherFlag: "MVN", OwnPhrase: "our",
+		CategoryCol: "PLAN_TYPE", Categories: []string{"postpaid", "prepaid", "roaming"},
+		FactA:    factSpec{Table: "MARKET_REVENUE", Metric: "SERVICE_REVENUE", Decoy: "SERVICE_REVENUE_V1", DateCol: "REV_MONTH"},
+		FactB:    factSpec{Table: "MARKET_SUBSCRIBERS", Metric: "SUBSCRIBERS", DateCol: "SUB_MONTH"},
+		DimTable: "MARKET_DIRECTORY", SegmentCol: "DENSITY", Segments: []string{"dense", "standard", "sparse"},
+		RatioTerm: "ARPU", RatioDesc: "ARPU (average revenue per user) is service revenue divided by subscriber count",
+		ChangeTerm: "QoQMP", ChangeDesc: "QoQMP (quarter-over-quarter market performance) is the change in ARPU between consecutive quarters with a -1 multiplier applied",
+		AdjTerm: "ASR", AdjDesc: "ASR (adjusted service revenue) is service revenue scaled by 0.88 excluding roaming plans",
+		AdjFactor: "0.88", AdjExcluded: "roaming",
+		IntentPerformance: "revenue performance", IntentEfficiency: "subscriber analytics",
+	},
+	{
+		DB: "energy_grid", EntityCol: "PLANT_NAME",
+		Entities:   []string{"Aurora", "Bastion", "Cinder", "Dynamo", "Ember", "Flux", "Geyser", "Hearth"},
+		EntityNoun: "plant", MetricNoun: "generation", MetricBNoun: "capacity hours",
+		RegionCol: "GRID_REGION", Regions: []string{"Northern", "Central", "Southern"},
+		FlagCol: "OWNERSHIP_FLAG", OwnedFlag: "UTIL", OtherFlag: "IPP", OwnPhrase: "our",
+		CategoryCol: "FUEL_TYPE", Categories: []string{"hydro", "wind", "peaker"},
+		FactA:    factSpec{Table: "PLANT_OUTPUT", Metric: "MWH_GENERATED", Decoy: "MWH_GENERATED_EST", DateCol: "GEN_MONTH"},
+		FactB:    factSpec{Table: "PLANT_CAPACITY", Metric: "CAPACITY_HOURS", DateCol: "CAP_MONTH"},
+		DimTable: "PLANT_DIRECTORY", SegmentCol: "CLASS", Segments: []string{"baseload", "peaking", "storage"},
+		RatioTerm: "GPC", RatioDesc: "GPC (generation per capacity hour) is MWh generated divided by capacity hours",
+		ChangeTerm: "QoQGP", ChangeDesc: "QoQGP (quarter-over-quarter grid performance) is the change in GPC between consecutive quarters with a -1 multiplier applied",
+		AdjTerm: "ANG", AdjDesc: "ANG (adjusted net generation) is MWh generated scaled by 0.93 excluding peaker fuel rows",
+		AdjFactor: "0.93", AdjExcluded: "peaker",
+		IntentPerformance: "generation performance", IntentEfficiency: "capacity analytics",
+	},
+	{
+		DB: "media_streaming", EntityCol: "TITLE_NAME",
+		Entities:   []string{"Argo", "Boreal", "Cascade", "Drift", "Eclipse", "Fathom", "Glacier", "Horizon"},
+		EntityNoun: "title", MetricNoun: "license revenue", MetricBNoun: "streams",
+		RegionCol: "TERRITORY", Regions: []string{"Americas", "EMEA", "APAC"},
+		FlagCol: "CATALOG_FLAG", OwnedFlag: "ORIG", OtherFlag: "LIC", OwnPhrase: "our",
+		CategoryCol: "GENRE", Categories: []string{"drama", "documentary", "trailer"},
+		FactA:    factSpec{Table: "TITLE_REVENUE", Metric: "LICENSE_REVENUE", Decoy: "LICENSE_REVENUE_GROSS", DateCol: "REV_MONTH"},
+		FactB:    factSpec{Table: "TITLE_STREAMS", Metric: "STREAMS", DateCol: "STREAM_MONTH"},
+		DimTable: "TITLE_DIRECTORY", SegmentCol: "FORMAT", Segments: []string{"series", "film", "short"},
+		RatioTerm: "RPS", RatioDesc: "RPS (revenue per stream) is license revenue divided by stream count",
+		ChangeTerm: "QoQTP", ChangeDesc: "QoQTP (quarter-over-quarter title performance) is the change in RPS between consecutive quarters with a -1 multiplier applied",
+		AdjTerm: "ALR", AdjDesc: "ALR (adjusted license revenue) is license revenue scaled by 0.9 excluding trailer genre rows",
+		AdjFactor: "0.9", AdjExcluded: "trailer",
+		IntentPerformance: "licensing performance", IntentEfficiency: "streaming analytics",
+	},
+}
+
+// Domains exposes the domain count for tests and tools.
+func Domains() int { return len(domains) }
+
+// DomainNames lists the synthetic database names in suite order.
+func DomainNames() []string {
+	out := make([]string, len(domains))
+	for i, d := range domains {
+		out[i] = d.DB
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"genedit/internal/task"
+)
+
+func TestSuiteSizesMatchPaperDenominators(t *testing.T) {
+	s := NewSuite(1)
+	if got := len(s.CasesByDifficulty(task.Simple)); got != SimpleCount {
+		t.Errorf("simple cases = %d, want %d", got, SimpleCount)
+	}
+	if got := len(s.CasesByDifficulty(task.Moderate)); got != ModerateCount {
+		t.Errorf("moderate cases = %d, want %d", got, ModerateCount)
+	}
+	if got := len(s.CasesByDifficulty(task.Challenging)); got != ChallengingCount {
+		t.Errorf("challenging cases = %d, want %d", got, ChallengingCount)
+	}
+	if got := len(s.Cases); got != SimpleCount+ModerateCount+ChallengingCount {
+		t.Errorf("total cases = %d, want 132", got)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := NewSuite(7)
+	b := NewSuite(7)
+	if len(a.Cases) != len(b.Cases) {
+		t.Fatal("case counts differ across identical seeds")
+	}
+	for i := range a.Cases {
+		if a.Cases[i].ID != b.Cases[i].ID || a.Cases[i].GoldSQL != b.Cases[i].GoldSQL {
+			t.Fatalf("case %d differs across identical seeds", i)
+		}
+	}
+	ta := a.Databases["sports_holdings"].Table("SPORTS_FINANCIALS")
+	tb := b.Databases["sports_holdings"].Table("SPORTS_FINANCIALS")
+	for i := range ta.Rows {
+		for j := range ta.Rows[i] {
+			if !ta.Rows[i][j].Equal(tb.Rows[i][j]) && !(ta.Rows[i][j].IsNull() && tb.Rows[i][j].IsNull()) {
+				t.Fatalf("data row %d differs across identical seeds", i)
+			}
+		}
+	}
+}
+
+func TestSuiteSeedChangesData(t *testing.T) {
+	a := NewSuite(1)
+	b := NewSuite(2)
+	ta := a.Databases["sports_holdings"].Table("SPORTS_FINANCIALS")
+	tb := b.Databases["sports_holdings"].Table("SPORTS_FINANCIALS")
+	same := true
+	for i := range ta.Rows {
+		if !ta.Rows[i][2].Equal(tb.Rows[i][2]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical metric data")
+	}
+}
+
+func TestValidateGold(t *testing.T) {
+	s := NewSuite(1)
+	if err := s.ValidateGold(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCasesCarryDerivedFields(t *testing.T) {
+	s := NewSuite(1)
+	for _, c := range s.Cases {
+		if c.Steps < 2 {
+			t.Errorf("case %s has %d steps; decomposition looks wrong", c.ID, c.Steps)
+		}
+		if len(c.Needed) == 0 {
+			t.Errorf("case %s has no needed schema elements", c.ID)
+		}
+		if c.Question == "" || c.GoldSQL == "" {
+			t.Errorf("case %s missing question or gold", c.ID)
+		}
+	}
+}
+
+func TestChallengingCasesAreComplex(t *testing.T) {
+	s := NewSuite(1)
+	for _, c := range s.CasesByDifficulty(task.Challenging) {
+		if c.Steps < 8 {
+			t.Errorf("challenging case %s has only %d steps", c.ID, c.Steps)
+		}
+	}
+	for _, c := range s.CasesByDifficulty(task.Simple) {
+		if c.Steps > 8 {
+			t.Errorf("simple case %s has %d steps; tiering looks wrong", c.ID, c.Steps)
+		}
+	}
+}
+
+func TestJargonDistribution(t *testing.T) {
+	s := NewSuite(1)
+	count := func(d task.Difficulty) int {
+		n := 0
+		for _, c := range s.CasesByDifficulty(d) {
+			if len(c.Terms) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(task.Simple); got < 12 || got > 18 {
+		t.Errorf("simple jargon cases = %d, want 12-18 (paper's w/o-instructions drop implies ~13)", got)
+	}
+	if got := count(task.Moderate); got < 5 || got > 9 {
+		t.Errorf("moderate jargon cases = %d, want 5-9", got)
+	}
+	if got := count(task.Challenging); got > 3 {
+		t.Errorf("challenging jargon cases = %d, want <= 3 (paper shows challenging is complexity-bound)", got)
+	}
+}
+
+func TestRegistryResolvesAllQuestions(t *testing.T) {
+	s := NewSuite(1)
+	for _, c := range s.Cases {
+		if got := s.Registry.Lookup(c.Question); got != c {
+			t.Errorf("registry failed to resolve %s", c.ID)
+		}
+		if got := s.Registry.Lookup("Show me " + c.Question); got != c {
+			t.Errorf("registry failed to resolve reformulated %s", c.ID)
+		}
+	}
+}
+
+func TestBuildKnowledgePerDatabase(t *testing.T) {
+	s := NewSuite(1)
+	for _, db := range DomainNames() {
+		set, err := s.BuildKnowledge(db)
+		if err != nil {
+			t.Fatalf("BuildKnowledge(%s): %v", db, err)
+		}
+		st := set.Stats()
+		if st.Examples < 30 {
+			t.Errorf("%s: only %d examples in knowledge set", db, st.Examples)
+		}
+		if st.Instructions != 6 {
+			t.Errorf("%s: %d instructions, want 6", db, st.Instructions)
+		}
+		if len(set.TermsIndex()) < 4 {
+			t.Errorf("%s: terms index %v too small", db, set.TermsIndex())
+		}
+	}
+	if _, err := s.BuildKnowledge("nope"); err == nil {
+		t.Error("BuildKnowledge of unknown database should fail")
+	}
+}
+
+func TestReplaceColumn(t *testing.T) {
+	got := replaceColumn("SELECT REVENUE, REVENUE_LEGACY FROM T WHERE REVENUE > 1", "REVENUE", "X")
+	want := "SELECT X, REVENUE_LEGACY FROM T WHERE X > 1"
+	if got != want {
+		t.Errorf("replaceColumn = %q, want %q", got, want)
+	}
+}
+
+func TestEvidencePresentOnJargonCases(t *testing.T) {
+	s := NewSuite(1)
+	for _, c := range s.Cases {
+		for _, tr := range c.Terms {
+			if c.Evidence == "" {
+				t.Errorf("jargon case %s has no evidence string", c.ID)
+			}
+			if !strings.Contains(strings.ToUpper(c.Evidence), strings.ToUpper(tr.Term)) {
+				t.Errorf("case %s evidence does not mention term %s", c.ID, tr.Term)
+			}
+		}
+	}
+}

@@ -1,0 +1,473 @@
+package workload
+
+import (
+	"fmt"
+
+	"genedit/internal/knowledge"
+	"genedit/internal/task"
+)
+
+// SQL string helpers keep the templates readable.
+
+func yearIs(dateCol string, year int) string {
+	return fmt.Sprintf("YEAR(%s) = %d", dateCol, year)
+}
+
+func quarterExpr(dateCol string) string {
+	return fmt.Sprintf("TO_CHAR(%s, 'YYYY\"Q\"Q')", dateCol)
+}
+
+func monthExpr(dateCol string) string {
+	return fmt.Sprintf("TO_CHAR(%s, 'YYYY-MM')", dateCol)
+}
+
+func quarterPivot(dateCol, metric, q string, alias string) string {
+	return fmt.Sprintf("SUM(CASE WHEN %s = '%s' THEN %s ELSE 0 END) AS %s",
+		quarterExpr(dateCol), q, metric, alias)
+}
+
+// simpleCases builds the per-domain simple tier (12 cases).
+func (d *domainSpec) simpleCases() []*task.Case {
+	fa := d.FactA
+	var out []*task.Case
+	add := func(tmpl, question, gold string, mod func(*task.Case)) {
+		c := &task.Case{
+			ID:         fmt.Sprintf("%s-%s", d.DB, tmpl),
+			DB:         d.DB,
+			Difficulty: task.Simple,
+			Intent:     d.IntentPerformance,
+			Question:   question,
+			GoldSQL:    gold,
+		}
+		if mod != nil {
+			mod(c)
+		}
+		out = append(out, c)
+	}
+
+	// s-top-1 / s-top-2: top-N by total metric.
+	for i, p := range []struct {
+		n      int
+		region string
+	}{{5, d.Regions[0]}, {3, d.Regions[1]}} {
+		p := p
+		add(fmt.Sprintf("s-top-%d", i+1),
+			fmt.Sprintf("top %d %ss by total %s in %s for 2023", p.n, d.EntityNoun, d.MetricNoun, p.region),
+			fmt.Sprintf("SELECT %s, SUM(%s) AS TOTAL FROM %s WHERE %s = '%s' AND %s GROUP BY %s ORDER BY TOTAL DESC LIMIT %d",
+				d.EntityCol, fa.Metric, fa.Table, d.RegionCol, p.region, yearIs(fa.DateCol, 2023), d.EntityCol, p.n),
+			nil)
+	}
+
+	// s-count: row counts per category.
+	add("s-count",
+		fmt.Sprintf("number of %s records per %s in 2023", d.MetricNoun, d.CategoryCol),
+		fmt.Sprintf("SELECT %s, COUNT(*) AS N FROM %s WHERE %s GROUP BY %s ORDER BY %s",
+			d.CategoryCol, fa.Table, yearIs(fa.DateCol, 2023), d.CategoryCol, d.CategoryCol),
+		nil)
+
+	// s-list-1 / s-list-2: entities above a threshold in a month.
+	for i, p := range []struct {
+		v     int
+		month string
+	}{{1200, "2023-05"}, {1500, "2023-10"}} {
+		p := p
+		add(fmt.Sprintf("s-list-%d", i+1),
+			fmt.Sprintf("which %ss recorded %s above %d in %s", d.EntityNoun, d.MetricNoun, p.v, p.month),
+			fmt.Sprintf("SELECT DISTINCT %s FROM %s WHERE %s > %d AND %s = '%s' ORDER BY %s",
+				d.EntityCol, fa.Table, fa.Metric, p.v, monthExpr(fa.DateCol), p.month, d.EntityCol),
+			nil)
+	}
+
+	// s-avg-1 / s-avg-2: average metric in region/month.
+	for i, p := range []struct {
+		region string
+		month  string
+	}{{d.Regions[0], "2023-03"}, {d.Regions[2], "2023-08"}} {
+		p := p
+		add(fmt.Sprintf("s-avg-%d", i+1),
+			fmt.Sprintf("average %s in %s during %s", d.MetricNoun, p.region, p.month),
+			fmt.Sprintf("SELECT AVG(%s) AS AVG_VALUE FROM %s WHERE %s = '%s' AND %s = '%s'",
+				fa.Metric, fa.Table, d.RegionCol, p.region, monthExpr(fa.DateCol), p.month),
+			nil)
+	}
+
+	// s-decoy: generic metric totals where the legacy column tempts.
+	gold := fmt.Sprintf("SELECT %s, SUM(%s) AS TOTAL FROM %s WHERE %s = '%s' AND %s GROUP BY %s ORDER BY %s",
+		d.EntityCol, fa.Metric, fa.Table, d.RegionCol, d.Regions[0], yearIs(fa.DateCol, 2023), d.EntityCol, d.EntityCol)
+	add("s-decoy",
+		fmt.Sprintf("total %s per %s in %s for 2023", d.MetricNoun, d.EntityNoun, d.Regions[0]),
+		gold,
+		func(c *task.Case) {
+			c.Decoys = []task.DecoyRequirement{{
+				CorrectColumn: fa.Metric, DecoyColumn: fa.Decoy, Table: fa.Table,
+				WrongSQL: replaceColumn(gold, fa.Metric, fa.Decoy),
+			}}
+		})
+
+	// s-our: the company-specific "our" filter (jargon).
+	goldOur := fmt.Sprintf("SELECT SUM(%s) AS TOTAL FROM %s WHERE %s = '%s' AND %s",
+		fa.Metric, fa.Table, d.FlagCol, d.OwnedFlag, yearIs(fa.DateCol, 2023))
+	wrongOur := fmt.Sprintf("SELECT SUM(%s) AS TOTAL FROM %s WHERE %s",
+		fa.Metric, fa.Table, yearIs(fa.DateCol, 2023))
+	add("s-our",
+		fmt.Sprintf("total %s for %s %ss in 2023", d.MetricNoun, d.OwnPhrase, d.EntityNoun),
+		goldOur,
+		func(c *task.Case) {
+			c.Terms = []task.TermRequirement{{Term: d.OwnPhrase, WrongSQL: wrongOur}}
+			c.Evidence = fmt.Sprintf("%s %ss are those with %s = '%s'",
+				d.OwnPhrase, d.EntityNoun, d.FlagCol, d.OwnedFlag)
+		})
+
+	// s-adj: the adjusted-metric acronym (jargon).
+	goldAdj := fmt.Sprintf(
+		"SELECT %s, SUM(CASE WHEN %s <> '%s' THEN %s * %s ELSE 0 END) AS ADJUSTED FROM %s WHERE %s GROUP BY %s ORDER BY %s",
+		d.EntityCol, d.CategoryCol, d.AdjExcluded, fa.Metric, d.AdjFactor, fa.Table,
+		yearIs(fa.DateCol, 2023), d.EntityCol, d.EntityCol)
+	wrongAdj := fmt.Sprintf("SELECT %s, SUM(%s) AS ADJUSTED FROM %s WHERE %s GROUP BY %s ORDER BY %s",
+		d.EntityCol, fa.Metric, fa.Table, yearIs(fa.DateCol, 2023), d.EntityCol, d.EntityCol)
+	add("s-adj",
+		fmt.Sprintf("%s per %s for 2023", d.AdjTerm, d.EntityNoun),
+		goldAdj,
+		func(c *task.Case) {
+			c.Terms = []task.TermRequirement{{Term: d.AdjTerm, WrongSQL: wrongAdj}}
+			c.Evidence = d.AdjDesc
+		})
+
+	// s-min: per-entity minimum.
+	add("s-min",
+		fmt.Sprintf("lowest single month %s for each %s in %s", d.MetricNoun, d.EntityNoun, d.Regions[1]),
+		fmt.Sprintf("SELECT %s, MIN(%s) AS LOW FROM %s WHERE %s = '%s' GROUP BY %s ORDER BY %s",
+			d.EntityCol, fa.Metric, fa.Table, d.RegionCol, d.Regions[1], d.EntityCol, d.EntityCol),
+		nil)
+
+	// s-month: best month of 2023.
+	add("s-month",
+		fmt.Sprintf("which month had the highest total %s in 2023", d.MetricNoun),
+		fmt.Sprintf("SELECT %s AS MONTH, SUM(%s) AS TOTAL FROM %s WHERE %s GROUP BY %s ORDER BY TOTAL DESC LIMIT 1",
+			monthExpr(fa.DateCol), fa.Metric, fa.Table, yearIs(fa.DateCol, 2023), monthExpr(fa.DateCol)),
+		nil)
+
+	return out
+}
+
+// moderateCases builds the per-domain moderate tier (4 cases).
+func (d *domainSpec) moderateCases() []*task.Case {
+	fa, fb := d.FactA, d.FactB
+	var out []*task.Case
+	add := func(tmpl, question, gold, intent string, mod func(*task.Case)) {
+		c := &task.Case{
+			ID:         fmt.Sprintf("%s-%s", d.DB, tmpl),
+			DB:         d.DB,
+			Difficulty: task.Moderate,
+			Intent:     intent,
+			Question:   question,
+			GoldSQL:    gold,
+		}
+		if mod != nil {
+			mod(c)
+		}
+		out = append(out, c)
+	}
+
+	// m-segment: dim join + HAVING.
+	add("m-segment",
+		fmt.Sprintf("total %s by %s for segments with more than one %s-flag %s in 2023",
+			d.MetricNoun, d.SegmentCol, d.OwnedFlag, d.EntityNoun),
+		fmt.Sprintf(
+			"SELECT d.%s, SUM(f.%s) AS TOTAL FROM %s f JOIN %s d ON f.%s = d.%s WHERE %s AND f.%s = '%s' GROUP BY d.%s HAVING COUNT(DISTINCT f.%s) > 1 ORDER BY d.%s",
+			d.SegmentCol, fa.Metric, fa.Table, d.DimTable, d.EntityCol, d.EntityCol,
+			yearIs("f."+fa.DateCol, 2023), d.FlagCol, d.OwnedFlag, d.SegmentCol, d.EntityCol, d.SegmentCol),
+		d.IntentPerformance, nil)
+
+	// m-ratio: the domain ratio term across both fact tables (jargon).
+	goldRatio := fmt.Sprintf(
+		"WITH A AS (SELECT %s, SUM(%s) AS TOTAL_A FROM %s WHERE %s AND %s = '%s' GROUP BY %s), B AS (SELECT %s, SUM(%s) AS TOTAL_B FROM %s WHERE %s AND %s = '%s' GROUP BY %s) SELECT a.%s, CAST(a.TOTAL_A AS FLOAT) / NULLIF(b.TOTAL_B, 0) AS %s FROM A a JOIN B b ON a.%s = b.%s ORDER BY a.%s",
+		d.EntityCol, fa.Metric, fa.Table, yearIs(fa.DateCol, 2023), d.RegionCol, d.Regions[2], d.EntityCol,
+		d.EntityCol, fb.Metric, fb.Table, yearIs(fb.DateCol, 2023), d.RegionCol, d.Regions[2], d.EntityCol,
+		d.EntityCol, d.RatioTerm, d.EntityCol, d.EntityCol, d.EntityCol)
+	wrongRatio := fmt.Sprintf("SELECT %s, SUM(%s) AS %s FROM %s WHERE %s AND %s = '%s' GROUP BY %s ORDER BY %s",
+		d.EntityCol, fa.Metric, d.RatioTerm, fa.Table, yearIs(fa.DateCol, 2023), d.RegionCol, d.Regions[2], d.EntityCol, d.EntityCol)
+	add("m-ratio",
+		fmt.Sprintf("%s per %s in %s for 2023", d.RatioTerm, d.EntityNoun, d.Regions[2]),
+		goldRatio,
+		d.IntentEfficiency,
+		func(c *task.Case) {
+			c.Terms = []task.TermRequirement{{Term: d.RatioTerm, WrongSQL: wrongRatio}}
+			c.Evidence = d.RatioDesc
+		})
+
+	// m-pivot: conditional aggregation across quarters.
+	add("m-pivot",
+		fmt.Sprintf("compare Q1 and Q2 2023 total %s per %s in %s excluding %s rows",
+			d.MetricNoun, d.EntityNoun, d.Regions[0], d.Categories[2]),
+		fmt.Sprintf(
+			"SELECT %s, %s, %s FROM %s WHERE %s IN ('2023Q1', '2023Q2') AND %s = '%s' AND %s <> '%s' GROUP BY %s ORDER BY %s",
+			d.EntityCol,
+			quarterPivot(fa.DateCol, fa.Metric, "2023Q1", "Q1_TOTAL"),
+			quarterPivot(fa.DateCol, fa.Metric, "2023Q2", "Q2_TOTAL"),
+			fa.Table, quarterExpr(fa.DateCol), d.RegionCol, d.Regions[0],
+			d.CategoryCol, d.Categories[2], d.EntityCol, d.EntityCol),
+		d.IntentPerformance, nil)
+
+	// m-above: entities above the average total (CTE + scalar subquery).
+	add("m-above",
+		fmt.Sprintf("which %ss had 2023 total %s above the average across all %ss, counting only %s category rows",
+			d.EntityNoun, d.MetricNoun, d.EntityNoun, d.Categories[0]),
+		fmt.Sprintf(
+			"WITH TOTALS AS (SELECT %s, SUM(%s) AS TOTAL FROM %s WHERE %s AND %s = '%s' GROUP BY %s) SELECT %s, TOTAL FROM TOTALS WHERE TOTAL > (SELECT AVG(TOTAL) FROM TOTALS) ORDER BY %s",
+			d.EntityCol, fa.Metric, fa.Table, yearIs(fa.DateCol, 2023), d.CategoryCol, d.Categories[0], d.EntityCol,
+			d.EntityCol, d.EntityCol),
+		d.IntentPerformance, nil)
+
+	return out
+}
+
+// challengingCases builds the per-domain challenging tier (2 cases).
+func (d *domainSpec) challengingCases(termGated bool) []*task.Case {
+	fa, fb := d.FactA, d.FactB
+	var out []*task.Case
+
+	// c-qoq: the appendix-style best/worst quarter-over-quarter ratio
+	// change with window ranks.
+	region := d.Regions[0]
+	goldQoQ := fmt.Sprintf(
+		"WITH FIN AS (SELECT %s, %s, %s FROM %s WHERE %s IN ('2023Q1', '2023Q2') AND %s = '%s' GROUP BY %s), "+
+			"VOL AS (SELECT %s, %s, %s FROM %s WHERE %s IN ('2023Q1', '2023Q2') AND %s = '%s' GROUP BY %s), "+
+			"CHG AS (SELECT f.%s AS ENTITY, -1 * ((CAST(f.A2 AS FLOAT) / NULLIF(v.B2, 0)) - (CAST(f.A1 AS FLOAT) / NULLIF(v.B1, 0))) AS PERF FROM FIN f JOIN VOL v ON f.%s = v.%s), "+
+			"RANKED AS (SELECT ENTITY, PERF, ROW_NUMBER() OVER (ORDER BY PERF DESC) AS BEST_RANK, ROW_NUMBER() OVER (ORDER BY PERF ASC) AS WORST_RANK FROM CHG) "+
+			"SELECT BEST_RANK, ENTITY, PERF FROM RANKED WHERE BEST_RANK <= 3 OR WORST_RANK <= 3 ORDER BY BEST_RANK",
+		d.EntityCol, quarterPivot(fa.DateCol, fa.Metric, "2023Q1", "A1"), quarterPivot(fa.DateCol, fa.Metric, "2023Q2", "A2"),
+		fa.Table, quarterExpr(fa.DateCol), d.RegionCol, region, d.EntityCol,
+		d.EntityCol, quarterPivot(fb.DateCol, fb.Metric, "2023Q1", "B1"), quarterPivot(fb.DateCol, fb.Metric, "2023Q2", "B2"),
+		fb.Table, quarterExpr(fb.DateCol), d.RegionCol, region, d.EntityCol,
+		d.EntityCol, d.EntityCol, d.EntityCol)
+	wrongQoQ := fmt.Sprintf(
+		"WITH FIN AS (SELECT %s, %s, %s FROM %s WHERE %s IN ('2023Q1', '2023Q2') AND %s = '%s' GROUP BY %s) "+
+			"SELECT %s, A2 - A1 AS PERF FROM FIN ORDER BY PERF DESC LIMIT 3",
+		d.EntityCol, quarterPivot(fa.DateCol, fa.Metric, "2023Q1", "A1"), quarterPivot(fa.DateCol, fa.Metric, "2023Q2", "A2"),
+		fa.Table, quarterExpr(fa.DateCol), d.RegionCol, region, d.EntityCol, d.EntityCol)
+
+	qoq := &task.Case{
+		ID:         fmt.Sprintf("%s-c-qoq", d.DB),
+		DB:         d.DB,
+		Difficulty: task.Challenging,
+		Intent:     d.IntentPerformance,
+		GoldSQL:    goldQoQ,
+		Patterns:   []string{"quarter_pivot", "ratio", "window_rank"},
+		Fragile:    true,
+		Decoys: []task.DecoyRequirement{{
+			CorrectColumn: fa.Metric, DecoyColumn: fa.Decoy, Table: fa.Table,
+			WrongSQL: replaceColumn(goldQoQ, fa.Metric, fa.Decoy),
+		}},
+	}
+	if termGated {
+		qoq.Question = fmt.Sprintf("the 3 %ss with the best and worst %s in %s for Q2 2023",
+			d.EntityNoun, d.ChangeTerm, region)
+		qoq.Terms = []task.TermRequirement{{Term: d.ChangeTerm, WrongSQL: wrongQoQ}}
+		qoq.Evidence = d.ChangeDesc + "; " + d.RatioDesc
+	} else {
+		qoq.Question = fmt.Sprintf(
+			"rank %ss in %s by the drop in %s per %s from Q1 to Q2 2023 and show the best and worst 3",
+			d.EntityNoun, region, d.MetricNoun, d.MetricBNoun)
+		qoq.Evidence = d.RatioDesc
+	}
+	out = append(out, qoq)
+
+	// c-share: share-of-total with window aggregate and rank over a joined
+	// CTE.
+	goldShare := fmt.Sprintf(
+		"WITH TOTALS AS (SELECT f.%s AS ENTITY, d.%s AS SEGMENT, SUM(f.%s) AS TOTAL FROM %s f JOIN %s d ON f.%s = d.%s WHERE %s AND f.%s = '%s' GROUP BY f.%s, d.%s), "+
+			"RANKED AS (SELECT ENTITY, SEGMENT, TOTAL, CAST(TOTAL AS FLOAT) / NULLIF(SUM(TOTAL) OVER (), 0) AS SHARE, RANK() OVER (ORDER BY TOTAL DESC) AS RNK FROM TOTALS) "+
+			"SELECT RNK, ENTITY, SEGMENT, TOTAL, SHARE FROM RANKED WHERE RNK <= 5 ORDER BY RNK",
+		d.EntityCol, d.SegmentCol, fa.Metric, fa.Table, d.DimTable, d.EntityCol, d.EntityCol,
+		yearIs("f."+fa.DateCol, 2023), d.RegionCol, d.Regions[1], d.EntityCol, d.SegmentCol)
+	share := &task.Case{
+		ID:         fmt.Sprintf("%s-c-share", d.DB),
+		DB:         d.DB,
+		Difficulty: task.Challenging,
+		Intent:     d.IntentPerformance,
+		Question: fmt.Sprintf("share of total 2023 %s and rank for each %s in %s including its %s",
+			d.MetricNoun, d.EntityNoun, d.Regions[1], d.SegmentCol),
+		GoldSQL:  goldShare,
+		Patterns: []string{"window_share", "window_rank", "dim_join"},
+		Fragile:  true,
+		Decoys: []task.DecoyRequirement{{
+			CorrectColumn: fa.Metric, DecoyColumn: fa.Decoy, Table: fa.Table,
+			WrongSQL: replaceColumn(goldShare, fa.Metric, fa.Decoy),
+		}},
+	}
+	out = append(out, share)
+	return out
+}
+
+// replaceColumn swaps a column identifier in SQL text. Column names in the
+// synthetic schemas are unique, so plain token replacement is unambiguous.
+func replaceColumn(sql, from, to string) string {
+	out := ""
+	for i := 0; i < len(sql); {
+		if matchWord(sql, i, from) {
+			out += to
+			i += len(from)
+			continue
+		}
+		out += string(sql[i])
+		i++
+	}
+	return out
+}
+
+func matchWord(s string, i int, word string) bool {
+	if i+len(word) > len(s) || s[i:i+len(word)] != word {
+		return false
+	}
+	isWordByte := func(c byte) bool {
+		return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	}
+	if i > 0 && isWordByte(s[i-1]) {
+		return false
+	}
+	if i+len(word) < len(s) && isWordByte(s[i+len(word)]) {
+		return false
+	}
+	return true
+}
+
+// logEntries builds the per-domain historical query log used by
+// pre-processing. The entries are parameter variants of the eval templates
+// (different year, region, thresholds) plus partial building blocks of the
+// challenging queries — production logs contain the pieces, not the exact
+// 16-step monster.
+func (d *domainSpec) logEntries() []knowledge.LogEntry {
+	fa, fb := d.FactA, d.FactB
+	var out []knowledge.LogEntry
+	add := func(id, question, sql, intent string, terms ...string) {
+		out = append(out, knowledge.LogEntry{
+			ID: d.DB + "-" + id, Question: question, SQL: sql,
+			IntentName: intent, Terms: terms,
+		})
+	}
+
+	add("log-top",
+		fmt.Sprintf("top 4 %ss by total %s in %s for 2022", d.EntityNoun, d.MetricNoun, d.Regions[2]),
+		fmt.Sprintf("SELECT %s, SUM(%s) AS TOTAL FROM %s WHERE %s = '%s' AND %s GROUP BY %s ORDER BY TOTAL DESC LIMIT 4",
+			d.EntityCol, fa.Metric, fa.Table, d.RegionCol, d.Regions[2], yearIs(fa.DateCol, 2022), d.EntityCol),
+		d.IntentPerformance)
+
+	add("log-list",
+		fmt.Sprintf("%ss with %s above 900 in 2022-09", d.EntityNoun, d.MetricNoun),
+		fmt.Sprintf("SELECT DISTINCT %s FROM %s WHERE %s > 900 AND %s = '2022-09' ORDER BY %s",
+			d.EntityCol, fa.Table, fa.Metric, monthExpr(fa.DateCol), d.EntityCol),
+		d.IntentPerformance)
+
+	add("log-avg",
+		fmt.Sprintf("average %s in %s during 2022-11", d.MetricNoun, d.Regions[1]),
+		fmt.Sprintf("SELECT AVG(%s) AS AVG_VALUE FROM %s WHERE %s = '%s' AND %s = '2022-11'",
+			fa.Metric, fa.Table, d.RegionCol, d.Regions[1], monthExpr(fa.DateCol)),
+		d.IntentPerformance)
+
+	add("log-our",
+		fmt.Sprintf("total %s for %s %ss in 2022", d.MetricNoun, d.OwnPhrase, d.EntityNoun),
+		fmt.Sprintf("SELECT SUM(%s) AS TOTAL FROM %s WHERE %s = '%s' AND %s",
+			fa.Metric, fa.Table, d.FlagCol, d.OwnedFlag, yearIs(fa.DateCol, 2022)),
+		d.IntentPerformance, d.OwnPhrase)
+
+	add("log-adj",
+		fmt.Sprintf("%s per %s for 2022", d.AdjTerm, d.EntityNoun),
+		fmt.Sprintf(
+			"SELECT %s, SUM(CASE WHEN %s <> '%s' THEN %s * %s ELSE 0 END) AS ADJUSTED FROM %s WHERE %s GROUP BY %s ORDER BY %s",
+			d.EntityCol, d.CategoryCol, d.AdjExcluded, fa.Metric, d.AdjFactor, fa.Table,
+			yearIs(fa.DateCol, 2022), d.EntityCol, d.EntityCol),
+		d.IntentPerformance, d.AdjTerm)
+
+	add("log-segment",
+		fmt.Sprintf("total %s by %s in 2022", d.MetricNoun, d.SegmentCol),
+		fmt.Sprintf(
+			"SELECT d.%s, SUM(f.%s) AS TOTAL FROM %s f JOIN %s d ON f.%s = d.%s WHERE %s GROUP BY d.%s ORDER BY d.%s",
+			d.SegmentCol, fa.Metric, fa.Table, d.DimTable, d.EntityCol, d.EntityCol,
+			yearIs("f."+fa.DateCol, 2022), d.SegmentCol, d.SegmentCol),
+		d.IntentPerformance)
+
+	add("log-pivot",
+		fmt.Sprintf("compare Q3 and Q4 2022 total %s per %s", d.MetricNoun, d.EntityNoun),
+		fmt.Sprintf(
+			"SELECT %s, %s, %s FROM %s WHERE %s IN ('2022Q3', '2022Q4') GROUP BY %s ORDER BY %s",
+			d.EntityCol,
+			quarterPivot(fa.DateCol, fa.Metric, "2022Q3", "Q1_TOTAL"),
+			quarterPivot(fa.DateCol, fa.Metric, "2022Q4", "Q2_TOTAL"),
+			fa.Table, quarterExpr(fa.DateCol), d.EntityCol, d.EntityCol),
+		d.IntentPerformance)
+
+	add("log-ratio",
+		fmt.Sprintf("%s per %s for 2022", d.RatioTerm, d.EntityNoun),
+		fmt.Sprintf(
+			"WITH A AS (SELECT %s, SUM(%s) AS TOTAL_A FROM %s WHERE %s GROUP BY %s), B AS (SELECT %s, SUM(%s) AS TOTAL_B FROM %s WHERE %s GROUP BY %s) SELECT a.%s, CAST(a.TOTAL_A AS FLOAT) / NULLIF(b.TOTAL_B, 0) AS %s FROM A a JOIN B b ON a.%s = b.%s ORDER BY a.%s",
+			d.EntityCol, fa.Metric, fa.Table, yearIs(fa.DateCol, 2022), d.EntityCol,
+			d.EntityCol, fb.Metric, fb.Table, yearIs(fb.DateCol, 2022), d.EntityCol,
+			d.EntityCol, d.RatioTerm, d.EntityCol, d.EntityCol, d.EntityCol),
+		d.IntentEfficiency, d.RatioTerm)
+
+	// Partial building blocks of the challenging tier: a standalone ranking
+	// query and a standalone ratio-change query over 2022 quarters.
+	add("log-rank",
+		fmt.Sprintf("rank %ss by total 2022 %s", d.EntityNoun, d.MetricNoun),
+		fmt.Sprintf(
+			"WITH TOTALS AS (SELECT %s AS ENTITY, SUM(%s) AS TOTAL FROM %s WHERE %s GROUP BY %s) SELECT ENTITY, TOTAL, ROW_NUMBER() OVER (ORDER BY TOTAL DESC) AS RNK FROM TOTALS ORDER BY RNK",
+			d.EntityCol, fa.Metric, fa.Table, yearIs(fa.DateCol, 2022), d.EntityCol),
+		d.IntentPerformance)
+
+	add("log-change",
+		fmt.Sprintf("change in %s per %s between Q3 and Q4 2022 per %s with the -1 sign convention",
+			d.MetricNoun, d.MetricBNoun, d.EntityNoun),
+		fmt.Sprintf(
+			"WITH FIN AS (SELECT %s, %s, %s FROM %s WHERE %s IN ('2022Q3', '2022Q4') GROUP BY %s), "+
+				"VOL AS (SELECT %s, %s, %s FROM %s WHERE %s IN ('2022Q3', '2022Q4') GROUP BY %s) "+
+				"SELECT f.%s AS ENTITY, -1 * ((CAST(f.A2 AS FLOAT) / NULLIF(v.B2, 0)) - (CAST(f.A1 AS FLOAT) / NULLIF(v.B1, 0))) AS PERF FROM FIN f JOIN VOL v ON f.%s = v.%s ORDER BY PERF DESC",
+			d.EntityCol, quarterPivot(fa.DateCol, fa.Metric, "2022Q3", "A1"), quarterPivot(fa.DateCol, fa.Metric, "2022Q4", "A2"),
+			fa.Table, quarterExpr(fa.DateCol), d.EntityCol,
+			d.EntityCol, quarterPivot(fb.DateCol, fb.Metric, "2022Q3", "B1"), quarterPivot(fb.DateCol, fb.Metric, "2022Q4", "B2"),
+			fb.Table, quarterExpr(fb.DateCol), d.EntityCol,
+			d.EntityCol, d.EntityCol, d.EntityCol),
+		d.IntentPerformance, d.ChangeTerm)
+
+	return out
+}
+
+// document builds the per-domain terminology/practices document.
+func (d *domainSpec) document() knowledge.Document {
+	return knowledge.Document{
+		Title: d.DB + "-glossary",
+		Entries: []knowledge.DocEntry{
+			{
+				Term: d.RatioTerm, Definition: d.RatioDesc,
+				SQLHint:    fmt.Sprintf("CAST(SUM(%s) AS FLOAT) / NULLIF(SUM(%s), 0)", d.FactA.Metric, d.FactB.Metric),
+				IntentName: d.IntentEfficiency,
+			},
+			{
+				Term: d.ChangeTerm, Definition: d.ChangeDesc,
+				SQLHint:    "-1 * (current_quarter_ratio - prior_quarter_ratio)",
+				IntentName: d.IntentPerformance,
+			},
+			{
+				Term: d.OwnPhrase,
+				Definition: fmt.Sprintf("'%s %ss' means rows where %s = '%s'",
+					d.OwnPhrase, d.EntityNoun, d.FlagCol, d.OwnedFlag),
+				SQLHint:    fmt.Sprintf("%s = '%s'", d.FlagCol, d.OwnedFlag),
+				IntentName: d.IntentPerformance,
+			},
+			{
+				Term: d.AdjTerm, Definition: d.AdjDesc,
+				SQLHint: fmt.Sprintf("SUM(CASE WHEN %s <> '%s' THEN %s * %s ELSE 0 END)",
+					d.CategoryCol, d.AdjExcluded, d.FactA.Metric, d.AdjFactor),
+				IntentName: d.IntentPerformance,
+			},
+			{
+				Definition: "Apply a -1 multiplier when calculating the change in performance metrics",
+				IntentName: d.IntentPerformance,
+			},
+			{
+				Definition: "Use conditional aggregation (SUM of CASE WHEN) when comparing metric data across periods",
+				IntentName: d.IntentPerformance,
+			},
+		},
+	}
+}
