@@ -9,6 +9,8 @@
 package genedit_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"genedit/internal/bench"
@@ -17,6 +19,7 @@ import (
 	"genedit/internal/eval"
 	"genedit/internal/feedback"
 	"genedit/internal/pipeline"
+	"genedit/internal/sqldb"
 	"genedit/internal/sqlexec"
 	"genedit/internal/sqlparse"
 	"genedit/internal/task"
@@ -215,6 +218,144 @@ func BenchmarkEmbedAndSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ix.Search("quarter over quarter revenue per viewer for our organisations", 8)
 	}
+}
+
+// --- Hot-path micro-benchmarks (hash join, statement cache, parallel
+// eval, top-k retrieval) ---
+
+// joinBenchDB builds a two-table FK-join fixture: n parents, n children,
+// ~n/fanout children per parent.
+func joinBenchDB(n, fanout int) *sqldb.Database {
+	db := sqldb.NewDatabase("joinbench")
+	parents := sqldb.NewTable("PARENTS", sqldb.Column{Name: "ID"}, sqldb.Column{Name: "NAME"})
+	children := sqldb.NewTable("CHILDREN", sqldb.Column{Name: "PARENT_ID"}, sqldb.Column{Name: "AMOUNT"})
+	for i := 0; i < n; i++ {
+		parents.MustAppend(sqldb.Int(int64(i)), sqldb.Str(fmt.Sprintf("p%04d", i)))
+		children.MustAppend(sqldb.Int(int64((i*7)%(n/fanout))), sqldb.Int(int64(i%97)))
+	}
+	db.AddTable(parents)
+	db.AddTable(children)
+	return db
+}
+
+// BenchmarkHashJoin compares the nested-loop baseline against the hash-join
+// fast path on an equi-join dominated aggregate at suite scale.
+func BenchmarkHashJoin(b *testing.B) {
+	db := joinBenchDB(600, 10)
+	sql := "SELECT COUNT(*), SUM(AMOUNT) FROM PARENTS JOIN CHILDREN ON PARENTS.ID = CHILDREN.PARENT_ID"
+	for _, mode := range []struct {
+		name string
+		hash bool
+	}{{"nested", false}, {"hash", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			exec := sqlexec.New(db)
+			exec.SetHashJoin(mode.hash)
+			stmt, err := sqlparse.Parse(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Exec(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatementCache measures repeated Executor.Query of the same SQL
+// (the regeneration-loop / gold-evaluation / regression-suite pattern) with
+// the parsed-statement cache off and on. The fixture is parse-bound — a
+// large statement over a small table — to isolate the work the cache
+// eliminates; execution-bound statements see proportionally smaller wins.
+func BenchmarkStatementCache(b *testing.B) {
+	db := sqldb.NewDatabase("stmtbench")
+	t := sqldb.NewTable("T", sqldb.Column{Name: "A"}, sqldb.Column{Name: "B"})
+	for i := 0; i < 2; i++ {
+		t.MustAppend(sqldb.Int(int64(i)), sqldb.Str(fmt.Sprintf("v%d", i)))
+	}
+	db.AddTable(t)
+	sql := "SELECT A"
+	for i := 0; i < 40; i++ {
+		sql += fmt.Sprintf(", A*%d + CASE WHEN A > %d THEN %d ELSE -%d END AS c%d", i+1, i, i, i, i)
+	}
+	sql += " FROM T WHERE A >= 0"
+	for i := 0; i < 20; i++ {
+		sql += fmt.Sprintf(" OR B = 'v%d'", i)
+	}
+	for _, mode := range []struct {
+		name    string
+		caching bool
+	}{{"uncached", false}, {"cached", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			exec := sqlexec.New(db)
+			exec.SetStatementCaching(mode.caching)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Query(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelEval runs the full GenEdit evaluation with varying worker
+// counts; outcomes (and therefore EX) are identical across counts.
+func BenchmarkParallelEval(b *testing.B) {
+	sys, err := bench.NewGenEditSystem("GenEdit", benchSuite, pipeline.DefaultConfig(), benchModelSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runner := eval.NewRunner(benchSuite.Databases)
+			runner.SetWorkers(workers)
+			var rep *eval.Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := runner.Run(sys, benchSuite.Cases)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r
+			}
+			b.StopTimer()
+			reportEX(b, rep)
+		})
+	}
+}
+
+// BenchmarkTopK compares the full-sort reference against the bounded-heap
+// top-k on a knowledge-set-scale index.
+func BenchmarkTopK(b *testing.B) {
+	ix := embed.NewIndex()
+	words := []string{"revenue", "viewer", "organisation", "quarter", "canada", "sports",
+		"total", "margin", "cost", "views", "holding", "fiscal"}
+	for i := 0; i < 2000; i++ {
+		text := words[i%len(words)] + " " + words[(i*3+1)%len(words)] + " " + words[(i*7+2)%len(words)]
+		ix.Add(fmt.Sprintf("item-%04d", i), text)
+	}
+	qv := embed.Text("quarter over quarter revenue per viewer for our organisations")
+	b.Run("sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.SearchVectorBrute(qv, 8)
+		}
+	})
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.SearchVector(qv, 8)
+		}
+	})
 }
 
 func BenchmarkPipelineSingleGeneration(b *testing.B) {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI smoke pass: formatting, static checks, build, tests, race detection on
+# the concurrent packages, and a 1-iteration benchmark sweep so every
+# benchmark (and the EX metrics it reports) stays runnable.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (eval + sqlexec: parallel runner, shared executors) =="
+go test -race ./internal/eval ./internal/sqlexec
+
+echo "== benchmark smoke (1 iteration each) =="
+go test -bench=. -benchtime=1x -run '^$' .
+go test -bench=. -benchtime=1x -run '^$' ./internal/bench
+
+echo "CI pass complete."

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"genedit/internal/bench"
 	"genedit/internal/eval"
@@ -44,14 +46,56 @@ w/o Examples             69.89     35.71         9.09   59.09
 w/o Pseudo-SQL           62.37     25.00        18.18   50.76
 w/o Decomposition        66.67     46.43        18.18   58.33`
 
+// jsonRow is one system's EX row in the -json output.
+type jsonRow struct {
+	System      string  `json:"system"`
+	Simple      float64 `json:"ex_simple"`
+	Moderate    float64 `json:"ex_moderate"`
+	Challenging float64 `json:"ex_challenging"`
+	All         float64 `json:"ex_all"`
+}
+
+// benchRecord is the machine-readable result file -json writes; committed
+// baselines (BENCH_0.json) give future PRs a perf and accuracy trajectory.
+type benchRecord struct {
+	Seed        uint64               `json:"seed"`
+	ModelSeed   uint64               `json:"model_seed"`
+	DurationsMS map[string]float64   `json:"durations_ms"`
+	Tables      map[string][]jsonRow `json:"tables"`
+}
+
+func jsonRows(reports []*eval.Report) []jsonRow {
+	out := make([]jsonRow, 0, len(reports))
+	for _, rep := range reports {
+		out = append(out, jsonRow{
+			System:      rep.System,
+			Simple:      rep.EX(task.Simple),
+			Moderate:    rep.EX(task.Moderate),
+			Challenging: rep.EX(task.Challenging),
+			All:         rep.EX(""),
+		})
+	}
+	return out
+}
+
 func main() {
 	table := flag.String("table", "all", "which exhibit to regenerate: 1, 2, extra, edits, improvement, all")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	modelSeed := flag.Uint64("modelseed", 42, "simulated-model seed")
 	rounds := flag.Int("rounds", 4, "improvement rounds")
+	jsonPath := flag.String("json", "", "also write results (EX tables + wall-clock) as JSON to this file")
 	flag.Parse()
 
+	record := benchRecord{
+		Seed:        *seed,
+		ModelSeed:   *modelSeed,
+		DurationsMS: make(map[string]float64),
+		Tables:      make(map[string][]jsonRow),
+	}
+
+	suiteStart := time.Now()
 	suite := workload.NewSuite(*seed)
+	record.DurationsMS["suite_generation"] = float64(time.Since(suiteStart).Microseconds()) / 1000
 	if err := suite.ValidateGold(); err != nil {
 		fmt.Fprintln(os.Stderr, "workload validation failed:", err)
 		os.Exit(1)
@@ -61,10 +105,12 @@ func main() {
 		if *table != "all" && *table != name {
 			return
 		}
+		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "table %s failed: %v\n", name, err)
 			os.Exit(1)
 		}
+		record.DurationsMS["table_"+name] = float64(time.Since(start).Microseconds()) / 1000
 	}
 
 	run("1", func() error {
@@ -72,6 +118,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		record.Tables["table1"] = jsonRows(reports)
 		fmt.Println(eval.FormatTable("Table 1 — execution accuracy on mini-BIRD (93/28/11 cases)", reports))
 		rank := eval.Rank(reports, "GenEdit")
 		total := len(reports)
@@ -86,6 +133,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		record.Tables["table2"] = jsonRows(reports)
 		fmt.Println(eval.FormatTable("Table 2 — operator ablations", reports))
 		fmt.Println(paperTable2)
 		fmt.Println()
@@ -97,6 +145,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		record.Tables["extra"] = jsonRows(reports)
 		fmt.Println(eval.FormatTable("Design-choice ablations (beyond the paper's Table 2)", reports))
 		return nil
 	})
@@ -129,5 +178,18 @@ func main() {
 			len(suite.CasesByDifficulty(task.Moderate)),
 			len(suite.CasesByDifficulty(task.Challenging)),
 			len(suite.Cases), workload.Domains())
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "encoding json results:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "writing json results:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,3 @@
+module genedit
+
+go 1.24

@@ -6,7 +6,7 @@
 package embed
 
 import (
-	"hash/fnv"
+	"container/heap"
 	"math"
 	"sort"
 	"strings"
@@ -18,16 +18,29 @@ const Dim = 192
 // Vector is a dense embedding.
 type Vector []float64
 
+// FNV-1a, inlined so the hot tokenization loop allocates no hasher and
+// bigram hashes continue from the first word's state instead of re-hashing a
+// concatenated string. Values are identical to hash/fnv's New64a.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvAdd(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // Text embeds a string. Tokenization lower-cases and splits on
 // non-alphanumeric runes; unigrams and adjacent-word bigrams are hashed into
 // Dim buckets with signed hashing to reduce collision bias.
 func Text(s string) Vector {
 	v := make(Vector, Dim)
 	words := Tokenize(s)
-	add := func(tok string, weight float64) {
-		h := fnv.New64a()
-		h.Write([]byte(tok))
-		sum := h.Sum64()
+	add := func(sum uint64, weight float64) {
 		bucket := int(sum % Dim)
 		sign := 1.0
 		if (sum>>32)&1 == 1 {
@@ -36,9 +49,12 @@ func Text(s string) Vector {
 		v[bucket] += sign * weight
 	}
 	for i, w := range words {
-		add(w, 1.0)
+		h := fnvAdd(fnvOffset64, w)
+		add(h, 1.0)
 		if i+1 < len(words) {
-			add(w+"_"+words[i+1], 0.6)
+			// Continue hashing "w_next" from w's state: same sum as hashing
+			// the concatenated token, without building the string.
+			add(fnvAdd(fnvAdd(h, "_"), words[i+1]), 0.6)
 		}
 	}
 	return v.Normalize()
@@ -113,11 +129,17 @@ type Hit struct {
 }
 
 // Index is a brute-force cosine top-k index, sufficient for knowledge sets
-// of thousands of items.
+// of thousands of items. Squared norms are cached at insertion (Text vectors
+// are already L2-normalized, so each is ~1), which lets search compute one
+// dot product per candidate instead of a full cosine, and a bounded heap
+// replaces the full sort when k is small. Scores are bitwise identical to
+// Cosine: the same accumulation order, with only the per-candidate
+// recomputation of both norms hoisted out.
 type Index struct {
-	ids  []string
-	vecs []Vector
-	pos  map[string]int
+	ids    []string
+	vecs   []Vector
+	norms2 []float64 // cached squared L2 norms of vecs
+	pos    map[string]int
 }
 
 // NewIndex returns an empty index.
@@ -128,17 +150,32 @@ func NewIndex() *Index {
 // Add inserts or replaces an item by ID.
 func (ix *Index) Add(id, text string) {
 	vec := Text(text)
+	var n2 float64
+	for _, x := range vec {
+		n2 += x * x
+	}
 	if p, ok := ix.pos[id]; ok {
 		ix.vecs[p] = vec
+		ix.norms2[p] = n2
 		return
 	}
 	ix.pos[id] = len(ix.ids)
 	ix.ids = append(ix.ids, id)
 	ix.vecs = append(ix.vecs, vec)
+	ix.norms2 = append(ix.norms2, n2)
 }
 
 // Len reports the number of items indexed.
 func (ix *Index) Len() int { return len(ix.ids) }
+
+// Vector returns the stored embedding for an ID, or nil when absent. The
+// returned slice is the index's own storage — callers must not mutate it.
+func (ix *Index) Vector(id string) Vector {
+	if p, ok := ix.pos[id]; ok {
+		return ix.vecs[p]
+	}
+	return nil
+}
 
 // Search returns the top-k items most similar to the query text, highest
 // score first with ties broken by ID for determinism.
@@ -146,11 +183,88 @@ func (ix *Index) Search(query string, k int) []Hit {
 	return ix.SearchVector(Text(query), k)
 }
 
-// SearchVector is Search with a precomputed query vector.
+// score reproduces Cosine(q, ix.vecs[i]) exactly, with the query norm
+// computed once by the caller and the candidate norm read from the cache.
+func (ix *Index) score(q Vector, qNorm2 float64, i int) float64 {
+	v := ix.vecs[i]
+	if len(q) != len(v) || len(v) == 0 || qNorm2 == 0 || ix.norms2[i] == 0 {
+		return 0
+	}
+	var dot float64
+	for j := range q {
+		dot += q[j] * v[j]
+	}
+	return dot / (math.Sqrt(qNorm2) * math.Sqrt(ix.norms2[i]))
+}
+
+// hitHeap is a bounded min-heap: the worst retained hit (lowest score,
+// largest ID on ties) sits at the root so it can be evicted in O(log k).
+type hitHeap []Hit
+
+func (h hitHeap) Len() int      { return len(h) }
+func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h hitHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].ID > h[j].ID
+}
+func (h *hitHeap) Push(x any) { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// SearchVector is Search with a precomputed query vector. For small k it
+// keeps a bounded heap of the best candidates instead of sorting the whole
+// index; results are identical to the full sort (IDs are unique, so the
+// score-then-ID order is total).
 func (ix *Index) SearchVector(q Vector, k int) []Hit {
+	if k < 0 || k >= len(ix.ids) {
+		return ix.SearchVectorBrute(q, k)
+	}
+	if k == 0 {
+		return []Hit{}
+	}
+	var qNorm2 float64
+	for _, x := range q {
+		qNorm2 += x * x
+	}
+	h := make(hitHeap, 0, k+1)
+	for i, id := range ix.ids {
+		hit := Hit{ID: id, Score: ix.score(q, qNorm2, i)}
+		if len(h) < k {
+			heap.Push(&h, hit)
+			continue
+		}
+		// Keep hit only if it beats the current worst.
+		if hit.Score > h[0].Score || (hit.Score == h[0].Score && hit.ID < h[0].ID) {
+			h[0] = hit
+			heap.Fix(&h, 0)
+		}
+	}
+	hits := []Hit(h)
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	return hits
+}
+
+// SearchVectorBrute is the full-sort reference implementation of
+// SearchVector; parity tests and benchmarks compare against it.
+func (ix *Index) SearchVectorBrute(q Vector, k int) []Hit {
+	var qNorm2 float64
+	for _, x := range q {
+		qNorm2 += x * x
+	}
 	hits := make([]Hit, 0, len(ix.ids))
 	for i, id := range ix.ids {
-		hits = append(hits, Hit{ID: id, Score: Cosine(q, ix.vecs[i])})
+		hits = append(hits, Hit{ID: id, Score: ix.score(q, qNorm2, i)})
 	}
 	sort.Slice(hits, func(a, b int) bool {
 		if hits[a].Score != hits[b].Score {

@@ -1,6 +1,8 @@
 package embed
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math"
 	"testing"
 	"testing/quick"
@@ -131,5 +133,102 @@ func TestIndexTieBreakDeterministic(t *testing.T) {
 	hits := ix.Search("identical text", 2)
 	if hits[0].ID != "a" || hits[1].ID != "z" {
 		t.Errorf("tie break not by ID: %v", hits)
+	}
+}
+
+func TestSearchHeapMatchesBruteSort(t *testing.T) {
+	// The bounded-heap top-k must return exactly the same IDs, order and
+	// scores as the full-sort reference, including score ties broken by ID.
+	ix := NewIndex()
+	words := []string{"revenue", "viewer", "organisation", "quarter", "canada", "sports", "total", "sum"}
+	for i := 0; i < 300; i++ {
+		text := words[i%len(words)] + " " + words[(i*3+1)%len(words)] + " " + words[(i*7+2)%len(words)]
+		ix.Add(fmt.Sprintf("item-%03d", i), text)
+	}
+	// Duplicate texts under different IDs force exact score ties.
+	ix.Add("tie-b", "identical tie text")
+	ix.Add("tie-a", "identical tie text")
+	ix.Add("tie-c", "identical tie text")
+
+	queries := []string{
+		"revenue per viewer", "identical tie text", "canada quarter total",
+		"completely unrelated words xyzzy", "",
+	}
+	for _, q := range queries {
+		qv := Text(q)
+		for _, k := range []int{0, 1, 3, 8, 50, 302, 500, -1} {
+			heapHits := ix.SearchVector(qv, k)
+			bruteHits := ix.SearchVectorBrute(qv, k)
+			if len(heapHits) != len(bruteHits) {
+				t.Fatalf("q=%q k=%d: heap %d hits, brute %d", q, k, len(heapHits), len(bruteHits))
+			}
+			for i := range heapHits {
+				if heapHits[i].ID != bruteHits[i].ID || heapHits[i].Score != bruteHits[i].Score {
+					t.Fatalf("q=%q k=%d hit %d: heap %+v, brute %+v",
+						q, k, i, heapHits[i], bruteHits[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchScoresMatchCosineExactly(t *testing.T) {
+	// The cached-norm dot-product scoring must be bitwise identical to
+	// Cosine so retrieval (and therefore EX metrics) cannot drift.
+	ix := NewIndex()
+	texts := map[string]string{
+		"a": "total revenue by organisation",
+		"b": "viewers per quarter in canada",
+		"c": "sports holdings financial performance",
+	}
+	for id, text := range texts {
+		ix.Add(id, text)
+	}
+	q := "revenue per viewer for sports organisations"
+	qv := Text(q)
+	for _, hit := range ix.SearchVector(qv, -1) {
+		want := Cosine(qv, Text(texts[hit.ID]))
+		if hit.Score != want {
+			t.Errorf("score for %s = %v, want exact Cosine %v", hit.ID, hit.Score, want)
+		}
+	}
+}
+
+func TestTextMatchesHashFNVReference(t *testing.T) {
+	// The inlined FNV-1a and continued bigram hashing must reproduce the
+	// original hash/fnv-based embedding exactly.
+	ref := func(s string) Vector {
+		v := make(Vector, Dim)
+		words := Tokenize(s)
+		add := func(tok string, weight float64) {
+			h := fnv.New64a()
+			h.Write([]byte(tok))
+			sum := h.Sum64()
+			bucket := int(sum % Dim)
+			sign := 1.0
+			if (sum>>32)&1 == 1 {
+				sign = -1.0
+			}
+			v[bucket] += sign * weight
+		}
+		for i, w := range words {
+			add(w, 1.0)
+			if i+1 < len(words) {
+				add(w+"_"+words[i+1], 0.6)
+			}
+		}
+		return v.Normalize()
+	}
+	f := func(s string) bool {
+		got, want := Text(s), ref(s)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }

@@ -5,8 +5,10 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"genedit/internal/sqldb"
 	"genedit/internal/sqlexec"
@@ -14,7 +16,10 @@ import (
 )
 
 // System is anything that turns a benchmark case into SQL: the GenEdit
-// pipeline, a baseline, or an ablated variant.
+// pipeline, a baseline, or an ablated variant. Runner.Run calls Generate
+// from multiple goroutines (bounded by SetWorkers), so implementations must
+// be safe for concurrent use; a System with per-call mutable state must
+// synchronize it or be run with SetWorkers(1).
 type System interface {
 	Name() string
 	Generate(c *task.Case) (string, error)
@@ -67,24 +72,68 @@ func rowKey(r sqldb.Row) string {
 	return strings.Join(parts, "\x1f")
 }
 
-// Runner evaluates systems over a fixed case set, caching gold results.
+// Runner evaluates systems over a fixed case set, caching gold results. A
+// Runner fans Run out across a bounded worker pool (see SetWorkers); the
+// gold cache is guarded internally, and the substrate Run drives — the
+// executors (read-only database, synchronized statement cache), the
+// simulated model (pure functions of its seed) and the knowledge-set read
+// paths — is concurrency-safe, so outcomes are deterministic and
+// input-ordered regardless of worker count.
 type Runner struct {
-	dbs   map[string]*sqldb.Database
-	execs map[string]*sqlexec.Executor
-	gold  map[string]*sqlexec.Result
+	dbs     map[string]*sqldb.Database
+	execs   map[string]*sqlexec.Executor
+	workers int
+
+	goldMu sync.RWMutex
+	gold   map[string]*sqlexec.Result
 }
 
-// NewRunner builds a runner over the benchmark databases.
+// NewRunner builds a runner over the benchmark databases. Workers default to
+// GOMAXPROCS.
 func NewRunner(dbs map[string]*sqldb.Database) *Runner {
 	r := &Runner{
-		dbs:   dbs,
-		execs: make(map[string]*sqlexec.Executor, len(dbs)),
-		gold:  make(map[string]*sqlexec.Result),
+		dbs:     dbs,
+		execs:   make(map[string]*sqlexec.Executor, len(dbs)),
+		gold:    make(map[string]*sqlexec.Result),
+		workers: runtime.GOMAXPROCS(0),
 	}
 	for name, db := range dbs {
 		r.execs[name] = sqlexec.New(db)
 	}
 	return r
+}
+
+// SetWorkers bounds the worker pool Run fans cases out across. n <= 1 makes
+// Run strictly sequential.
+func (r *Runner) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.workers = n
+}
+
+// goldFor returns the cached gold result for a case, executing and caching
+// the gold SQL on first use. Safe for concurrent callers: a lost race costs
+// one redundant (deterministic, identical) execution, never a wrong result.
+func (r *Runner) goldFor(c *task.Case, exec *sqlexec.Executor) (*sqlexec.Result, error) {
+	r.goldMu.RLock()
+	g, ok := r.gold[c.ID]
+	r.goldMu.RUnlock()
+	if ok {
+		return g, nil
+	}
+	g, err := exec.Query(c.GoldSQL)
+	if err != nil {
+		return nil, fmt.Errorf("case %s: gold SQL failed: %w", c.ID, err)
+	}
+	r.goldMu.Lock()
+	if cached, ok := r.gold[c.ID]; ok {
+		g = cached
+	} else {
+		r.gold[c.ID] = g
+	}
+	r.goldMu.Unlock()
+	return g, nil
 }
 
 // Evaluate scores one predicted SQL against a case's gold.
@@ -93,14 +142,9 @@ func (r *Runner) Evaluate(c *task.Case, predicted string) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("case %s: unknown database %q", c.ID, c.DB)
 	}
-	gold, ok := r.gold[c.ID]
-	if !ok {
-		g, err := exec.Query(c.GoldSQL)
-		if err != nil {
-			return false, fmt.Errorf("case %s: gold SQL failed: %w", c.ID, err)
-		}
-		r.gold[c.ID] = g
-		gold = g
+	gold, err := r.goldFor(c, exec)
+	if err != nil {
+		return false, err
 	}
 	pred, err := exec.Query(predicted)
 	if err != nil {
@@ -109,10 +153,58 @@ func (r *Runner) Evaluate(c *task.Case, predicted string) (bool, error) {
 	return ResultsEqual(gold, pred), nil
 }
 
-// Run evaluates a system over the cases.
+// PrewarmGold executes and caches the gold results for the cases, fanning
+// out across the worker pool. Run populates the cache lazily (each case is
+// dispatched to exactly one worker, so golds are never computed twice
+// within a run); PrewarmGold is for callers that want to front-load the
+// gold execution cost — e.g. before timing a system. Gold failures are
+// deliberately not reported here: Run surfaces them per-case with
+// sequential-identical error selection.
+func (r *Runner) PrewarmGold(cases []*task.Case) {
+	r.forEachCase(cases, func(i int, c *task.Case) {
+		if exec, ok := r.execs[c.DB]; ok {
+			_, _ = r.goldFor(c, exec)
+		}
+	})
+}
+
+// forEachCase applies fn to every case, fanning out across the worker pool.
+func (r *Runner) forEachCase(cases []*task.Case, fn func(i int, c *task.Case)) {
+	workers := r.workers
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	if workers <= 1 {
+		for i, c := range cases {
+			fn(i, c)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i, cases[i])
+			}
+		}()
+	}
+	for i := range cases {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Run evaluates a system over the cases. Results are input-ordered and
+// identical to a sequential run; on evaluation failure the error reported is
+// the one a sequential run would have hit first.
 func (r *Runner) Run(sys System, cases []*task.Case) (*Report, error) {
-	rep := &Report{System: sys.Name()}
-	for _, c := range cases {
+	outcomes := make([]Outcome, len(cases))
+	errs := make([]error, len(cases))
+	r.forEachCase(cases, func(i int, c *task.Case) {
 		sql, err := sys.Generate(c)
 		out := Outcome{Case: c, SQL: sql}
 		if err != nil {
@@ -120,13 +212,18 @@ func (r *Runner) Run(sys System, cases []*task.Case) (*Report, error) {
 		} else {
 			correct, evalErr := r.Evaluate(c, sql)
 			if evalErr != nil {
-				return nil, evalErr
+				errs[i] = evalErr
 			}
 			out.Correct = correct
 		}
-		rep.Outcomes = append(rep.Outcomes, out)
+		outcomes[i] = out
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	return rep, nil
+	return &Report{System: sys.Name(), Outcomes: outcomes}, nil
 }
 
 // Counts returns (correct, total) for a difficulty; empty difficulty means

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -174,5 +175,143 @@ func TestRunnerUnknownDatabase(t *testing.T) {
 	_, err := runner.Evaluate(&task.Case{ID: "x", DB: "nope"}, "SELECT 1")
 	if err == nil {
 		t.Error("unknown database should error")
+	}
+}
+
+// stubSystem is a deterministic System for runner tests: correct SQL for
+// even-indexed cases, failing SQL for every third, broken SQL otherwise.
+type stubSystem struct{ name string }
+
+func (s *stubSystem) Name() string { return s.name }
+
+func (s *stubSystem) Generate(c *task.Case) (string, error) {
+	switch {
+	case strings.HasSuffix(c.ID, "0") || strings.HasSuffix(c.ID, "2") ||
+		strings.HasSuffix(c.ID, "4") || strings.HasSuffix(c.ID, "6") ||
+		strings.HasSuffix(c.ID, "8"):
+		return c.GoldSQL, nil
+	case strings.HasSuffix(c.ID, "3"):
+		return "SELECT nope FROM missing", nil
+	default:
+		return "SELECT V FROM T WHERE V < 0", nil
+	}
+}
+
+func runnerFixture(n int) (*Runner, []*task.Case) {
+	db := sqldb.NewDatabase("d")
+	tbl := sqldb.NewTable("T", sqldb.Column{Name: "V"})
+	for i := 0; i < 10; i++ {
+		tbl.MustAppend(sqldb.Int(int64(i)))
+	}
+	db.AddTable(tbl)
+	r := NewRunner(map[string]*sqldb.Database{"d": db})
+	cases := make([]*task.Case, n)
+	for i := range cases {
+		cases[i] = &task.Case{
+			ID:         fmt.Sprintf("case-%03d", i),
+			DB:         "d",
+			GoldSQL:    fmt.Sprintf("SELECT V FROM T WHERE V >= %d", i%10),
+			Difficulty: task.Simple,
+		}
+	}
+	return r, cases
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	sys := &stubSystem{name: "stub"}
+	_, cases := runnerFixture(60)
+
+	seqRunner, _ := runnerFixture(0)
+	seqRunner.SetWorkers(1)
+	seq, err := seqRunner.Run(sys, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		parRunner, _ := runnerFixture(0)
+		parRunner.SetWorkers(workers)
+		par, err := parRunner.Run(sys, cases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Outcomes) != len(seq.Outcomes) {
+			t.Fatalf("workers=%d: %d outcomes, want %d", workers, len(par.Outcomes), len(seq.Outcomes))
+		}
+		for i := range seq.Outcomes {
+			s, p := seq.Outcomes[i], par.Outcomes[i]
+			if s.Case.ID != p.Case.ID || s.SQL != p.SQL || s.Correct != p.Correct || s.Err != p.Err {
+				t.Errorf("workers=%d outcome %d differs: seq %+v, par %+v", workers, i, s, p)
+			}
+		}
+		if seq.EX("") != par.EX("") {
+			t.Errorf("workers=%d EX %v, want %v", workers, par.EX(""), seq.EX(""))
+		}
+	}
+}
+
+func TestRunParallelSharedGoldCache(t *testing.T) {
+	// Many cases sharing few distinct gold statements: concurrent goldFor
+	// calls must neither race nor duplicate entries visibly.
+	sys := &stubSystem{name: "stub"}
+	r, cases := runnerFixture(40)
+	r.SetWorkers(8)
+	rep, err := r.Run(sys, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 40 {
+		t.Fatalf("got %d outcomes", len(rep.Outcomes))
+	}
+	// Second run hits the warm cache and must agree.
+	rep2, err := r.Run(sys, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Outcomes {
+		if rep.Outcomes[i].Correct != rep2.Outcomes[i].Correct {
+			t.Fatalf("outcome %d unstable across runs", i)
+		}
+	}
+}
+
+func TestRunReportsLowestIndexGoldError(t *testing.T) {
+	sys := &stubSystem{name: "stub"}
+	r, cases := runnerFixture(20)
+	cases[7].GoldSQL = "SELECT broken FROM nowhere"
+	cases[13].GoldSQL = "SELECT broken FROM nowhere"
+	r.SetWorkers(4)
+	_, err := r.Run(sys, cases)
+	if err == nil {
+		t.Fatal("expected gold failure")
+	}
+	if !strings.Contains(err.Error(), "case-007") {
+		t.Errorf("error should name the first failing case (case-007): %v", err)
+	}
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	r, cases := runnerFixture(3)
+	r.SetWorkers(-5)
+	if r.workers != 1 {
+		t.Errorf("workers = %d, want 1", r.workers)
+	}
+	rep, err := r.Run(&stubSystem{name: "s"}, cases)
+	if err != nil || len(rep.Outcomes) != 3 {
+		t.Fatalf("sequential fallback broken: %v, %d outcomes", err, len(rep.Outcomes))
+	}
+}
+
+func TestPrewarmGoldPopulatesCache(t *testing.T) {
+	r, cases := runnerFixture(15)
+	r.SetWorkers(4)
+	r.PrewarmGold(cases)
+	for _, c := range cases {
+		r.goldMu.RLock()
+		_, ok := r.gold[c.ID]
+		r.goldMu.RUnlock()
+		if !ok {
+			t.Errorf("gold for %s not prewarmed", c.ID)
+		}
 	}
 }

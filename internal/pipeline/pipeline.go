@@ -106,6 +106,13 @@ type Engine struct {
 
 	exIndex  *embed.Index
 	insIndex *embed.Index
+	// Vectors precomputed at index-build time so per-Generate re-ranking
+	// does not re-embed unchanged knowledge items. Read-only after
+	// buildIndices (WithKnowledge rebuilds them with the indices).
+	dirVecs     []embed.Vector          // directive texts
+	insTextVecs map[string]embed.Vector // instruction Text alone (directive boost)
+	srcQVecs    map[string]embed.Vector // example SourceQuestion texts
+	exPairVecs  map[string]embed.Vector // example NL+SQL (context expansion)
 }
 
 // New builds an engine. The knowledge set is indexed for retrieval once.
@@ -127,12 +134,27 @@ func New(model llm.Model, kset *knowledge.Set, db *sqldb.Database, cfg Config) *
 
 func (e *Engine) buildIndices() {
 	e.exIndex = embed.NewIndex()
+	e.srcQVecs = make(map[string]embed.Vector)
+	e.exPairVecs = make(map[string]embed.Vector)
 	for _, ex := range e.kset.Examples() {
 		e.exIndex.Add(ex.ID, ex.Text())
+		if ex.SourceQuestion != "" {
+			if _, ok := e.srcQVecs[ex.SourceQuestion]; !ok {
+				e.srcQVecs[ex.SourceQuestion] = embed.Text(ex.SourceQuestion)
+			}
+		}
+		e.exPairVecs[ex.ID] = embed.Text(ex.NL + " " + ex.SQL)
 	}
 	e.insIndex = embed.NewIndex()
+	e.insTextVecs = make(map[string]embed.Vector)
 	for _, ins := range e.kset.Instructions() {
 		e.insIndex.Add(ins.ID, ins.Text+" "+ins.SQLHint)
+		e.insTextVecs[ins.ID] = embed.Text(ins.Text)
+	}
+	directives := e.kset.Directives()
+	e.dirVecs = make([]embed.Vector, len(directives))
+	for i, d := range directives {
+		e.dirVecs[i] = embed.Text(d)
 	}
 }
 
@@ -200,18 +222,23 @@ func (e *Engine) Generate(question, evidence string) (*Record, error) {
 		Directives: e.kset.Directives(),
 	}
 
+	// The reformulated query is embedded exactly once; the same vector
+	// drives example retrieval, example re-ranking and instruction
+	// re-ranking (operators 3-4), which previously each re-embedded it.
+	qv := embed.Text(reformulated)
+
 	// Operator 3: example selection (intent retrieval + query re-ranking).
 	// When examples are ablated (Table 2 "w/o Examples"), selection still
 	// runs for the internal operators — the planner derives its pseudo-SQL
 	// from selected examples (§3.3.4 notes examples "are what we use to add
 	// pseudo-SQL to the CoT plan") — but the examples are withheld from the
 	// generation prompt.
-	ctx.Examples = e.selectExamples(reformulated, intentIDs)
+	ctx.Examples = e.selectExamples(qv, intentIDs)
 
 	// Operator 4: instruction selection (re-ranked with example context —
 	// the compounding/context-expansion step).
 	if !e.cfg.DisableInstructions {
-		ctx.Instructions = e.selectInstructions(reformulated, intentIDs, ctx.Examples)
+		ctx.Instructions = e.selectInstructions(qv, intentIDs, ctx.Examples)
 	}
 
 	// Operator 5: schema linking with re-rank filtering.
@@ -223,8 +250,8 @@ func (e *Engine) Generate(question, evidence string) (*Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("schema linking: %w", err)
 		}
-		linked := make([]schema.Element, 0, len(els))
-		linked = append(linked, els...)
+		linked := make([]schema.Element, len(els))
+		copy(linked, els)
 		ctx.LinkedElements = linked
 		sub := e.sch.Subset(linked)
 		if sub.ColumnCount() == 0 {
@@ -362,12 +389,13 @@ func isSyntaxError(err error) bool {
 
 // selectExamples implements operator 3. Candidates come from the classified
 // intents plus a global query-similarity search; all candidates are
-// re-ranked by cosine similarity with the reformulated query. When
-// decomposition is ablated the knowledge set's fragments are regrouped into
-// traditional full-query examples.
-func (e *Engine) selectExamples(query string, intentIDs []string) []llm.RetrievedExample {
+// re-ranked by cosine similarity with the reformulated query (whose
+// precomputed embedding qv is threaded in by Generate). When decomposition
+// is ablated the knowledge set's fragments are regrouped into traditional
+// full-query examples.
+func (e *Engine) selectExamples(qv embed.Vector, intentIDs []string) []llm.RetrievedExample {
 	if e.cfg.DisableDecomposition {
-		return e.selectFullExamples(query)
+		return e.selectFullExamples(qv)
 	}
 	seen := make(map[string]bool)
 	var candidates []*knowledge.Example
@@ -379,26 +407,27 @@ func (e *Engine) selectExamples(query string, intentIDs []string) []llm.Retrieve
 			}
 		}
 	}
-	for _, hit := range e.exIndex.Search(query, 24) {
+	for _, hit := range e.exIndex.SearchVector(qv, 24) {
 		if ex := e.kset.Example(hit.ID); ex != nil && !seen[ex.ID] {
 			seen[ex.ID] = true
 			candidates = append(candidates, ex)
 		}
 	}
-	qv := embed.Text(query)
-	srcVecs := make(map[string]embed.Vector)
 	scored := make([]llm.RetrievedExample, 0, len(candidates))
 	for _, ex := range candidates {
 		// A fragment is relevant when its own text matches the query or
 		// when the question of the query it was decomposed from does —
 		// sub-statements of similar historical questions are the reusable
 		// unit §3.2 is built around.
-		score := embed.Cosine(qv, embed.Text(ex.Text()))
+		exVec := e.exIndex.Vector(ex.ID)
+		if exVec == nil {
+			exVec = embed.Text(ex.Text())
+		}
+		score := embed.Cosine(qv, exVec)
 		if ex.SourceQuestion != "" {
-			sv, ok := srcVecs[ex.SourceQuestion]
+			sv, ok := e.srcQVecs[ex.SourceQuestion]
 			if !ok {
 				sv = embed.Text(ex.SourceQuestion)
-				srcVecs[ex.SourceQuestion] = sv
 			}
 			if s := 0.92 * embed.Cosine(qv, sv); s > score {
 				score = s
@@ -428,7 +457,7 @@ func (e *Engine) selectExamples(query string, intentIDs []string) []llm.Retrieve
 // selectFullExamples regroups decomposed fragments into whole-query
 // examples (the traditional representation, used by the "w/o Decomposition"
 // ablation).
-func (e *Engine) selectFullExamples(query string) []llm.RetrievedExample {
+func (e *Engine) selectFullExamples(qv embed.Vector) []llm.RetrievedExample {
 	type fullEx struct {
 		sql      string
 		question string
@@ -444,7 +473,6 @@ func (e *Engine) selectFullExamples(query string) []llm.RetrievedExample {
 			order = append(order, ex.SourceSQL)
 		}
 	}
-	qv := embed.Text(query)
 	var scored []llm.RetrievedExample
 	for i, sql := range order {
 		fe := seen[sql]
@@ -474,8 +502,9 @@ func (e *Engine) selectFullExamples(query string) []llm.RetrievedExample {
 // selectInstructions implements operator 4: candidates from intents plus
 // global search, re-ranked by similarity to the query AND to the already-
 // selected examples — the context expansion the paper's compounding
-// operators are named for.
-func (e *Engine) selectInstructions(query string, intentIDs []string, examples []llm.RetrievedExample) []llm.RetrievedInstruction {
+// operators are named for. qv is the precomputed embedding of the
+// reformulated query.
+func (e *Engine) selectInstructions(qv embed.Vector, intentIDs []string, examples []llm.RetrievedExample) []llm.RetrievedInstruction {
 	seen := make(map[string]bool)
 	var candidates []*knowledge.Instruction
 	for _, id := range intentIDs {
@@ -486,22 +515,28 @@ func (e *Engine) selectInstructions(query string, intentIDs []string, examples [
 			}
 		}
 	}
-	for _, hit := range e.insIndex.Search(query, 16) {
+	for _, hit := range e.insIndex.SearchVector(qv, 16) {
 		if ins := e.kset.Instruction(hit.ID); ins != nil && !seen[ins.ID] {
 			seen[ins.ID] = true
 			candidates = append(candidates, ins)
 		}
 	}
-	qv := embed.Text(query)
 	exVecs := make([]embed.Vector, len(examples))
 	for i, ex := range examples {
-		exVecs[i] = embed.Text(ex.NL + " " + ex.SQL)
+		v, ok := e.exPairVecs[ex.ID]
+		if !ok { // regrouped full-query examples are not knowledge items
+			v = embed.Text(ex.NL + " " + ex.SQL)
+		}
+		exVecs[i] = v
 	}
 	directiveBoost := e.directiveBoost()
 
 	var scored []llm.RetrievedInstruction
 	for _, ins := range candidates {
-		insVec := embed.Text(ins.Text + " " + ins.SQLHint)
+		insVec := e.insIndex.Vector(ins.ID)
+		if insVec == nil {
+			insVec = embed.Text(ins.Text + " " + ins.SQLHint)
+		}
 		score := embed.Cosine(qv, insVec)
 		if !e.cfg.DisableContextExpansion && len(exVecs) > 0 {
 			maxEx := 0.0
@@ -531,20 +566,19 @@ func (e *Engine) selectInstructions(query string, intentIDs []string, examples [
 }
 
 // directiveBoost applies knowledge-set retrieval directives: instructions
-// matching a directive's vocabulary get a small ranking boost.
+// matching a directive's vocabulary get a small ranking boost. Directive
+// and instruction-text vectors come from the caches buildIndices filled.
 func (e *Engine) directiveBoost() func(*knowledge.Instruction) float64 {
-	directives := e.kset.Directives()
-	if len(directives) == 0 {
+	if len(e.dirVecs) == 0 {
 		return func(*knowledge.Instruction) float64 { return 0 }
 	}
-	vecs := make([]embed.Vector, len(directives))
-	for i, d := range directives {
-		vecs[i] = embed.Text(d)
-	}
 	return func(ins *knowledge.Instruction) float64 {
-		iv := embed.Text(ins.Text)
+		iv, ok := e.insTextVecs[ins.ID]
+		if !ok {
+			iv = embed.Text(ins.Text)
+		}
 		best := 0.0
-		for _, dv := range vecs {
+		for _, dv := range e.dirVecs {
 			if c := embed.Cosine(dv, iv); c > best {
 				best = c
 			}

@@ -1,0 +1,101 @@
+package sqlexec
+
+import (
+	"container/list"
+	"sync"
+
+	"genedit/internal/sqlparse"
+)
+
+// DefaultStatementCacheSize bounds the per-executor parsed-statement cache.
+// The regeneration loop, gold evaluation and regression suite re-execute a
+// small working set of SQL strings far more often than they introduce new
+// ones, so a few hundred entries cover the hot set.
+const DefaultStatementCacheSize = 512
+
+// stmtCache is a concurrency-safe LRU of parsed statements keyed by the raw
+// SQL text. Cached ASTs are shared across executions; evaluation never
+// mutates a parsed statement, so reuse is safe (including from concurrent
+// eval workers).
+type stmtCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; element values are *stmtEntry
+	items map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type stmtEntry struct {
+	sql  string
+	stmt *sqlparse.SelectStmt
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	if capacity <= 0 {
+		capacity = DefaultStatementCacheSize
+	}
+	return &stmtCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *stmtCache) get(sql string) (*sqlparse.SelectStmt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[sql]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*stmtEntry).stmt, true
+}
+
+func (c *stmtCache) put(sql string, stmt *sqlparse.SelectStmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[sql]; ok {
+		el.Value.(*stmtEntry).stmt = stmt
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[sql] = c.order.PushFront(&stmtEntry{sql: sql, stmt: stmt})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*stmtEntry).sql)
+	}
+}
+
+func (c *stmtCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// SetStatementCaching enables or disables the executor's parsed-statement
+// cache. Caching is on by default; disabling exists for benchmarks and for
+// callers that stream unbounded distinct SQL.
+func (e *Executor) SetStatementCaching(enabled bool) {
+	if enabled {
+		if e.stmts == nil {
+			e.stmts = newStmtCache(DefaultStatementCacheSize)
+		}
+		return
+	}
+	e.stmts = nil
+}
+
+// StatementCacheStats reports cache hits and misses since construction; both
+// are zero when caching is disabled.
+func (e *Executor) StatementCacheStats() (hits, misses uint64) {
+	if e.stmts == nil {
+		return 0, 0
+	}
+	return e.stmts.stats()
+}
