@@ -22,11 +22,14 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (eval + sqlexec: parallel runner, shared executors) =="
-go test -race ./internal/eval ./internal/sqlexec
+echo "== go test -race (concurrent packages: service facade, daemon, parallel runner, shared executors) =="
+go test -race . ./cmd/geneditd ./internal/eval ./internal/sqlexec ./internal/pipeline
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -bench=. -benchtime=1x -run '^$' .
 go test -bench=. -benchtime=1x -run '^$' ./internal/bench
+
+echo "== EX parity gate (all tables vs committed BENCH_0.json baseline) =="
+go run ./cmd/benchrunner -json /tmp/bench_parity.json -baseline BENCH_0.json > /dev/null
 
 echo "CI pass complete."

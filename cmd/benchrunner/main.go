@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"sort"
 	"time"
 
 	"genedit/internal/bench"
@@ -84,6 +86,7 @@ func main() {
 	modelSeed := flag.Uint64("modelseed", 42, "simulated-model seed")
 	rounds := flag.Int("rounds", 4, "improvement rounds")
 	jsonPath := flag.String("json", "", "also write results (EX tables + wall-clock) as JSON to this file")
+	baseline := flag.String("baseline", "", "EX-parity gate: compare the regenerated EX tables against this committed JSON baseline and exit non-zero on any drift")
 	flag.Parse()
 
 	record := benchRecord{
@@ -192,4 +195,63 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+
+	if *baseline != "" {
+		if err := checkParity(&record, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "EX parity gate FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("EX parity gate passed: tables bit-identical to %s\n", *baseline)
+	}
+}
+
+// checkParity diffs the regenerated EX tables against a committed baseline
+// record. Every table present in the baseline must have been regenerated
+// this run (so -baseline is only meaningful with -table all or a superset)
+// and must match row-for-row, bit-for-bit — wall-clock durations are
+// deliberately excluded. This is the CI gate that keeps API refactors from
+// silently drifting the paper's exhibits.
+func checkParity(record *benchRecord, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base benchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("decoding baseline: %w", err)
+	}
+	if base.Seed != record.Seed || base.ModelSeed != record.ModelSeed {
+		return fmt.Errorf("seed mismatch: run (%d, %d) vs baseline (%d, %d) — rerun with -seed %d -modelseed %d",
+			record.Seed, record.ModelSeed, base.Seed, base.ModelSeed, base.Seed, base.ModelSeed)
+	}
+	names := make([]string, 0, len(base.Tables))
+	for name := range base.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var drift []string
+	for _, name := range names {
+		got, ok := record.Tables[name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("table %q not regenerated this run", name))
+			continue
+		}
+		want := base.Tables[name]
+		if len(got) != len(want) {
+			drift = append(drift, fmt.Sprintf("table %q: %d rows vs baseline %d", name, len(got), len(want)))
+			continue
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				drift = append(drift, fmt.Sprintf("table %q row %d: %+v vs baseline %+v", name, i, got[i], want[i]))
+			}
+		}
+	}
+	if len(drift) > 0 {
+		for _, d := range drift {
+			fmt.Fprintln(os.Stderr, "  drift:", d)
+		}
+		return fmt.Errorf("%d drift(s) vs %s", len(drift), path)
+	}
+	return nil
 }

@@ -3,21 +3,25 @@
 //
 //	genedit -db sports_holdings -q "top 5 sports organisations by total revenue in Canada for 2023"
 //	genedit -db sports_holdings -q "..." -prompt      also print the Fig. 2 prompt
+//	genedit -db sports_holdings -q "..." -trace       print per-operator timings
 //	genedit -list                                     list databases
 //
-// The tool prints the reformulated question, classified intents, the CoT
-// plan, every self-correction attempt, and the executed result.
+// The tool drives the genedit.Service API — the same construction path as
+// the geneditd daemon — and prints the reformulated question, classified
+// intents, the CoT plan, every self-correction attempt, and the executed
+// result. -timeout bounds the whole request; an expired deadline aborts
+// mid-pipeline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
-	"genedit/internal/bench"
-	"genedit/internal/pipeline"
-	"genedit/internal/sqlexec"
+	"genedit"
 	"genedit/internal/workload"
 )
 
@@ -27,11 +31,13 @@ func main() {
 	evidence := flag.String("evidence", "", "external-knowledge evidence string")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	modelSeed := flag.Uint64("modelseed", 42, "simulated-model seed")
+	timeout := flag.Duration("timeout", 30*time.Second, "request deadline (0 = none)")
 	showPrompt := flag.Bool("prompt", false, "print the generation prompt (Fig. 2 structure)")
+	showTrace := flag.Bool("trace", false, "print per-operator timings")
 	list := flag.Bool("list", false, "list databases and exit")
 	flag.Parse()
 
-	suite := workload.NewSuite(*seed)
+	suite := genedit.NewBenchmark(*seed)
 	if *list {
 		for _, name := range workload.DomainNames() {
 			sch := suite.Schemas[name]
@@ -44,22 +50,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	system, err := bench.NewGenEditSystem("GenEdit", suite, pipeline.DefaultConfig(), *modelSeed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	opts := []genedit.Option{genedit.WithModelSeed(*modelSeed)}
+	var trace *genedit.Trace
+	if *showTrace {
+		opts = append(opts, genedit.WithTrace(func(t *genedit.Trace) { trace = t }))
 	}
-	engine := system.Engine(*db)
-	if engine == nil {
-		fmt.Fprintf(os.Stderr, "unknown database %q (try -list)\n", *db)
-		os.Exit(2)
+	svc := genedit.NewService(suite, opts...)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	rec, err := engine.Generate(*q, *evidence)
+	resp, err := svc.Generate(ctx, genedit.Request{Database: *db, Question: *q, Evidence: *evidence})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "generation failed:", err)
 		os.Exit(1)
 	}
+	rec := resp.Record
 
 	fmt.Println("question:     ", rec.Question)
 	fmt.Println("reformulated: ", rec.Reformulated)
@@ -81,19 +91,30 @@ func main() {
 		fmt.Printf("attempt %d:     %s\n", i+1, status)
 	}
 	fmt.Println("final SQL:")
-	fmt.Println("  " + rec.FinalSQL)
+	fmt.Println("  " + resp.SQL)
+	if resp.Failure != nil {
+		fmt.Printf("failure:       %s\n", resp.Failure)
+	}
 
 	if *showPrompt {
 		fmt.Println("\n--- generation prompt (Fig. 2 structure) ---")
 		fmt.Println(rec.Prompt())
 	}
 
-	if rec.OK && rec.Result != nil {
+	if *showTrace && trace != nil {
+		fmt.Println("\nper-operator timings:")
+		for _, op := range trace.Ops {
+			fmt.Printf("  %-22s %s\n", op.Op, op.Duration)
+		}
+		fmt.Printf("  %-22s %s (request %s)\n", "total", trace.Total, resp.Duration)
+	}
+
+	if resp.OK && rec.Result != nil {
 		printResult(rec.Result)
 	}
 }
 
-func anchoredSteps(rec *pipeline.Record) int {
+func anchoredSteps(rec *genedit.Record) int {
 	n := 0
 	for _, s := range rec.Plan.Steps {
 		if s.Pseudo != "" {
@@ -103,7 +124,7 @@ func anchoredSteps(rec *pipeline.Record) int {
 	return n
 }
 
-func printResult(res *sqlexec.Result) {
+func printResult(res *genedit.Result) {
 	fmt.Println("\nresult:")
 	fmt.Println("  " + strings.Join(res.Columns, " | "))
 	for i, row := range res.Rows {

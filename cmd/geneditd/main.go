@@ -1,0 +1,269 @@
+// Command geneditd serves the GenEdit pipeline as a JSON-over-HTTP daemon —
+// the deployment shape the paper describes: a long-lived service that many
+// enterprise sessions query concurrently, one knowledge set per company
+// database.
+//
+//	geneditd -addr :8080
+//	geneditd -addr :8080 -prewarm -workers 8 -timeout 10s -stmtcache 2048
+//
+// Endpoints:
+//
+//	POST /v1/generate        {"database": "...", "question": "...", "evidence": "..."}
+//	POST /v1/generate/batch  {"requests": [{...}, ...]}
+//	GET  /v1/databases       list servable databases
+//	GET  /healthz            liveness probe
+//
+// Engines are built lazily per database (coalesced across concurrent
+// requests) unless -prewarm front-loads them. -timeout bounds each request;
+// a deadline that expires mid-pipeline returns 504 with the cancellation
+// error. -trace logs per-operator timings for every request.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"genedit"
+)
+
+// wire types: the JSON surface is decoupled from the Go API so the Go types
+// can evolve without breaking clients.
+
+type generateRequest struct {
+	Database string `json:"database"`
+	Question string `json:"question"`
+	Evidence string `json:"evidence,omitempty"`
+}
+
+type batchRequest struct {
+	Requests []generateRequest `json:"requests"`
+}
+
+type failureJSON struct {
+	Kind string `json:"kind"` // "syntax" or "exec"
+	Msg  string `json:"msg"`
+}
+
+type generateResponse struct {
+	Database     string       `json:"database"`
+	SQL          string       `json:"sql"`
+	OK           bool         `json:"ok"`
+	Reformulated string       `json:"reformulated,omitempty"`
+	Intents      []string     `json:"intents,omitempty"`
+	Attempts     int          `json:"attempts"`
+	Rows         int          `json:"rows"`
+	Failure      *failureJSON `json:"failure,omitempty"`
+	Error        string       `json:"error,omitempty"`
+	DurationMS   float64      `json:"duration_ms"`
+}
+
+type batchResponse struct {
+	Responses []generateResponse `json:"responses"`
+}
+
+func toWire(req genedit.Request, resp *genedit.Response) generateResponse {
+	out := generateResponse{Database: req.Database}
+	if resp == nil {
+		return out
+	}
+	out.SQL = resp.SQL
+	out.OK = resp.OK
+	out.DurationMS = float64(resp.Duration.Microseconds()) / 1000
+	if resp.Record != nil {
+		out.Reformulated = resp.Record.Reformulated
+		out.Intents = resp.Record.IntentNames
+		out.Attempts = len(resp.Record.Attempts)
+		if resp.Record.Result != nil {
+			out.Rows = len(resp.Record.Result.Rows)
+		}
+	}
+	if resp.Failure != nil {
+		out.Failure = &failureJSON{Kind: resp.Failure.Kind, Msg: resp.Failure.Msg}
+	}
+	if resp.Err != nil {
+		out.Error = resp.Err.Error()
+	}
+	return out
+}
+
+// statusFor maps the service error taxonomy onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, genedit.ErrUnknownDatabase):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, genedit.ErrCanceled):
+		// Canceled without a deadline: the client went away.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// newMux wires the service behind the daemon's routes. perReq bounds each
+// request's wall-clock time (0 = unbounded); it is split out from main so
+// tests can drive the daemon end-to-end with httptest.
+func newMux(svc *genedit.Service, perReq time.Duration) *http.ServeMux {
+	withTimeout := func(ctx context.Context) (context.Context, context.CancelFunc) {
+		if perReq <= 0 {
+			return ctx, func() {}
+		}
+		return context.WithTimeout(ctx, perReq)
+	}
+
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /v1/databases", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"databases": svc.Databases()})
+	})
+
+	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		var req generateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		if req.Database == "" || req.Question == "" {
+			writeError(w, http.StatusBadRequest, "database and question are required")
+			return
+		}
+		ctx, cancel := withTimeout(r.Context())
+		defer cancel()
+		greq := genedit.Request{Database: req.Database, Question: req.Question, Evidence: req.Evidence}
+		resp, err := svc.Generate(ctx, greq)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, toWire(greq, resp))
+	})
+
+	mux.HandleFunc("POST /v1/generate/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		if len(req.Requests) == 0 {
+			writeError(w, http.StatusBadRequest, "requests must be non-empty")
+			return
+		}
+		greqs := make([]genedit.Request, len(req.Requests))
+		for i, gr := range req.Requests {
+			greqs[i] = genedit.Request{Database: gr.Database, Question: gr.Question, Evidence: gr.Evidence}
+		}
+		ctx, cancel := withTimeout(r.Context())
+		defer cancel()
+		// GenerateBatch's only batch-level error is cancellation; it still
+		// returns one response per request, so serve the partial results
+		// with the cancellation status rather than discarding them.
+		resps, err := svc.GenerateBatch(ctx, greqs)
+		out := batchResponse{Responses: make([]generateResponse, len(resps))}
+		for i, resp := range resps {
+			out.Responses[i] = toWire(greqs[i], resp)
+		}
+		status := http.StatusOK
+		if err != nil {
+			status = statusFor(err)
+		}
+		writeJSON(w, status, out)
+	})
+
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	modelSeed := flag.Uint64("modelseed", 42, "simulated-model seed")
+	workers := flag.Int("workers", 0, "batch worker pool (0 = GOMAXPROCS)")
+	stmtCache := flag.Int("stmtcache", 0, "per-engine parsed-statement LRU size (0 = default 512)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
+	prewarm := flag.Bool("prewarm", false, "build all engines at startup instead of lazily")
+	trace := flag.Bool("trace", false, "log per-operator timings for every request")
+	flag.Parse()
+
+	opts := []genedit.Option{genedit.WithModelSeed(*modelSeed)}
+	if *workers > 0 {
+		opts = append(opts, genedit.WithWorkers(*workers))
+	}
+	if *stmtCache > 0 {
+		opts = append(opts, genedit.WithStatementCacheSize(*stmtCache))
+	}
+	if *trace {
+		opts = append(opts, genedit.WithTrace(func(t *genedit.Trace) {
+			log.Printf("trace db=%s total=%s ops=%s", t.Database, t.Total, formatOps(t.Ops))
+		}))
+	}
+
+	suite := genedit.NewBenchmark(*seed)
+	svc := genedit.NewService(suite, opts...)
+
+	if *prewarm {
+		start := time.Now()
+		if err := svc.Prewarm(context.Background()); err != nil {
+			log.Fatalf("prewarm failed: %v", err)
+		}
+		log.Printf("prewarmed %d engines in %s", len(svc.Databases()), time.Since(start).Round(time.Millisecond))
+	}
+
+	server := &http.Server{Addr: *addr, Handler: newMux(svc, *timeout)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		<-stop
+		log.Println("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = server.Shutdown(ctx)
+		close(drained)
+	}()
+
+	log.Printf("geneditd serving %d databases on %s", len(svc.Databases()), *addr)
+	err := server.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown begins; wait for the drain
+	// so in-flight requests finish before the process exits.
+	<-drained
+}
+
+func formatOps(ops []genedit.OpTiming) string {
+	s := ""
+	for i, op := range ops {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%s", op.Op, op.Duration)
+	}
+	return s
+}

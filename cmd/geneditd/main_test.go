@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"genedit"
+)
+
+func newTestServer(t *testing.T, timeout time.Duration) *httptest.Server {
+	t.Helper()
+	suite := genedit.NewBenchmark(1)
+	svc := genedit.NewService(suite, genedit.WithModelSeed(42))
+	srv := httptest.NewServer(newMux(svc, timeout))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, raw
+}
+
+// TestGenerateEndToEnd drives the daemon's generate endpoint against a real
+// suite case and asserts the produced SQL matches what the library API
+// returns for the same request.
+func TestGenerateEndToEnd(t *testing.T) {
+	srv := newTestServer(t, 30*time.Second)
+
+	suite := genedit.NewBenchmark(1)
+	var q, db string
+	for _, c := range suite.Cases {
+		q, db = c.Question, c.DB
+		break
+	}
+
+	body, _ := json.Marshal(generateRequest{Database: db, Question: q})
+	resp, raw := postJSON(t, srv.URL+"/v1/generate", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, raw)
+	}
+	var got generateResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if got.SQL == "" {
+		t.Fatalf("empty SQL in response %s", raw)
+	}
+	if got.Database != db {
+		t.Fatalf("database = %q, want %q", got.Database, db)
+	}
+	if got.Attempts < 1 {
+		t.Fatalf("attempts = %d, want >= 1", got.Attempts)
+	}
+
+	svc := genedit.NewService(suite, genedit.WithModelSeed(42))
+	want, err := svc.Generate(t.Context(), genedit.Request{Database: db, Question: q})
+	if err != nil {
+		t.Fatalf("library generate: %v", err)
+	}
+	if got.SQL != want.SQL {
+		t.Fatalf("daemon SQL %q != library SQL %q", got.SQL, want.SQL)
+	}
+}
+
+func TestGenerateUnknownDatabase(t *testing.T) {
+	srv := newTestServer(t, time.Second)
+	resp, raw := postJSON(t, srv.URL+"/v1/generate", `{"database":"nope","question":"q"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404; body %s", resp.StatusCode, raw)
+	}
+}
+
+func TestGenerateBadRequest(t *testing.T) {
+	srv := newTestServer(t, time.Second)
+	resp, _ := postJSON(t, srv.URL+"/v1/generate", `{"database":"retail_chain"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing question: status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/generate", `{not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t, 30*time.Second)
+	suite := genedit.NewBenchmark(1)
+	var reqs []generateRequest
+	for _, c := range suite.Cases {
+		reqs = append(reqs, generateRequest{Database: c.DB, Question: c.Question, Evidence: c.Evidence})
+		if len(reqs) == 4 {
+			break
+		}
+	}
+	reqs = append(reqs, generateRequest{Database: "nope", Question: "q"})
+	body, _ := json.Marshal(batchRequest{Requests: reqs})
+
+	resp, raw := postJSON(t, srv.URL+"/v1/generate/batch", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, raw)
+	}
+	var got batchResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if len(got.Responses) != len(reqs) {
+		t.Fatalf("responses = %d, want %d", len(got.Responses), len(reqs))
+	}
+	for i := 0; i < 4; i++ {
+		if got.Responses[i].SQL == "" {
+			t.Errorf("response %d: empty SQL", i)
+		}
+	}
+	if got.Responses[4].Error == "" {
+		t.Errorf("unknown-database batch item should carry an error, got %+v", got.Responses[4])
+	}
+}
+
+func TestDatabasesAndHealth(t *testing.T) {
+	srv := newTestServer(t, time.Second)
+	resp, err := http.Get(srv.URL + "/v1/databases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Databases []string `json:"databases"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Databases) != 8 {
+		t.Fatalf("databases = %d, want 8", len(got.Databases))
+	}
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", hresp.StatusCode)
+	}
+}

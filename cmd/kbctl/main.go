@@ -9,12 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"genedit"
 	"genedit/internal/knowledge"
-	"genedit/internal/workload"
 )
 
 func main() {
@@ -25,12 +26,15 @@ func main() {
 	demoRevert := flag.Bool("demo-revert", false, "demonstrate checkpoint/revert on the set")
 	flag.Parse()
 
-	suite := workload.NewSuite(*seed)
-	set, err := suite.BuildKnowledge(*db)
+	// The service owns engine (and knowledge-set) construction, so kbctl
+	// inspects exactly the set a served engine would use.
+	svc := genedit.NewService(genedit.NewBenchmark(*seed))
+	engine, err := svc.Engine(context.Background(), *db)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	set := engine.KnowledgeSet()
 
 	if *demoRevert {
 		runRevertDemo(set)

@@ -1,11 +1,15 @@
 // Ablation runs the paper's Table 2 ablations plus the extra design-choice
 // ablations DESIGN.md calls out (context expansion, planning, self-
-// correction, retry budget), printing one combined report.
+// correction, retry budget), printing one combined report. The runs are
+// driven through the context-aware exhibit API, so a deadline bounds the
+// whole sweep and aborts mid-case when exceeded.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"genedit/internal/bench"
 	"genedit/internal/eval"
@@ -14,14 +18,16 @@ import (
 
 func main() {
 	suite := workload.NewSuite(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 
-	reports, err := bench.RunAblations(suite, 42, bench.Table2Ablations())
+	reports, err := bench.RunAblationsContext(ctx, suite, 42, bench.Table2Ablations())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(eval.FormatTable("Table 2 ablations", reports))
 
-	extra, err := bench.RunAblations(suite, 42, bench.ExtraAblations())
+	extra, err := bench.RunAblationsContext(ctx, suite, 42, bench.ExtraAblations())
 	if err != nil {
 		log.Fatal(err)
 	}

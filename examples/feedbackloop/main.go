@@ -4,11 +4,18 @@
 // recommends edits, the user stages them and regenerates, submits, the
 // edits pass regression testing, a reviewer approves, and the previously
 // failing query now returns the right answer — and stays fixed.
+//
+// The whole interactive session runs under one context: every generation —
+// the initial answer, the staged regeneration and the regression replay —
+// honors its deadline mid-pipeline, which is what lets a serving deployment
+// put an SLA on the feedback workflow.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"genedit/internal/feedback"
 	"genedit/internal/knowledge"
@@ -21,6 +28,8 @@ import (
 func main() {
 	suite := workload.NewSuite(1)
 	model := simllm.New(simllm.GenEditProfile(), suite.Registry, 42)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	// Start from a degraded knowledge set: query logs only, no terminology
 	// documents — the state of a fresh deployment before SME feedback.
@@ -49,7 +58,7 @@ func main() {
 
 	fmt.Println("== 1. user asks ==")
 	fmt.Println("  ", c.Question)
-	sess, err := solver.Open(c.Question, "") // no evidence: fresh deployment
+	sess, err := solver.OpenContext(ctx, c.Question, "") // no evidence: fresh deployment
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,14 +86,14 @@ func main() {
 
 	fmt.Println("\n== 5. user stages the edits and regenerates ==")
 	sess.Stage(rec.Edits...)
-	regen, err := sess.Regenerate()
+	regen, err := sess.RegenerateContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("  ", regen.FinalSQL)
 
 	fmt.Println("\n== 6. submit: regression testing ==")
-	res, err := sess.Submit()
+	res, err := sess.SubmitContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,7 +107,7 @@ func main() {
 	fmt.Printf("   knowledge set now: %d instructions (version %d)\n", st.Instructions, st.Version)
 
 	fmt.Println("\n== 8. the same question now succeeds on the live engine ==")
-	after, err := solver.Engine().Generate(c.Question, "")
+	after, err := solver.Engine().GenerateContext(ctx, c.Question, "")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,14 +6,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
-	"genedit/internal/bench"
-	"genedit/internal/pipeline"
+	"genedit"
 	"genedit/internal/sqlexec"
-	"genedit/internal/workload"
 )
 
 // appendixQuery is the Appendix A output of the paper (with its unbalanced
@@ -55,12 +55,10 @@ WHERE SPORT_RANK <= 5 OR WORST_SPORT_RANK <= 5
 ORDER BY SPORT_RANK`
 
 func main() {
-	suite := workload.NewSuite(1)
-	system, err := bench.NewGenEditSystem("GenEdit", suite, pipeline.DefaultConfig(), 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-	engine := system.Engine("sports_holdings")
+	suite := genedit.NewBenchmark(1)
+	svc := genedit.NewService(suite, genedit.WithModelSeed(42))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	// The running example: QoQFP is company jargon the knowledge set
 	// defines; the question cannot be answered without it.
@@ -72,17 +70,22 @@ func main() {
 	}
 	fmt.Println("=== Q_fin-perf:", question, "===")
 
-	rec, err := engine.Generate(question, evidence)
+	resp, err := svc.Generate(ctx, genedit.Request{
+		Database: "sports_holdings",
+		Question: question,
+		Evidence: evidence,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	rec := resp.Record
 
 	fmt.Println("\n--- generation prompt (Fig. 2 structure) ---")
 	fmt.Println(rec.Prompt())
 
 	fmt.Println("--- generated SQL ---")
-	fmt.Println(rec.FinalSQL)
-	if rec.OK && rec.Result != nil {
+	fmt.Println(resp.SQL)
+	if resp.OK && rec.Result != nil {
 		printRows(rec.Result, 8)
 	}
 

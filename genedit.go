@@ -7,8 +7,9 @@
 //
 //   - a Benchmark (the synthetic mini-BIRD suite with eight enterprise
 //     databases, query logs and terminology documents);
-//   - an Engine per database (the compounding-operator generation pipeline
-//     over a company-specific knowledge set);
+//   - a Service (the long-lived, multi-tenant serving layer: one lazily
+//     built shared Engine per database, concurrent and batch generation,
+//     context cancellation, per-request tracing);
 //   - a Solver per database (the continuous-improvement workflow:
 //     feedback → recommended edits → staging → regression testing →
 //     approval → merge).
@@ -16,12 +17,24 @@
 // Quick use:
 //
 //	suite := genedit.NewBenchmark(1)
-//	engine, _ := genedit.NewEngine(suite, "sports_holdings", genedit.DefaultConfig(), 42)
-//	rec, _ := engine.Generate("top 5 sports organisations by total revenue in Canada for 2023", "")
-//	fmt.Println(rec.FinalSQL)
+//	svc := genedit.NewService(suite, genedit.WithModelSeed(42))
+//	resp, err := svc.Generate(ctx, genedit.Request{
+//		Database: "sports_holdings",
+//		Question: "top 5 sports organisations by total revenue in Canada for 2023",
+//	})
+//	if err != nil { ... } // ErrUnknownDatabase, ErrCanceled, operator errors
+//	fmt.Println(resp.SQL)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every table the harness regenerates.
+// The Service is safe for concurrent use and honors context deadlines
+// mid-pipeline; GenerateBatch fans many requests out over a bounded worker
+// pool. Construction is configured with functional options (WithConfig,
+// WithModelSeed, WithWorkers, WithStatementCacheSize, WithTrace). The
+// positional constructors NewEngine and NewSolver remain as deprecated
+// wrappers for one release.
+//
+// See DESIGN.md for the system inventory (including the "Service layer"
+// section) and EXPERIMENTS.md for the paper-vs-measured record of every
+// table the harness regenerates.
 package genedit
 
 import (
@@ -32,6 +45,7 @@ import (
 	"genedit/internal/knowledge"
 	"genedit/internal/pipeline"
 	"genedit/internal/simllm"
+	"genedit/internal/sqlexec"
 	"genedit/internal/task"
 	"genedit/internal/workload"
 )
@@ -47,6 +61,8 @@ type (
 	Engine = pipeline.Engine
 	// Record is a full generation trace (context, plan, attempts, result).
 	Record = pipeline.Record
+	// Result is a materialized query result (Record.Result, Response data).
+	Result = sqlexec.Result
 	// Benchmark is the synthetic mini-BIRD suite.
 	Benchmark = workload.Suite
 	// Case is one benchmark question with gold SQL and requirement tags.
@@ -74,14 +90,19 @@ func NewBenchmark(seed uint64) *Benchmark { return workload.NewSuite(seed) }
 // (knowledge-set construction from query logs and documents) and returns
 // the generation pipeline over it. modelSeed seeds the simulated model's
 // deterministic draws.
+//
+// Deprecated: build a Service instead — NewService(b,
+// WithModelSeed(modelSeed), WithConfig(cfg)) caches one shared engine per
+// database (Service.Engine) and coalesces duplicate concurrent builds,
+// where every NewEngine call redoes the knowledge-set and index build.
 func NewEngine(b *Benchmark, db string, cfg Config, modelSeed uint64) (*Engine, error) {
+	database, ok := b.Databases[db]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDatabase, db)
+	}
 	kset, err := b.BuildKnowledge(db)
 	if err != nil {
 		return nil, err
-	}
-	database, ok := b.Databases[db]
-	if !ok {
-		return nil, fmt.Errorf("unknown database %q", db)
 	}
 	model := simllm.New(simllm.GenEditProfile(), b.Registry, modelSeed)
 	return pipeline.New(model, kset, database, cfg), nil
@@ -89,6 +110,9 @@ func NewEngine(b *Benchmark, db string, cfg Config, modelSeed uint64) (*Engine, 
 
 // NewSolver builds the continuous-improvement workflow around an engine.
 // The golden cases form the regression suite gating merges.
+//
+// Deprecated: use Service.Solver, which reuses the service's shared engine
+// instead of requiring the caller to have built one positionally.
 func NewSolver(b *Benchmark, engine *Engine, modelSeed uint64, golden []*Case) *Solver {
 	model := simllm.New(simllm.GenEditProfile(), b.Registry, modelSeed)
 	return feedback.NewSolver(engine, feedback.NewRecommender(model), golden)

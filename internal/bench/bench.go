@@ -4,6 +4,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"genedit/internal/eval"
@@ -42,11 +43,17 @@ func (g *GenEditSystem) Name() string { return g.name }
 
 // Generate implements eval.System.
 func (g *GenEditSystem) Generate(c *task.Case) (string, error) {
+	return g.GenerateContext(context.Background(), c)
+}
+
+// GenerateContext implements eval.ContextSystem: RunContext deadlines
+// propagate into the pipeline mid-case.
+func (g *GenEditSystem) GenerateContext(ctx context.Context, c *task.Case) (string, error) {
 	engine, ok := g.engines[c.DB]
 	if !ok {
 		return "", fmt.Errorf("%s: unknown database %q", g.name, c.DB)
 	}
-	rec, err := engine.Generate(c.Question, c.Evidence)
+	rec, err := engine.GenerateContext(ctx, c.Question, c.Evidence)
 	if err != nil {
 		return "", err
 	}
@@ -64,10 +71,16 @@ func (g *GenEditSystem) ReplaceKnowledge(db string, kset *knowledge.Set) {
 // Table1 reproduces the paper's Table 1: GenEdit vs the five baselines on
 // the full eval set. Report order matches the paper's rows.
 func Table1(suite *workload.Suite, seed uint64) ([]*eval.Report, error) {
+	return Table1Context(context.Background(), suite, seed)
+}
+
+// Table1Context is Table1 with cancellation threading into every evaluated
+// case.
+func Table1Context(ctx context.Context, suite *workload.Suite, seed uint64) ([]*eval.Report, error) {
 	runner := eval.NewRunner(suite.Databases)
 	var reports []*eval.Report
 	for _, b := range AllBaselines(suite, seed) {
-		rep, err := runner.Run(b, suite.Cases)
+		rep, err := runner.RunContext(ctx, b, suite.Cases)
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +90,7 @@ func Table1(suite *workload.Suite, seed uint64) ([]*eval.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := runner.Run(genedit, suite.Cases)
+	rep, err := runner.RunContext(ctx, genedit, suite.Cases)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +144,12 @@ func ExtraAblations() []Ablation {
 
 // RunAblations evaluates each ablation configuration over the suite.
 func RunAblations(suite *workload.Suite, seed uint64, ablations []Ablation) ([]*eval.Report, error) {
+	return RunAblationsContext(context.Background(), suite, seed, ablations)
+}
+
+// RunAblationsContext is RunAblations with cancellation threading into every
+// evaluated case.
+func RunAblationsContext(ctx context.Context, suite *workload.Suite, seed uint64, ablations []Ablation) ([]*eval.Report, error) {
 	runner := eval.NewRunner(suite.Databases)
 	var reports []*eval.Report
 	for _, ab := range ablations {
@@ -138,7 +157,7 @@ func RunAblations(suite *workload.Suite, seed uint64, ablations []Ablation) ([]*
 		if err != nil {
 			return nil, err
 		}
-		rep, err := runner.Run(sys, suite.Cases)
+		rep, err := runner.RunContext(ctx, sys, suite.Cases)
 		if err != nil {
 			return nil, err
 		}

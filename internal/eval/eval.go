@@ -4,12 +4,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
+	"genedit/internal/generr"
 	"genedit/internal/sqldb"
 	"genedit/internal/sqlexec"
 	"genedit/internal/task"
@@ -23,6 +25,15 @@ import (
 type System interface {
 	Name() string
 	Generate(c *task.Case) (string, error)
+}
+
+// ContextSystem is implemented by systems whose generation honors context
+// cancellation. RunContext prefers GenerateContext when available, so a
+// deadline propagates into the pipeline mid-case instead of only between
+// cases.
+type ContextSystem interface {
+	System
+	GenerateContext(ctx context.Context, c *task.Case) (string, error)
 }
 
 // Outcome is one case's evaluation result.
@@ -103,14 +114,21 @@ func NewRunner(dbs map[string]*sqldb.Database) *Runner {
 	return r
 }
 
-// SetWorkers bounds the worker pool Run fans cases out across. n <= 1 makes
-// Run strictly sequential.
+// SetWorkers bounds the worker pool Run fans cases out across. Values below
+// 1 are clamped to 1 (strictly sequential) rather than accepted — a
+// non-positive pool would otherwise deadlock the dispatch channel. Workers
+// reports the effective value. SetWorkers is a setup-time knob: it is not
+// synchronized against an in-flight Run, so configure the pool before
+// sharing the runner across goroutines.
 func (r *Runner) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
 	r.workers = n
 }
+
+// Workers returns the effective worker-pool bound (always >= 1).
+func (r *Runner) Workers() int { return r.workers }
 
 // goldFor returns the cached gold result for a case, executing and caching
 // the gold SQL on first use. Safe for concurrent callers: a lost race costs
@@ -161,22 +179,29 @@ func (r *Runner) Evaluate(c *task.Case, predicted string) (bool, error) {
 // deliberately not reported here: Run surfaces them per-case with
 // sequential-identical error selection.
 func (r *Runner) PrewarmGold(cases []*task.Case) {
-	r.forEachCase(cases, func(i int, c *task.Case) {
+	r.forEachCase(context.Background(), cases, func(i int, c *task.Case) {
 		if exec, ok := r.execs[c.DB]; ok {
 			_, _ = r.goldFor(c, exec)
 		}
 	})
 }
 
-// forEachCase applies fn to every case, fanning out across the worker pool.
-func (r *Runner) forEachCase(cases []*task.Case, fn func(i int, c *task.Case)) {
-	workers := r.workers
-	if workers > len(cases) {
-		workers = len(cases)
+// ForEach runs fn(i) for every i in [0, n), fanned out across at most
+// workers goroutines (clamped to [1, n]). It is the bounded worker-pool
+// primitive behind Runner.Run and genedit.Service.GenerateBatch. Once ctx is
+// done no further indices are dispatched; indices already handed to a worker
+// run to completion, and ForEach returns only after all dispatched work has
+// finished. Callers detect an early stop via ctx.Err().
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, c := range cases {
-			fn(i, c)
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
 		}
 		return
 	}
@@ -187,25 +212,52 @@ func (r *Runner) forEachCase(cases []*task.Case, fn func(i int, c *task.Case)) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				fn(i, cases[i])
+				fn(i)
 			}
 		}()
 	}
-	for i := range cases {
-		idx <- i
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 }
 
-// Run evaluates a system over the cases. Results are input-ordered and
-// identical to a sequential run; on evaluation failure the error reported is
-// the one a sequential run would have hit first.
+// forEachCase applies fn to every case, fanning out across the worker pool.
+func (r *Runner) forEachCase(ctx context.Context, cases []*task.Case, fn func(i int, c *task.Case)) {
+	ForEach(ctx, r.workers, len(cases), func(i int) { fn(i, cases[i]) })
+}
+
+// Run evaluates a system over the cases with no deadline. Results are
+// input-ordered and identical to a sequential run; on evaluation failure the
+// error reported is the one a sequential run would have hit first.
 func (r *Runner) Run(sys System, cases []*task.Case) (*Report, error) {
+	return r.RunContext(context.Background(), sys, cases)
+}
+
+// RunContext evaluates a system over the cases, honoring ctx: once ctx is
+// done no further cases are dispatched (and a ContextSystem aborts
+// mid-case), and the run returns an error matching generr.ErrCanceled. A
+// run that completes before cancellation reports exactly what Run would.
+func (r *Runner) RunContext(ctx context.Context, sys System, cases []*task.Case) (*Report, error) {
+	csys, _ := sys.(ContextSystem)
 	outcomes := make([]Outcome, len(cases))
 	errs := make([]error, len(cases))
-	r.forEachCase(cases, func(i int, c *task.Case) {
-		sql, err := sys.Generate(c)
+	r.forEachCase(ctx, cases, func(i int, c *task.Case) {
+		var (
+			sql string
+			err error
+		)
+		if csys != nil {
+			sql, err = csys.GenerateContext(ctx, c)
+		} else {
+			sql, err = sys.Generate(c)
+		}
 		out := Outcome{Case: c, SQL: sql}
 		if err != nil {
 			out.Err = err.Error()
@@ -218,6 +270,9 @@ func (r *Runner) Run(sys System, cases []*task.Case) (*Report, error) {
 		}
 		outcomes[i] = out
 	})
+	if err := generr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

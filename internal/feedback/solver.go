@@ -1,9 +1,11 @@
 package feedback
 
 import (
+	"context"
 	"fmt"
 
 	"genedit/internal/eval"
+	"genedit/internal/generr"
 	"genedit/internal/knowledge"
 	"genedit/internal/pipeline"
 	"genedit/internal/sqlexec"
@@ -53,9 +55,17 @@ type Session struct {
 	LastRecommendation *Recommendation
 }
 
-// Open generates the initial SQL for a question and starts a session.
+// Open generates the initial SQL for a question and starts a session with
+// no deadline.
 func (s *Solver) Open(question, evidence string) (*Session, error) {
-	rec, err := s.engine.Generate(question, evidence)
+	return s.OpenContext(context.Background(), question, evidence)
+}
+
+// OpenContext generates the initial SQL for a question and starts a session.
+// Cancellation propagates into the generation pipeline; a canceled ctx
+// returns an error matching generr.ErrCanceled.
+func (s *Solver) OpenContext(ctx context.Context, question, evidence string) (*Session, error) {
+	rec, err := s.engine.GenerateContext(ctx, question, evidence)
 	if err != nil {
 		return nil, err
 	}
@@ -93,12 +103,18 @@ func (sess *Session) ClearStaged() { sess.Staged = nil }
 // Regenerate re-runs generation in a staging environment: the live
 // knowledge set plus the staged edits.
 func (sess *Session) Regenerate() (*pipeline.Record, error) {
+	return sess.RegenerateContext(context.Background())
+}
+
+// RegenerateContext is Regenerate with cancellation: the staged-engine
+// generation aborts mid-pipeline once ctx is done.
+func (sess *Session) RegenerateContext(ctx context.Context) (*pipeline.Record, error) {
 	staged, err := sess.solver.engine.KnowledgeSet().Stage(sess.Staged, "sme", sess.FeedbackID)
 	if err != nil {
 		return nil, err
 	}
 	stagedEngine := sess.solver.engine.WithKnowledge(staged)
-	rec, err := stagedEngine.Generate(sess.Question, sess.Evidence)
+	rec, err := stagedEngine.GenerateContext(ctx, sess.Question, sess.Evidence)
 	if err != nil {
 		return nil, err
 	}
@@ -127,10 +143,17 @@ type SubmitResult struct {
 // Submit closes the session's iteration loop: the staged edits run through
 // the regression suite; on pass, a pending change is queued for approval.
 func (sess *Session) Submit() (*SubmitResult, error) {
+	return sess.SubmitContext(context.Background())
+}
+
+// SubmitContext is Submit with cancellation: the golden-suite regression
+// replay checks ctx between cases and aborts mid-generation once ctx is
+// done, returning an error matching generr.ErrCanceled.
+func (sess *Session) SubmitContext(ctx context.Context) (*SubmitResult, error) {
 	if len(sess.Staged) == 0 {
 		return nil, fmt.Errorf("nothing staged to submit")
 	}
-	passed, detail, err := sess.solver.regressionTest(sess.Staged, sess.FeedbackID)
+	passed, detail, err := sess.solver.regressionTest(ctx, sess.Staged, sess.FeedbackID)
 	if err != nil {
 		return nil, err
 	}
@@ -151,16 +174,16 @@ func (sess *Session) Submit() (*SubmitResult, error) {
 // regressionTest replays the golden suite on the live engine and on a
 // staged engine; edits pass when no golden case regresses from correct to
 // incorrect.
-func (s *Solver) regressionTest(edits []knowledge.Edit, feedbackID string) (bool, string, error) {
+func (s *Solver) regressionTest(ctx context.Context, edits []knowledge.Edit, feedbackID string) (bool, string, error) {
 	staged, err := s.engine.KnowledgeSet().Stage(edits, "sme", feedbackID)
 	if err != nil {
 		return false, "", err
 	}
-	before, err := s.runGolden(s.engine)
+	before, err := s.runGolden(ctx, s.engine)
 	if err != nil {
 		return false, "", err
 	}
-	after, err := s.runGolden(s.engine.WithKnowledge(staged))
+	after, err := s.runGolden(ctx, s.engine.WithKnowledge(staged))
 	if err != nil {
 		return false, "", err
 	}
@@ -183,11 +206,15 @@ func (s *Solver) regressionTest(edits []knowledge.Edit, feedbackID string) (bool
 }
 
 // runGolden evaluates the golden suite, returning per-case correctness.
-func (s *Solver) runGolden(engine *pipeline.Engine) (map[string]bool, error) {
+// Cancellation is checked between cases and inside each generation.
+func (s *Solver) runGolden(ctx context.Context, engine *pipeline.Engine) (map[string]bool, error) {
 	exec := sqlexec.New(engine.Database())
 	out := make(map[string]bool, len(s.golden))
 	for _, c := range s.golden {
-		rec, err := engine.Generate(c.Question, c.Evidence)
+		if err := generr.FromContext(ctx); err != nil {
+			return nil, err
+		}
+		rec, err := engine.GenerateContext(ctx, c.Question, c.Evidence)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,44 @@
+// Package generr defines the error taxonomy shared by GenEdit's layers.
+// It sits below pipeline, eval and feedback (none of which may import each
+// other) so that one cancellation sentinel threads through the whole stack
+// and the public facade can re-export it.
+package generr
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrCanceled reports that work stopped because the caller's context was
+// canceled or its deadline expired mid-pipeline. Errors returned by the
+// context-aware entry points wrap both ErrCanceled and the underlying
+// context error, so errors.Is matches ErrCanceled as well as
+// context.Canceled / context.DeadlineExceeded.
+var ErrCanceled = errors.New("genedit: generation canceled")
+
+type canceled struct{ cause error }
+
+func (c *canceled) Error() string {
+	return "genedit: generation canceled: " + c.cause.Error()
+}
+
+func (c *canceled) Unwrap() []error { return []error{ErrCanceled, c.cause} }
+
+// Canceled wraps cause (normally a ctx.Err()) into the taxonomy's
+// cancellation error. A nil cause defaults to context.Canceled.
+func Canceled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &canceled{cause: cause}
+}
+
+// FromContext returns nil while ctx is live and a Canceled error once it is
+// done. The pipeline calls this between operators so cancellation propagates
+// promptly without every operator taking a context.
+func FromContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return Canceled(err)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinels classifying why a generation's final SQL failed. They are never
+// returned directly; GenerationError.Is matches them, so callers branch with
+// errors.Is(rec.Failure(), ErrSyntaxFailure) without inspecting Kind.
+var (
+	// ErrSyntaxFailure marks a final SQL that failed to parse.
+	ErrSyntaxFailure = errors.New("genedit: generated SQL failed to parse")
+	// ErrExecFailure marks a final SQL that parsed but failed semantic
+	// execution (unknown column, type error, ...).
+	ErrExecFailure = errors.New("genedit: generated SQL failed to execute")
+)
+
+// GenerationError reports that the pipeline ran to completion but its best
+// candidate SQL still failed, distinguishing parse failures from semantic
+// execution failures — the same split the self-correction operator branches
+// on. It is carried on the Record (see Record.Failure), not returned from
+// Generate: a failed generation is still a complete trace.
+type GenerationError struct {
+	// Kind is "syntax" or "exec", matching Attempt.Kind.
+	Kind string
+	// SQL is the failing statement ("" when the model produced none).
+	SQL string
+	// Msg is the parser or executor error message.
+	Msg string
+}
+
+func (e *GenerationError) Error() string {
+	return fmt.Sprintf("generation failed (%s): %s", e.Kind, e.Msg)
+}
+
+// Is reports whether target is the sentinel matching this failure's kind.
+func (e *GenerationError) Is(target error) bool {
+	switch target {
+	case ErrSyntaxFailure:
+		return e.Kind == "syntax"
+	case ErrExecFailure:
+		return e.Kind == "exec"
+	}
+	return false
+}
+
+// Failure classifies an unsuccessful generation. It returns nil when the
+// final SQL executed (Record.OK), and a *GenerationError describing the best
+// attempt's failure otherwise.
+func (r *Record) Failure() *GenerationError {
+	if r.OK {
+		return nil
+	}
+	// The final attempt for FinalSQL carries the classification; when the
+	// model produced no SQL at all the single recorded attempt does.
+	for i := len(r.Attempts) - 1; i >= 0; i-- {
+		a := r.Attempts[i]
+		if a.SQL == r.FinalSQL {
+			return &GenerationError{Kind: a.Kind, SQL: a.SQL, Msg: a.Err}
+		}
+	}
+	return &GenerationError{Kind: "exec", SQL: r.FinalSQL, Msg: "no SQL generated"}
+}

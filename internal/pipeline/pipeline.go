@@ -4,11 +4,13 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"genedit/internal/embed"
+	"genedit/internal/generr"
 	"genedit/internal/knowledge"
 	"genedit/internal/llm"
 	"genedit/internal/schema"
@@ -33,6 +35,10 @@ type Config struct {
 	ExpansionWeight float64
 	// SemanticCheck enables the model-based empty-result regeneration.
 	SemanticCheck bool
+	// StatementCacheSize bounds the executor's parsed-statement LRU;
+	// 0 means sqlexec.DefaultStatementCacheSize. Serving deployments with
+	// a larger hot set raise it through genedit.WithStatementCacheSize.
+	StatementCacheSize int
 
 	// Table 2 ablations.
 	DisableSchemaLinking bool
@@ -96,6 +102,15 @@ func (r *Record) Prompt() string {
 
 // Engine is the GenEdit generation pipeline bound to one database and one
 // knowledge set.
+//
+// Concurrency contract: an Engine is safe for concurrent Generate /
+// GenerateContext calls. All per-engine state — the knowledge set, schema
+// profile, retrieval indices and precomputed vectors — is read-only after
+// construction; the executor synchronizes its statement cache internally;
+// and the model is required to be concurrency-safe (the simulated model is
+// a pure function of its seed). Mutating operations (WithKnowledge) return
+// a new Engine rather than changing a shared one, so a served engine is
+// immutable for its lifetime.
 type Engine struct {
 	model llm.Model
 	kset  *knowledge.Set
@@ -120,12 +135,16 @@ func New(model llm.Model, kset *knowledge.Set, db *sqldb.Database, cfg Config) *
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 3
 	}
+	exec := sqlexec.New(db)
+	if cfg.StatementCacheSize > 0 {
+		exec.SetStatementCacheSize(cfg.StatementCacheSize)
+	}
 	e := &Engine{
 		model: model,
 		kset:  kset,
 		db:    db,
 		sch:   schema.FromDatabase(db, schema.DefaultTopValues),
-		exec:  sqlexec.New(db),
+		exec:  exec,
 		cfg:   cfg,
 	}
 	e.buildIndices()
@@ -181,28 +200,53 @@ func (e *Engine) WithKnowledge(kset *knowledge.Set) *Engine {
 	return out
 }
 
-// Generate runs the full inference pipeline for one question. The evidence
-// string is the benchmark-provided external knowledge (may be empty).
+// Generate runs the full inference pipeline for one question with no
+// deadline. The evidence string is the benchmark-provided external knowledge
+// (may be empty).
 func (e *Engine) Generate(question, evidence string) (*Record, error) {
+	return e.GenerateContext(context.Background(), question, evidence)
+}
+
+// GenerateContext runs the full inference pipeline for one question.
+// Cancellation is checked between operators and between self-correction
+// attempts, so a canceled or expired ctx aborts promptly mid-pipeline with
+// an error matching generr.ErrCanceled (and the underlying ctx.Err()). A
+// trace hook attached via WithTrace receives per-operator timings when the
+// call returns. The ctx carries deadline and trace only — it never changes
+// what SQL a completed call produces.
+func (e *Engine) GenerateContext(ctx context.Context, question, evidence string) (*Record, error) {
+	tr := newTraceRecorder(ctx, question, e.db.Name)
+	defer tr.finish()
+
 	rec := &Record{Question: question, Evidence: evidence}
+	if err := generr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 
 	// Operator 1: query reformulation.
 	reformulated := question
 	if !e.cfg.DisableReformulation {
+		done := tr.step("reformulation")
 		var err error
 		reformulated, err = e.model.Reformulate(question)
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("reformulation: %w", err)
 		}
 	}
 	rec.Reformulated = reformulated
+	if err := generr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 
 	// Operator 2: intent classification.
 	var options []llm.IntentOption
 	for _, it := range e.kset.Intents() {
 		options = append(options, llm.IntentOption{ID: it.ID, Name: it.Name, Description: it.Description})
 	}
+	done := tr.step("intent_classification")
 	intentIDs, err := e.model.ClassifyIntents(reformulated, options)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("intent classification: %w", err)
 	}
@@ -213,7 +257,7 @@ func (e *Engine) Generate(question, evidence string) (*Record, error) {
 		}
 	}
 
-	ctx := llm.Context{
+	promptCtx := llm.Context{
 		Question:   reformulated,
 		Original:   question,
 		DB:         e.db.Name,
@@ -233,38 +277,52 @@ func (e *Engine) Generate(question, evidence string) (*Record, error) {
 	// from selected examples (§3.3.4 notes examples "are what we use to add
 	// pseudo-SQL to the CoT plan") — but the examples are withheld from the
 	// generation prompt.
-	ctx.Examples = e.selectExamples(qv, intentIDs)
+	done = tr.step("example_selection")
+	promptCtx.Examples = e.selectExamples(qv, intentIDs)
+	done()
 
 	// Operator 4: instruction selection (re-ranked with example context —
 	// the compounding/context-expansion step).
 	if !e.cfg.DisableInstructions {
-		ctx.Instructions = e.selectInstructions(qv, intentIDs, ctx.Examples)
+		done = tr.step("instruction_selection")
+		promptCtx.Instructions = e.selectInstructions(qv, intentIDs, promptCtx.Examples)
+		done()
+	}
+	if err := generr.FromContext(ctx); err != nil {
+		return nil, err
 	}
 
 	// Operator 5: schema linking with re-rank filtering.
 	if e.cfg.DisableSchemaLinking {
-		ctx.SchemaDDL = e.sch.DDL()
-		ctx.LinkedElements = nil
+		promptCtx.SchemaDDL = e.sch.DDL()
+		promptCtx.LinkedElements = nil
 	} else {
-		els, err := e.model.LinkSchema(reformulated, e.sch, &ctx)
+		done = tr.step("schema_linking")
+		els, err := e.model.LinkSchema(reformulated, e.sch, &promptCtx)
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("schema linking: %w", err)
 		}
 		linked := make([]schema.Element, len(els))
 		copy(linked, els)
-		ctx.LinkedElements = linked
+		promptCtx.LinkedElements = linked
 		sub := e.sch.Subset(linked)
 		if sub.ColumnCount() == 0 {
-			ctx.SchemaDDL = e.sch.DDL()
+			promptCtx.SchemaDDL = e.sch.DDL()
 		} else {
-			ctx.SchemaDDL = sub.DDL()
+			promptCtx.SchemaDDL = sub.DDL()
 		}
+	}
+	if err := generr.FromContext(ctx); err != nil {
+		return nil, err
 	}
 
 	// Operator 6: CoT plan generation with pseudo-SQL.
 	var plan llm.Plan
 	if !e.cfg.DisablePlanning {
-		plan, err = e.model.Plan(&ctx)
+		done = tr.step("planning")
+		plan, err = e.model.Plan(&promptCtx)
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("planning: %w", err)
 		}
@@ -281,17 +339,29 @@ func (e *Engine) Generate(question, evidence string) (*Record, error) {
 	// Withhold ablated examples from the generation prompt (see operator 3
 	// above: the planner has already consumed them).
 	if e.cfg.DisableExamples {
-		ctx.Examples = nil
+		promptCtx.Examples = nil
+	}
+	if err := generr.FromContext(ctx); err != nil {
+		return nil, err
 	}
 
 	// Operators 7-9: generation with execution feedback and regeneration.
-	e.generateWithCorrection(rec, &ctx, plan)
-	rec.Context = ctx
+	done = tr.step("generation_loop")
+	err = e.generateWithCorrection(ctx, rec, &promptCtx, plan)
+	done()
+	if err != nil {
+		return nil, err
+	}
+	rec.Context = promptCtx
 	return rec, nil
 }
 
-// generateWithCorrection runs the generate → execute → repair loop.
-func (e *Engine) generateWithCorrection(rec *Record, ctx *llm.Context, plan llm.Plan) {
+// generateWithCorrection runs the generate → execute → repair loop. Genctx
+// cancellation is checked before each execution and each repair call; on
+// cancellation the returned error matches generr.ErrCanceled (and
+// GenerateContext discards the partial record — a canceled call yields no
+// trace).
+func (e *Engine) generateWithCorrection(genctx context.Context, rec *Record, ctx *llm.Context, plan llm.Plan) error {
 	type candidate struct {
 		sql  string
 		res  *sqlexec.Result
@@ -315,10 +385,13 @@ func (e *Engine) generateWithCorrection(rec *Record, ctx *llm.Context, plan llm.
 	sql, err := e.model.GenerateSQL(ctx, plan)
 	if err != nil {
 		rec.Attempts = append(rec.Attempts, Attempt{Kind: "exec", Err: err.Error()})
-		return
+		return nil
 	}
 	emptyRetried := false
 	for attempt := 0; ; attempt++ {
+		if err := generr.FromContext(genctx); err != nil {
+			return err
+		}
 		att := Attempt{SQL: sql}
 		res, execErr := e.exec.Query(sql)
 		switch {
@@ -365,6 +438,9 @@ func (e *Engine) generateWithCorrection(rec *Record, ctx *llm.Context, plan llm.
 		ctx.Attempt = attempt + 1
 		ctx.PriorSQL = sql
 		ctx.PriorError = feedback
+		if err := generr.FromContext(genctx); err != nil {
+			return err
+		}
 		repaired, rerr := e.model.RepairSQL(ctx, plan, sql, feedback)
 		if rerr != nil || repaired == "" {
 			break
@@ -377,6 +453,7 @@ func (e *Engine) generateWithCorrection(rec *Record, ctx *llm.Context, plan llm.
 		rec.OK = best.kind == "ok" || best.kind == "empty"
 		rec.Result = best.res
 	}
+	return nil
 }
 
 func isSyntaxError(err error) bool {

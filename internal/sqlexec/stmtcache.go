@@ -78,6 +78,29 @@ func (c *stmtCache) stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
+// setCapacity rebounds the LRU, evicting least-recently-used entries when
+// shrinking. Hit/miss counters are preserved.
+func (c *stmtCache) setCapacity(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultStatementCacheSize
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capacity
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*stmtEntry).sql)
+	}
+}
+
+// capacity returns the current LRU bound.
+func (c *stmtCache) capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
 // SetStatementCaching enables or disables the executor's parsed-statement
 // cache. Caching is on by default; disabling exists for benchmarks and for
 // callers that stream unbounded distinct SQL.
@@ -89,6 +112,31 @@ func (e *Executor) SetStatementCaching(enabled bool) {
 		return
 	}
 	e.stmts = nil
+}
+
+// SetStatementCacheSize rebounds the parsed-statement LRU to n entries,
+// preserving the most recently used statements when shrinking. n <= 0
+// restores DefaultStatementCacheSize. Calling it on an executor whose cache
+// was disabled re-enables caching at the given size. Like the other
+// configuration knobs it is not synchronized against concurrent Query calls
+// — size the cache before sharing the executor across goroutines.
+func (e *Executor) SetStatementCacheSize(n int) {
+	if e.stmts == nil {
+		if n <= 0 {
+			n = DefaultStatementCacheSize
+		}
+		e.stmts = newStmtCache(n)
+		return
+	}
+	e.stmts.setCapacity(n)
+}
+
+// StatementCacheSize reports the LRU bound; 0 when caching is disabled.
+func (e *Executor) StatementCacheSize() int {
+	if e.stmts == nil {
+		return 0
+	}
+	return e.stmts.capacity()
 }
 
 // StatementCacheStats reports cache hits and misses since construction; both

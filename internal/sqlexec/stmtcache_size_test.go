@@ -1,0 +1,98 @@
+package sqlexec
+
+import (
+	"fmt"
+	"testing"
+
+	"genedit/internal/sqldb"
+)
+
+func cacheTestExecutor() *Executor {
+	db := sqldb.NewDatabase("d")
+	tbl := sqldb.NewTable("T", sqldb.Column{Name: "V", Type: "INTEGER"})
+	tbl.MustAppend(sqldb.Int(1))
+	db.AddTable(tbl)
+	return New(db)
+}
+
+func TestSetStatementCacheSizeBoundsEntries(t *testing.T) {
+	e := cacheTestExecutor()
+	e.SetStatementCacheSize(4)
+	if got := e.StatementCacheSize(); got != 4 {
+		t.Fatalf("size = %d, want 4", got)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.Query(fmt.Sprintf("SELECT V FROM T WHERE V >= %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.stmts.order.Len(); n != 4 {
+		t.Fatalf("cache holds %d entries, want 4", n)
+	}
+	// The most recent statements hit; evicted ones miss.
+	h0, m0 := e.StatementCacheStats()
+	if _, err := e.Query("SELECT V FROM T WHERE V >= 9"); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := e.StatementCacheStats(); h != h0+1 {
+		t.Fatalf("recent statement missed the cache (hits %d -> %d)", h0, h)
+	}
+	if _, err := e.Query("SELECT V FROM T WHERE V >= 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := e.StatementCacheStats(); m != m0+1 {
+		t.Fatalf("evicted statement hit the cache (misses %d -> %d)", m0, m)
+	}
+}
+
+func TestSetStatementCacheSizeShrinkPreservesMRU(t *testing.T) {
+	e := cacheTestExecutor()
+	for i := 0; i < 6; i++ {
+		if _, err := e.Query(fmt.Sprintf("SELECT V FROM T WHERE V >= %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.SetStatementCacheSize(2)
+	if n := e.stmts.order.Len(); n != 2 {
+		t.Fatalf("cache holds %d entries after shrink, want 2", n)
+	}
+	h0, _ := e.StatementCacheStats()
+	if _, err := e.Query("SELECT V FROM T WHERE V >= 5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query("SELECT V FROM T WHERE V >= 4"); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := e.StatementCacheStats(); h != h0+2 {
+		t.Fatalf("MRU entries not preserved across shrink (hits %d -> %d)", h0, h)
+	}
+}
+
+func TestSetStatementCacheSizeReenablesDisabledCache(t *testing.T) {
+	e := cacheTestExecutor()
+	e.SetStatementCaching(false)
+	if got := e.StatementCacheSize(); got != 0 {
+		t.Fatalf("disabled cache size = %d, want 0", got)
+	}
+	e.SetStatementCacheSize(16)
+	if got := e.StatementCacheSize(); got != 16 {
+		t.Fatalf("size after re-enable = %d, want 16", got)
+	}
+	if _, err := e.Query("SELECT V FROM T"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query("SELECT V FROM T"); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := e.StatementCacheStats(); h != 1 {
+		t.Fatalf("hits = %d, want 1 after repeat query", h)
+	}
+}
+
+func TestSetStatementCacheSizeNonPositiveRestoresDefault(t *testing.T) {
+	e := cacheTestExecutor()
+	e.SetStatementCacheSize(-3)
+	if got := e.StatementCacheSize(); got != DefaultStatementCacheSize {
+		t.Fatalf("size = %d, want default %d", got, DefaultStatementCacheSize)
+	}
+}

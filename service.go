@@ -1,0 +1,322 @@
+package genedit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"genedit/internal/eval"
+	"genedit/internal/feedback"
+	"genedit/internal/generr"
+	"genedit/internal/pipeline"
+	"genedit/internal/simllm"
+)
+
+// Typed error taxonomy. Callers branch with errors.Is; the wrapped errors
+// carry the specifics (database name, underlying ctx.Err(), parser message).
+var (
+	// ErrUnknownDatabase reports a Request naming a database the benchmark
+	// does not contain.
+	ErrUnknownDatabase = errors.New("genedit: unknown database")
+	// ErrCanceled reports that the caller's context was canceled or its
+	// deadline expired mid-pipeline. Matching errors also satisfy
+	// errors.Is(err, context.Canceled) or context.DeadlineExceeded.
+	ErrCanceled = generr.ErrCanceled
+	// ErrSyntaxFailure / ErrExecFailure classify a *GenerationError (the
+	// Response.Failure field): the final SQL failed to parse vs. failed
+	// semantic execution.
+	ErrSyntaxFailure = pipeline.ErrSyntaxFailure
+	ErrExecFailure   = pipeline.ErrExecFailure
+)
+
+// GenerationError reports a generation whose best candidate SQL still
+// failed; see Response.Failure.
+type GenerationError = pipeline.GenerationError
+
+// Trace types for the per-request timing hook (WithTrace / WithTraceContext).
+type (
+	// Trace is one request's per-operator timing report.
+	Trace = pipeline.Trace
+	// OpTiming is one operator's wall-clock duration within a request.
+	OpTiming = pipeline.OpTiming
+	// TraceFunc observes a request's Trace; it must be concurrency-safe.
+	TraceFunc = pipeline.TraceFunc
+)
+
+// WithTraceContext attaches a per-request trace hook to ctx, overriding any
+// service-level WithTrace hook for that request.
+func WithTraceContext(ctx context.Context, fn TraceFunc) context.Context {
+	return pipeline.WithTrace(ctx, fn)
+}
+
+// Request is one generation job for Service.Generate / GenerateBatch.
+type Request struct {
+	// Database selects the tenant: each benchmark database is a separate
+	// "company" with its own knowledge set and engine.
+	Database string
+	// Question is the natural-language question.
+	Question string
+	// Evidence is optional benchmark-provided external knowledge.
+	Evidence string
+}
+
+// Response is the outcome of one Request.
+type Response struct {
+	Database string
+	// Record is the full generation trace (context, plan, attempts).
+	Record *Record
+	// SQL is the final SQL (Record.FinalSQL), kept flat for serving.
+	SQL string
+	// OK reports whether SQL executed without error.
+	OK bool
+	// Failure classifies an unsuccessful generation (syntax vs. exec);
+	// nil when OK.
+	Failure *GenerationError
+	// Err is set only by GenerateBatch for per-request failures (unknown
+	// database, cancellation, operator error); Generate returns these
+	// directly instead.
+	Err error
+	// Duration is the request's wall-clock time, including any engine
+	// build it had to wait for.
+	Duration time.Duration
+}
+
+// Option configures a Service.
+type Option func(*Service)
+
+// WithConfig sets the pipeline configuration for every engine the service
+// builds (default DefaultConfig).
+func WithConfig(cfg Config) Option { return func(s *Service) { s.cfg = cfg } }
+
+// WithModelSeed seeds the simulated model's deterministic draws (default 42,
+// the seed every committed exhibit uses).
+func WithModelSeed(seed uint64) Option { return func(s *Service) { s.modelSeed = seed } }
+
+// WithWorkers bounds GenerateBatch's worker pool. Values below 1 are clamped
+// to 1; the default is GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(s *Service) {
+		if n < 1 {
+			n = 1
+		}
+		s.workers = n
+	}
+}
+
+// WithStatementCacheSize bounds each engine's parsed-statement LRU (default
+// sqlexec.DefaultStatementCacheSize = 512). Serving deployments whose hot
+// SQL set exceeds the default raise it here.
+func WithStatementCacheSize(n int) Option {
+	return func(s *Service) { s.stmtCacheSize = n }
+}
+
+// WithTrace installs a service-level per-request trace hook: fn receives
+// per-operator timings for every Generate / GenerateBatch request. A hook
+// attached to a request's ctx via WithTraceContext takes precedence for
+// that request. fn must be safe for concurrent use.
+func WithTrace(fn TraceFunc) Option { return func(s *Service) { s.trace = fn } }
+
+// Service is the long-lived, multi-tenant serving facade over the GenEdit
+// pipeline. It lazily builds one shared Engine per database — the expensive
+// pre-processing phase (knowledge-set construction + retrieval-index build)
+// runs at most once per database, with duplicate concurrent builds coalesced
+// — and serves concurrent Generate and GenerateBatch calls against those
+// shared engines.
+//
+// Concurrency contract: all Service methods are safe for concurrent use.
+// Engines are immutable once built (see pipeline.Engine), so requests never
+// contend on anything but the executor's internal statement-cache mutex.
+type Service struct {
+	suite         *Benchmark
+	cfg           Config
+	modelSeed     uint64
+	workers       int
+	stmtCacheSize int
+	trace         TraceFunc
+
+	mu      sync.Mutex
+	engines map[string]*enginePromise
+}
+
+// enginePromise coalesces concurrent builds of one database's engine: the
+// first requester builds, everyone else waits on ready.
+type enginePromise struct {
+	ready  chan struct{}
+	engine *Engine
+	err    error
+}
+
+// NewService wraps a benchmark suite in a serving facade. The suite is the
+// tenant registry: every database it contains is servable. No engines are
+// built until first use; use Prewarm to front-load builds.
+func NewService(b *Benchmark, opts ...Option) *Service {
+	s := &Service{
+		suite:     b,
+		cfg:       DefaultConfig(),
+		modelSeed: 42,
+		workers:   runtime.GOMAXPROCS(0),
+		engines:   make(map[string]*enginePromise),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Databases lists the servable tenants in sorted order.
+func (s *Service) Databases() []string {
+	names := make([]string, 0, len(s.suite.Databases))
+	for name := range s.suite.Databases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Engine returns the shared engine for one database, building it on first
+// use. Concurrent callers for the same database coalesce onto a single
+// build; waiters honor ctx cancellation (the build itself runs to completion
+// and is cached for the next caller). The returned engine is shared — treat
+// it as read-only and use WithKnowledge for staging variants.
+func (s *Service) Engine(ctx context.Context, db string) (*Engine, error) {
+	if _, ok := s.suite.Databases[db]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDatabase, db)
+	}
+	s.mu.Lock()
+	p, ok := s.engines[db]
+	if !ok {
+		p = &enginePromise{ready: make(chan struct{})}
+		s.engines[db] = p
+		s.mu.Unlock()
+		// The cleanup is deferred so even a panicking build (recovered by
+		// e.g. net/http handlers) cannot leave waiters blocked forever on
+		// an unresolved promise: the promise resolves as failed and is
+		// evicted for retry.
+		defer func() {
+			if p.err != nil || p.engine == nil {
+				if p.err == nil {
+					p.err = fmt.Errorf("genedit: engine build for %q panicked", db)
+				}
+				s.mu.Lock()
+				delete(s.engines, db)
+				s.mu.Unlock()
+			}
+			close(p.ready)
+		}()
+		p.engine, p.err = s.build(db)
+		return p.engine, p.err
+	}
+	s.mu.Unlock()
+	select {
+	case <-p.ready:
+		return p.engine, p.err
+	case <-ctx.Done():
+		return nil, generr.Canceled(ctx.Err())
+	}
+}
+
+// build runs the pre-processing phase for one database.
+func (s *Service) build(db string) (*Engine, error) {
+	kset, err := s.suite.BuildKnowledge(db)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	if s.stmtCacheSize > 0 {
+		cfg.StatementCacheSize = s.stmtCacheSize
+	}
+	model := simllm.New(simllm.GenEditProfile(), s.suite.Registry, s.modelSeed)
+	return pipeline.New(model, kset, s.suite.Databases[db], cfg), nil
+}
+
+// Prewarm builds the engines for the given databases (all servable
+// databases when none are named), fanning out across the worker pool. It
+// returns the first build error; ctx cancellation aborts waiting.
+func (s *Service) Prewarm(ctx context.Context, dbs ...string) error {
+	if len(dbs) == 0 {
+		dbs = s.Databases()
+	}
+	errs := make([]error, len(dbs))
+	eval.ForEach(ctx, s.workers, len(dbs), func(i int) {
+		_, errs[i] = s.Engine(ctx, dbs[i])
+	})
+	if err := generr.FromContext(ctx); err != nil {
+		return err
+	}
+	return errors.Join(errs...)
+}
+
+// Generate serves one request against the shared engine for its database.
+// The error taxonomy: ErrUnknownDatabase for an unregistered tenant,
+// ErrCanceled (also matching the ctx error) for mid-pipeline cancellation,
+// and operator errors verbatim. A request whose final SQL failed is NOT an
+// error — the Response carries a typed Failure instead, so serving layers
+// distinguish "the model produced bad SQL" from "the service broke".
+func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	if err := generr.FromContext(ctx); err != nil {
+		return nil, err
+	}
+	engine, err := s.Engine(ctx, req.Database)
+	if err != nil {
+		return nil, err
+	}
+	if s.trace != nil && !pipeline.HasTrace(ctx) {
+		ctx = pipeline.WithTrace(ctx, s.trace)
+	}
+	rec, err := engine.GenerateContext(ctx, req.Question, req.Evidence)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Database: req.Database,
+		Record:   rec,
+		SQL:      rec.FinalSQL,
+		OK:       rec.OK,
+		Failure:  rec.Failure(),
+		Duration: time.Since(start),
+	}, nil
+}
+
+// GenerateBatch serves many requests concurrently over the service's
+// bounded worker pool (WithWorkers). The returned slice always has one
+// Response per request, input-ordered; per-request failures are reported in
+// Response.Err rather than failing the batch. The batch-level error is
+// non-nil only when ctx was canceled, in which case undispatched requests
+// carry ErrCanceled in their Err.
+func (s *Service) GenerateBatch(ctx context.Context, reqs []Request) ([]*Response, error) {
+	out := make([]*Response, len(reqs))
+	eval.ForEach(ctx, s.workers, len(reqs), func(i int) {
+		resp, err := s.Generate(ctx, reqs[i])
+		if err != nil {
+			resp = &Response{Database: reqs[i].Database, Err: err}
+		}
+		out[i] = resp
+	})
+	for i, resp := range out {
+		if resp == nil {
+			out[i] = &Response{Database: reqs[i].Database, Err: generr.Canceled(ctx.Err())}
+		}
+	}
+	if err := generr.FromContext(ctx); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Solver builds the continuous-improvement workflow around a database's
+// shared engine. The golden cases form the regression suite gating merges.
+// Note the solver mutates its own engine pointer on merge; the service's
+// shared engine is unaffected until the solver's knowledge set is re-served.
+func (s *Service) Solver(ctx context.Context, db string, golden []*Case) (*Solver, error) {
+	engine, err := s.Engine(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	model := simllm.New(simllm.GenEditProfile(), s.suite.Registry, s.modelSeed)
+	return feedback.NewSolver(engine, feedback.NewRecommender(model), golden), nil
+}
