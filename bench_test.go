@@ -177,14 +177,15 @@ func BenchmarkSQLParse(b *testing.B) {
 func BenchmarkSQLExecuteChallenging(b *testing.B) {
 	c := benchSuite.CasesByDifficulty(task.Challenging)[0]
 	exec := sqlexec.New(benchSuite.Databases[c.DB])
-	stmt, err := sqlparse.Parse(c.GoldSQL)
-	if err != nil {
+	// Query (not pre-parse + Exec): a statement-cache hit measures the
+	// steady-state serving path — Exec would re-compile every iteration.
+	if _, err := exec.Query(c.GoldSQL); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exec.Exec(stmt); err != nil {
+		if _, err := exec.Query(c.GoldSQL); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,14 +251,13 @@ func BenchmarkHashJoin(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			exec := sqlexec.New(db)
 			exec.SetHashJoin(mode.hash)
-			stmt, err := sqlparse.Parse(sql)
-			if err != nil {
+			if _, err := exec.Query(sql); err != nil { // warm the plan cache
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.Exec(stmt); err != nil {
+				if _, err := exec.Query(sql); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -356,6 +356,85 @@ func BenchmarkTopK(b *testing.B) {
 			ix.SearchVector(qv, 8)
 		}
 	})
+}
+
+// --- Compiled execution micro-benchmarks (PR 3) ---
+
+// compiledBenchModes runs a sub-benchmark per execution engine over the
+// same SQL; Query is used so the compiled mode measures the cached-plan
+// serving path (parse and compile amortized away, as in the k=3 loop).
+func compiledBenchModes(b *testing.B, db *sqldb.Database, sql string) {
+	b.Helper()
+	for _, mode := range []struct {
+		name     string
+		compiled bool
+	}{{"interpreted", false}, {"compiled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			exec := sqlexec.New(db)
+			exec.SetCompiledExec(mode.compiled)
+			if _, err := exec.Query(sql); err != nil { // warm the statement cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Query(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// exprBenchDB is a single table at workload width (10 columns) for
+// expression-bound scans.
+func exprBenchDB(n int) *sqldb.Database {
+	db := sqldb.NewDatabase("exprbench")
+	t := sqldb.NewTable("T",
+		sqldb.Column{Name: "A"}, sqldb.Column{Name: "B"},
+		sqldb.Column{Name: "C"}, sqldb.Column{Name: "D"},
+		sqldb.Column{Name: "E"}, sqldb.Column{Name: "F"},
+		sqldb.Column{Name: "G"}, sqldb.Column{Name: "H"},
+		sqldb.Column{Name: "AMT"}, sqldb.Column{Name: "S"})
+	for i := 0; i < n; i++ {
+		t.MustAppend(sqldb.Int(int64(i)), sqldb.Int(int64(i%97)),
+			sqldb.Float(float64(i)*0.5), sqldb.Int(int64(i%7)),
+			sqldb.Int(int64(i%11)), sqldb.Int(int64(i%13)),
+			sqldb.Int(int64(i%17)), sqldb.Int(int64(i%19)),
+			sqldb.Float(float64(i%1000)*1.25), sqldb.Str(fmt.Sprintf("name%04d", i%200)))
+	}
+	db.AddTable(t)
+	return db
+}
+
+// BenchmarkCompiledExpr measures an expression-bound scan: per-row ordinal
+// access, pre-dispatched operators and a pre-analyzed LIKE pattern versus
+// the interpreter's per-row environment allocation, name resolution and DP
+// pattern matching.
+func BenchmarkCompiledExpr(b *testing.B) {
+	db := exprBenchDB(20000)
+	sql := "SELECT A * 2 + F, CASE WHEN AMT > 50 THEN UPPER(S) ELSE S END, G % 7 + H " +
+		"FROM T WHERE F + A % 13 > 3 AND S LIKE 'name%' AND AMT >= 0"
+	compiledBenchModes(b, db, sql)
+}
+
+// BenchmarkTopNLimit measures ORDER BY with a small static LIMIT over a
+// large result: the compiled engine's bounded heap versus the full stable
+// sort.
+func BenchmarkTopNLimit(b *testing.B) {
+	db := exprBenchDB(50000)
+	sql := "SELECT A, B FROM T ORDER BY B DESC, A LIMIT 5"
+	compiledBenchModes(b, db, sql)
+}
+
+// BenchmarkPredicatePushdown measures a selective single-side WHERE over an
+// FK join: pushed below the join it shrinks the hash build/probe inputs,
+// above it the join materializes every matching pair first.
+func BenchmarkPredicatePushdown(b *testing.B) {
+	db := joinBenchDB(4000, 10)
+	sql := "SELECT COUNT(*), SUM(AMOUNT) FROM PARENTS JOIN CHILDREN ON PARENTS.ID = CHILDREN.PARENT_ID " +
+		"WHERE PARENTS.NAME = 'p0001'"
+	compiledBenchModes(b, db, sql)
 }
 
 func BenchmarkPipelineSingleGeneration(b *testing.B) {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -87,7 +88,26 @@ func main() {
 	rounds := flag.Int("rounds", 4, "improvement rounds")
 	jsonPath := flag.String("json", "", "also write results (EX tables + wall-clock) as JSON to this file")
 	baseline := flag.String("baseline", "", "EX-parity gate: compare the regenerated EX tables against this committed JSON baseline and exit non-zero on any drift")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "creating cpu profile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "starting cpu profile:", err)
+			os.Exit(1)
+		}
+		// Stopped explicitly before exit; error paths os.Exit and drop the
+		// partial profile, which is fine for a diagnostics flag.
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	record := benchRecord{
 		Seed:        *seed,

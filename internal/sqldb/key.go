@@ -1,0 +1,35 @@
+package sqldb
+
+import "strconv"
+
+// Length-prefixed composite key encoding, shared by every multi-column
+// hashing site in the executor (GROUP BY, DISTINCT, compound set operations,
+// window partitions, hash-join buckets). A bare delimiter byte between
+// components would let values containing that byte alias across column
+// boundaries ("a\x1f"+"b" vs "a"+"\x1fb"); prefixing each component with its
+// decimal length makes the encoding injective over component sequences.
+
+// AppendLengthPrefixed appends one component to dst as "<len>|<s>" and
+// returns the extended buffer.
+func AppendLengthPrefixed(dst []byte, s string) []byte {
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, '|')
+	return append(dst, s...)
+}
+
+// AppendValueKey appends the length-prefixed grouping key of v (see
+// Value.Key) to dst.
+func AppendValueKey(dst []byte, v Value) []byte {
+	return AppendLengthPrefixed(dst, v.Key())
+}
+
+// CompositeKey returns the concatenated length-prefixed grouping keys of the
+// row's values: two rows share a composite key iff they are pairwise Key()
+// equal, regardless of delimiter bytes inside string values.
+func CompositeKey(row Row) string {
+	var dst []byte
+	for _, v := range row {
+		dst = AppendValueKey(dst, v)
+	}
+	return string(dst)
+}

@@ -1,0 +1,39 @@
+package sqldb
+
+import "testing"
+
+func TestCompositeKeyInjective(t *testing.T) {
+	// Pairs of rows that alias under naive delimiter-joined Key() encodings
+	// but must produce distinct composite keys.
+	pairs := [][2]Row{
+		{{Str("a\x1f"), Str("b")}, {Str("a"), Str("\x1fb")}},
+		{{Str("a"), Str("")}, {Str(""), Str("a")}},
+		{{Str("1|x"), Str("y")}, {Str("1"), Str("|xy")}},
+		{{Str("ab")}, {Str("a"), Str("b")}},
+		{{Int(12), Str("3")}, {Int(1), Str("23")}},
+		{{Null(), Str("")}, {Str(""), Null()}},
+	}
+	for _, p := range pairs {
+		if CompositeKey(p[0]) == CompositeKey(p[1]) {
+			t.Errorf("rows %v and %v alias to composite key %q", p[0], p[1], CompositeKey(p[0]))
+		}
+	}
+}
+
+func TestCompositeKeyEqualRows(t *testing.T) {
+	// Numerically equal ints and floats share a Key(), so composite keys of
+	// pairwise Key()-equal rows must match.
+	a := Row{Int(3), Str("x\x1fy"), Bool(true)}
+	b := Row{Float(3), Str("x\x1fy"), Bool(true)}
+	if CompositeKey(a) != CompositeKey(b) {
+		t.Errorf("Key()-equal rows produced different composite keys: %q vs %q",
+			CompositeKey(a), CompositeKey(b))
+	}
+}
+
+func TestAppendLengthPrefixed(t *testing.T) {
+	got := string(AppendLengthPrefixed(AppendLengthPrefixed(nil, "ab"), ""))
+	if got != "2|ab0|" {
+		t.Errorf("encoding = %q, want %q", got, "2|ab0|")
+	}
+}

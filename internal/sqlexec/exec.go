@@ -15,22 +15,33 @@ import (
 )
 
 // Executor runs queries against a database. Executors are safe for
-// concurrent use: the database is read-only during query evaluation and the
-// statement cache is internally synchronized. The configuration knobs
-// (SetHashJoin, SetStatementCaching) are not synchronized — set them before
-// sharing the executor across goroutines.
+// concurrent use: the database is read-only during query evaluation, the
+// statement cache is internally synchronized, and compiled plans are
+// stateless. The configuration knobs (SetHashJoin, SetStatementCaching,
+// SetCompiledExec) are not synchronized — set them before sharing the
+// executor across goroutines. Compiled plans bind column ordinals against
+// table layouts, so schemas must not change under a live executor (rows may
+// be appended freely).
 type Executor struct {
 	db    *sqldb.Database
 	stmts *stmtCache
 	// noHashJoin forces the nested-loop join; see SetHashJoin.
 	noHashJoin bool
+	// noCompiled forces the tree-walking interpreter; see SetCompiledExec.
+	noCompiled bool
 }
 
-// New returns an executor over db with statement caching and the hash-join
-// fast path enabled.
+// New returns an executor over db with statement caching, compiled
+// execution and the hash-join fast path enabled.
 func New(db *sqldb.Database) *Executor {
 	return &Executor{db: db, stmts: newStmtCache(DefaultStatementCacheSize)}
 }
+
+// SetCompiledExec enables or disables compiled execution (on by default).
+// Disabling selects the tree-walking interpreter, the reference path the
+// compiled engine is property-tested against (identical rows, columns and
+// error text).
+func (e *Executor) SetCompiledExec(enabled bool) { e.noCompiled = !enabled }
 
 // Result is a materialized query result.
 type Result struct {
@@ -49,28 +60,47 @@ func execErrf(format string, args ...any) error {
 	return &ExecError{Msg: fmt.Sprintf(format, args...)}
 }
 
-// Query parses and executes sql. Parsed statements are cached (LRU, keyed by
-// the raw SQL text), so the regeneration loop, gold evaluation and
-// regression suite re-execute repeated SQL without re-lexing/re-parsing it.
+// Query parses and executes sql. Parsed statements and their compiled plans
+// are cached (LRU, keyed by the raw SQL text), so the regeneration loop,
+// gold evaluation and regression suite re-execute repeated SQL without
+// re-lexing, re-parsing or re-compiling it.
 func (e *Executor) Query(sql string) (*Result, error) {
 	if e.stmts != nil {
-		if stmt, ok := e.stmts.get(sql); ok {
-			return e.Exec(stmt)
+		if stmt, plan, ok := e.stmts.get(sql); ok {
+			if e.noCompiled {
+				return e.evalStmt(stmt, &scope{}, nil)
+			}
+			if plan == nil {
+				plan = compileStmt(e.db, stmt)
+				e.stmts.setPlan(sql, plan)
+			}
+			return e.runStmt(plan, &scope{})
 		}
 	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	if e.stmts != nil {
-		e.stmts.put(sql, stmt)
+	if e.noCompiled {
+		if e.stmts != nil {
+			e.stmts.put(sql, stmt, nil)
+		}
+		return e.evalStmt(stmt, &scope{}, nil)
 	}
-	return e.Exec(stmt)
+	plan := compileStmt(e.db, stmt)
+	if e.stmts != nil {
+		e.stmts.put(sql, stmt, plan)
+	}
+	return e.runStmt(plan, &scope{})
 }
 
-// Exec executes a parsed statement.
+// Exec executes a parsed statement. With compiled execution enabled the
+// statement is compiled on each call; use Query to hit the plan cache.
 func (e *Executor) Exec(stmt *sqlparse.SelectStmt) (*Result, error) {
-	return e.evalStmt(stmt, &scope{}, nil)
+	if e.noCompiled {
+		return e.evalStmt(stmt, &scope{}, nil)
+	}
+	return e.runStmt(compileStmt(e.db, stmt), &scope{})
 }
 
 // scope carries CTE visibility; scopes chain lexically.
@@ -162,7 +192,7 @@ func (e *Executor) evalStmt(stmt *sqlparse.SelectStmt, sc *scope, outer *rowEnv)
 	if err := orderResultByOutput(res, stmt.OrderBy); err != nil {
 		return nil, err
 	}
-	return e.applyLimitOffset(res, stmt.Limit, stmt.Offset, sc, outer)
+	return applyLimitOffset(res, stmt.Limit, stmt.Offset)
 }
 
 // evalCoreFull runs one select core including optional statement-level
@@ -318,17 +348,7 @@ func (e *Executor) evalCoreFull(core *sqlparse.SelectCore, sc *scope, outer *row
 
 	if len(orderBy) > 0 {
 		sort.SliceStable(outs, func(i, j int) bool {
-			for k, item := range orderBy {
-				c := sqldb.CompareForSort(outs[i].keys[k], outs[j].keys[k])
-				if c == 0 {
-					continue
-				}
-				if item.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
+			return compareOrderKeys(outs[i].keys, outs[j].keys, orderBy) < 0
 		})
 	}
 
@@ -336,50 +356,15 @@ func (e *Executor) evalCoreFull(core *sqlparse.SelectCore, sc *scope, outer *row
 	for _, o := range outs {
 		res.Rows = append(res.Rows, o.row)
 	}
-	return e.applyLimitOffset(res, limit, offset, sc, outer)
+	return applyLimitOffset(res, limit, offset)
 }
 
-func (e *Executor) applyLimitOffset(res *Result, limit, offset sqlparse.Expr, sc *scope, outer *rowEnv) (*Result, error) {
-	if offset != nil {
-		n, err := e.evalStaticInt(offset, sc, outer)
-		if err != nil {
-			return nil, err
-		}
-		if n < 0 {
-			n = 0
-		}
-		if int(n) >= len(res.Rows) {
-			res.Rows = nil
-		} else {
-			res.Rows = res.Rows[n:]
-		}
-	}
-	if limit != nil {
-		n, err := e.evalStaticInt(limit, sc, outer)
-		if err != nil {
-			return nil, err
-		}
-		if n < 0 {
-			n = 0
-		}
-		if int(n) < len(res.Rows) {
-			res.Rows = res.Rows[:n]
-		}
-	}
-	return res, nil
-}
-
-func (e *Executor) evalStaticInt(expr sqlparse.Expr, sc *scope, outer *rowEnv) (int64, error) {
-	env := &rowEnv{exec: e, sc: sc, outer: outer}
-	v, err := evalExpr(expr, env)
-	if err != nil {
-		return 0, err
-	}
-	n, ok := v.AsInt()
-	if !ok {
-		return 0, execErrf("LIMIT/OFFSET requires an integer, got %q", v.String())
-	}
-	return n, nil
+// applyLimitOffset folds LIMIT/OFFSET to constants (staticInt, shared with
+// the compiled path) and applies them. Non-constant expressions are
+// rejected with an ExecError rather than evaluated through a throwaway row
+// environment as earlier revisions did.
+func applyLimitOffset(res *Result, limit, offset sqlparse.Expr) (*Result, error) {
+	return applyFolded(res, foldLimit(limit), foldLimit(offset))
 }
 
 // groupRows partitions the relation by the GROUP BY expressions, preserving
@@ -391,18 +376,18 @@ func (e *Executor) groupRows(exprs []sqlparse.Expr, rel relation, sc *scope, out
 	}
 	var order []string
 	groups := make(map[string][]sqldb.Row)
+	var kb []byte
 	for _, row := range rel.rows {
 		env := &rowEnv{exec: e, sc: sc, cols: rel.cols, row: row, outer: outer}
-		var kb strings.Builder
+		kb = kb[:0]
 		for _, ge := range exprs {
 			v, err := evalExpr(ge, env)
 			if err != nil {
 				return nil, err
 			}
-			kb.WriteString(v.Key())
-			kb.WriteByte('\x1f')
+			kb = sqldb.AppendValueKey(kb, v)
 		}
-		key := kb.String()
+		key := string(kb)
 		if _, ok := groups[key]; !ok {
 			order = append(order, key)
 		}
@@ -490,13 +475,30 @@ func resolveOrderTargets(orderBy []sqlparse.OrderItem, items []sqlparse.SelectIt
 	return exprs, idx, nil
 }
 
-func rowKey(row sqldb.Row) string {
-	var sb strings.Builder
-	for _, v := range row {
-		sb.WriteString(v.Key())
-		sb.WriteByte('\x1f')
+// compareOrderKeys orders two hidden ORDER BY key rows under the ORDER BY
+// items (descending items invert), returning 0 when every key compares
+// equal; callers layer their own stability rule on top. Shared by the
+// interpreter's stable sort, the compiled sort and the top-N heap, so
+// ordering semantics cannot diverge between paths.
+func compareOrderKeys(a, b sqldb.Row, orderBy []sqlparse.OrderItem) int {
+	for k, item := range orderBy {
+		c := sqldb.CompareForSort(a[k], b[k])
+		if c == 0 {
+			continue
+		}
+		if item.Desc {
+			return -c
+		}
+		return c
 	}
-	return sb.String()
+	return 0
+}
+
+// rowKey is the hashing key for DISTINCT and compound set operations;
+// length-prefixed components cannot alias across column boundaries however
+// the values are spelled (see sqldb.CompositeKey).
+func rowKey(row sqldb.Row) string {
+	return sqldb.CompositeKey(row)
 }
 
 // combine applies a compound set operation.
@@ -654,6 +656,13 @@ func (e *Executor) evalJoin(j *sqlparse.JoinExpr, sc *scope, outer *rowEnv) (rel
 		return relation{}, err
 	}
 	cols := append(append([]bindCol{}, left.cols...), right.cols...)
+	return e.joinRelations(j, left, right, cols, sc, outer)
+}
+
+// joinRelations joins two already-materialized inputs; the compiled planner
+// calls it directly after applying pushed-down predicates to the leaves.
+func (e *Executor) joinRelations(j *sqlparse.JoinExpr, left, right relation, cols []bindCol,
+	sc *scope, outer *rowEnv) (relation, error) {
 
 	// Hash fast path for equality conjuncts; falls back to the nested loop
 	// when no sound hash plan exists (see hashjoin.go).

@@ -106,7 +106,13 @@ func evalUnary(u *sqlparse.Unary, env *rowEnv) (sqldb.Value, error) {
 	if err != nil {
 		return sqldb.Null(), err
 	}
-	switch u.Op {
+	return applyUnary(u.Op, v)
+}
+
+// applyUnary is the value-level semantics of a prefix operator, shared by
+// the interpreter and the compiled path.
+func applyUnary(op string, v sqldb.Value) (sqldb.Value, error) {
+	switch op {
 	case "-":
 		if v.IsNull() {
 			return sqldb.Null(), nil
@@ -127,7 +133,7 @@ func evalUnary(u *sqlparse.Unary, env *rowEnv) (sqldb.Value, error) {
 		}
 		return sqldb.Bool(!truthy(v)), nil
 	}
-	return sqldb.Null(), execErrf("unsupported unary operator %q", u.Op)
+	return sqldb.Null(), execErrf("unsupported unary operator %q", op)
 }
 
 func evalBinary(b *sqlparse.Binary, env *rowEnv) (sqldb.Value, error) {
@@ -181,8 +187,13 @@ func evalBinary(b *sqlparse.Binary, env *rowEnv) (sqldb.Value, error) {
 	if err != nil {
 		return sqldb.Null(), err
 	}
+	return applyBinary(b.Op, l, r)
+}
 
-	switch b.Op {
+// applyBinary is the value-level semantics of a non-AND/OR infix operator,
+// shared by the interpreter and the compiled path.
+func applyBinary(op string, l, r sqldb.Value) (sqldb.Value, error) {
+	switch op {
 	case "=", "<>", "<", "<=", ">", ">=":
 		if l.IsNull() || r.IsNull() {
 			return sqldb.Null(), nil
@@ -191,7 +202,7 @@ func evalBinary(b *sqlparse.Binary, env *rowEnv) (sqldb.Value, error) {
 		if !ok {
 			return sqldb.Null(), nil
 		}
-		switch b.Op {
+		switch op {
 		case "=":
 			return sqldb.Bool(c == 0), nil
 		case "<>":
@@ -211,9 +222,9 @@ func evalBinary(b *sqlparse.Binary, env *rowEnv) (sqldb.Value, error) {
 		}
 		return sqldb.Str(l.String() + r.String()), nil
 	case "+", "-", "*", "/", "%":
-		return evalArith(b.Op, l, r)
+		return evalArith(op, l, r)
 	}
-	return sqldb.Null(), execErrf("unsupported operator %q", b.Op)
+	return sqldb.Null(), execErrf("unsupported operator %q", op)
 }
 
 func evalArith(op string, l, r sqldb.Value) (sqldb.Value, error) {

@@ -40,13 +40,19 @@ func evalScalarFunc(fc *sqlparse.FuncCall, env *rowEnv) (sqldb.Value, error) {
 		}
 		args[i] = v
 	}
+	return applyScalarFunc(fc.Name, args)
+}
+
+// applyScalarFunc is the value-level semantics of the scalar function
+// library, shared by the interpreter and the compiled path.
+func applyScalarFunc(name string, args []sqldb.Value) (sqldb.Value, error) {
 	need := func(n int) error {
 		if len(args) != n {
-			return execErrf("%s expects %d argument(s), got %d", fc.Name, n, len(args))
+			return execErrf("%s expects %d argument(s), got %d", name, n, len(args))
 		}
 		return nil
 	}
-	switch fc.Name {
+	switch name {
 	case "NULLIF":
 		if err := need(2); err != nil {
 			return sqldb.Null(), err
@@ -196,13 +202,13 @@ func evalScalarFunc(fc *sqlparse.FuncCall, env *rowEnv) (sqldb.Value, error) {
 		}
 		return sqldb.Str(out), nil
 	case "YEAR":
-		return datePart(fc.Name, args, func(d dateParts) int { return d.year })
+		return datePart(name, args, func(d dateParts) int { return d.year })
 	case "MONTH":
-		return datePart(fc.Name, args, func(d dateParts) int { return d.month })
+		return datePart(name, args, func(d dateParts) int { return d.month })
 	case "DAY":
-		return datePart(fc.Name, args, func(d dateParts) int { return d.day })
+		return datePart(name, args, func(d dateParts) int { return d.day })
 	case "QUARTER":
-		return datePart(fc.Name, args, func(d dateParts) int { return (d.month-1)/3 + 1 })
+		return datePart(name, args, func(d dateParts) int { return (d.month-1)/3 + 1 })
 	case "SIGN":
 		if err := need(1); err != nil {
 			return sqldb.Null(), err
@@ -248,7 +254,7 @@ func evalScalarFunc(fc *sqlparse.FuncCall, env *rowEnv) (sqldb.Value, error) {
 		}
 		return sqldb.Float(math.Sqrt(f)), nil
 	}
-	return sqldb.Null(), execErrf("unknown function %s", fc.Name)
+	return sqldb.Null(), execErrf("unknown function %s", name)
 }
 
 func datePart(name string, args []sqldb.Value, get func(dateParts) int) (sqldb.Value, error) {
@@ -351,18 +357,37 @@ func evalAggregate(fc *sqlparse.FuncCall, env *rowEnv, group []sqldb.Row) (sqldb
 	if len(fc.Args) != 1 {
 		return sqldb.Null(), execErrf("aggregate %s expects exactly 1 argument", fc.Name)
 	}
-	var vals []sqldb.Value
-	seen := make(map[string]bool)
-	for _, row := range group {
+	vals, err := collectAggregateArgs(group, fc.Distinct, func(row sqldb.Row) (sqldb.Value, error) {
 		child := &rowEnv{exec: env.exec, sc: env.sc, cols: env.cols, row: row, outer: env.outer}
-		v, err := evalExpr(fc.Args[0], child)
+		return evalExpr(fc.Args[0], child)
+	})
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	return finishAggregate(fc.Name, vals)
+}
+
+// collectAggregateArgs accumulates an aggregate's non-NULL argument values
+// over a group, deduplicating by Value.Key() when distinct. Both execution
+// paths share it (differing only in how the per-row value is produced), so
+// NULL and DISTINCT semantics cannot diverge.
+func collectAggregateArgs(group []sqldb.Row, distinct bool,
+	eval func(sqldb.Row) (sqldb.Value, error)) ([]sqldb.Value, error) {
+
+	var vals []sqldb.Value
+	var seen map[string]bool
+	if distinct {
+		seen = make(map[string]bool)
+	}
+	for _, row := range group {
+		v, err := eval(row)
 		if err != nil {
-			return sqldb.Null(), err
+			return nil, err
 		}
 		if v.IsNull() {
 			continue
 		}
-		if fc.Distinct {
+		if distinct {
 			k := v.Key()
 			if seen[k] {
 				continue
@@ -371,12 +396,18 @@ func evalAggregate(fc *sqlparse.FuncCall, env *rowEnv, group []sqldb.Row) (sqldb
 		}
 		vals = append(vals, v)
 	}
-	switch fc.Name {
+	return vals, nil
+}
+
+// finishAggregate reduces the collected non-NULL argument values of an
+// aggregate call, shared by the interpreter and the compiled path.
+func finishAggregate(name string, vals []sqldb.Value) (sqldb.Value, error) {
+	switch name {
 	case "COUNT":
 		return sqldb.Int(int64(len(vals))), nil
 	case "SUM", "TOTAL":
 		if len(vals) == 0 {
-			if fc.Name == "TOTAL" {
+			if name == "TOTAL" {
 				return sqldb.Float(0), nil
 			}
 			return sqldb.Null(), nil
@@ -397,7 +428,7 @@ func evalAggregate(fc *sqlparse.FuncCall, env *rowEnv, group []sqldb.Row) (sqldb
 	case "MAX":
 		return extremum(vals, 1), nil
 	}
-	return sqldb.Null(), execErrf("unknown aggregate %s", fc.Name)
+	return sqldb.Null(), execErrf("unknown aggregate %s", name)
 }
 
 func sumValues(vals []sqldb.Value) (sqldb.Value, error) {

@@ -277,18 +277,16 @@ func (e *Executor) hashJoin(j *sqlparse.JoinExpr, left, right relation, cols []b
 		}
 	}
 
-	// Length-prefixed encoding: a bare delimiter would let key components
-	// containing the delimiter byte alias across columns ("a\x1f"+"b" vs
-	// "a"+"\x1fb") and fabricate matches the nested loop never produces.
+	// Length-prefixed encoding (sqldb.AppendLengthPrefixed): a bare
+	// delimiter would let key components containing the delimiter byte alias
+	// across columns ("a\x1f"+"b" vs "a"+"\x1fb") and fabricate matches the
+	// nested loop never produces.
 	bucketKey := func(vals []sqldb.Value) string {
-		var sb strings.Builder
+		var kb []byte
 		for i, v := range vals {
-			k := canonicalKey(v, classes[i])
-			sb.WriteString(strconv.Itoa(len(k)))
-			sb.WriteByte('|')
-			sb.WriteString(k)
+			kb = sqldb.AppendLengthPrefixed(kb, canonicalKey(v, classes[i]))
 		}
-		return sb.String()
+		return string(kb)
 	}
 
 	// Build on the smaller side, probe with the larger; matches are

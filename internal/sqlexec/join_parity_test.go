@@ -203,20 +203,20 @@ func TestStatementCacheHitsAndParity(t *testing.T) {
 
 func TestStatementCacheLRUEviction(t *testing.T) {
 	c := newStmtCache(2)
-	put := func(sql string) { c.put(sql, nil) }
+	put := func(sql string) { c.put(sql, nil, nil) }
 	put("a")
 	put("b")
-	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+	if _, _, ok := c.get("a"); !ok { // touch a: b becomes LRU
 		t.Fatal("a should be cached")
 	}
 	put("c") // evicts b
-	if _, ok := c.get("b"); ok {
+	if _, _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Error("a should survive eviction")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, _, ok := c.get("c"); !ok {
 		t.Error("c should be cached")
 	}
 }

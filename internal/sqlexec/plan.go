@@ -1,0 +1,890 @@
+package sqlexec
+
+import (
+	"sort"
+	"strings"
+
+	"genedit/internal/sqldb"
+	"genedit/internal/sqlparse"
+)
+
+// Statement plans: the compile-once layer above the expression programs in
+// compile.go. A plan binds every clause of a statement against statically
+// known relation layouts (base tables, CTEs, derived tables) and adds three
+// plan-level optimizations the interpreter does not perform:
+//
+//   - predicate pushdown: WHERE conjuncts that are provably error-free and
+//     bind entirely to one preserved-side join input are evaluated before
+//     the join, shrinking hash build/probe inputs;
+//   - hash DISTINCT and GROUP BY keyed by length-prefixed composite keys;
+//   - top-N ORDER BY: with a static LIMIT, a bounded heap replaces the full
+//     sort.
+//
+// Anything the compiler cannot bind statically — window functions in the
+// projection, star expansion over unknown layouts, unknown tables, ORDER BY
+// targets that do not resolve — falls back to the tree-walking interpreter
+// at statement or core granularity, so error timing and text stay exact.
+
+type stmtPlan struct {
+	stmt     *sqlparse.SelectStmt // source AST, for fallback
+	fallback bool                 // run the whole statement through the interpreter
+	ctes     []ctePlan
+	core     *corePlan
+	compound []compoundPlan
+	limit    *foldedInt
+	offset   *foldedInt
+}
+
+type ctePlan struct {
+	src *sqlparse.CTE
+	sub *stmtPlan
+}
+
+type compoundPlan struct {
+	op   sqlparse.CompoundOp
+	core *corePlan
+}
+
+// foldedInt is a LIMIT/OFFSET expression folded at plan time; err is raised
+// only at the clause's evaluation point, exactly as the interpreter would.
+type foldedInt struct {
+	n   int64
+	err error
+}
+
+func foldLimit(e sqlparse.Expr) *foldedInt {
+	if e == nil {
+		return nil
+	}
+	n, err := staticInt(e)
+	return &foldedInt{n: n, err: err}
+}
+
+type corePlan struct {
+	// Source clauses, kept for core-granularity interpreter fallback.
+	src                 *sqlparse.SelectCore
+	srcOrderBy          []sqlparse.OrderItem
+	srcLimit, srcOffset sqlparse.Expr
+	fallback            bool
+
+	from       *fromPlan
+	where      []program // conjuncts not claimed by pushdown, in source order
+	items      []sqlparse.SelectItem
+	outCols    []string
+	aggregated bool
+	groupBy    []program
+	having     program
+	projs      []program
+	orderBy    []sqlparse.OrderItem
+	orderProgs []program // per ORDER BY item; nil where orderIdx[i] >= 0
+	orderIdx   []int
+	distinct   bool
+	limit      *foldedInt
+	offset     *foldedInt
+}
+
+type fromPlan struct {
+	cols []bindCol
+	leaf *leafPlan // exactly one of leaf/join is set
+	join *joinPlan
+}
+
+type leafPlan struct {
+	noFrom  bool
+	table   string    // base table name ("" when CTE or derived)
+	cte     string    // CTE name ("" when not a CTE)
+	sub     *stmtPlan // derived table
+	filters []program // pushed-down predicates over this leaf's columns
+}
+
+type joinPlan struct {
+	src         *sqlparse.JoinExpr
+	left, right *fromPlan
+}
+
+// staticScope tracks CTE column layouts during compilation, mirroring the
+// runtime scope chain (lookup is case-insensitive, inner shadows outer,
+// CTEs shadow base tables).
+type staticScope struct {
+	parent *staticScope
+	ctes   map[string][]string
+}
+
+func (s *staticScope) lookup(name string) ([]string, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cols, ok := cur.ctes[strings.ToUpper(name)]; ok {
+			return cols, true
+		}
+	}
+	return nil, false
+}
+
+func (s *staticScope) child() *staticScope {
+	return &staticScope{parent: s, ctes: make(map[string][]string)}
+}
+
+// compileStmt lowers a parsed statement into an executable plan. It never
+// fails: parts the compiler cannot bind are marked for interpreter
+// fallback, which reproduces results and error timing exactly.
+func compileStmt(db *sqldb.Database, stmt *sqlparse.SelectStmt) *stmtPlan {
+	sp, _, _ := compileStmtScoped(db, stmt, nil)
+	return sp
+}
+
+// compileStmtScoped compiles one statement under a static CTE scope. The
+// returned columns are the statement's output layout; ok reports whether
+// that layout is statically known (required when the statement feeds a CTE
+// without a declared column list, or a derived table).
+func compileStmtScoped(db *sqldb.Database, stmt *sqlparse.SelectStmt, ss *staticScope) (*stmtPlan, []string, bool) {
+	sp := &stmtPlan{stmt: stmt}
+	if len(stmt.With) > 0 {
+		ss = ss.child()
+		for i := range stmt.With {
+			cte := &stmt.With[i]
+			sub, subCols, subOK := compileStmtScoped(db, cte.Select, ss)
+			cols := subCols
+			colsOK := subOK
+			if len(cte.Columns) > 0 {
+				if subOK && len(cte.Columns) != len(subCols) {
+					// Declared arity mismatch: the interpreter raises it only
+					// after evaluating the CTE's select, so fall back.
+					sp.fallback = true
+					return sp, nil, false
+				}
+				cols = cte.Columns
+				colsOK = true
+			}
+			if !colsOK {
+				sp.fallback = true
+				return sp, nil, false
+			}
+			ss.ctes[strings.ToUpper(cte.Name)] = cols
+			sp.ctes = append(sp.ctes, ctePlan{src: cte, sub: sub})
+		}
+	}
+
+	if len(stmt.Compound) == 0 {
+		core, cols, ok := compileCore(db, stmt.Core, ss, stmt.OrderBy, stmt.Limit, stmt.Offset)
+		sp.core = core
+		return sp, cols, ok
+	}
+
+	core, cols, ok := compileCore(db, stmt.Core, ss, nil, nil, nil)
+	sp.core = core
+	for _, part := range stmt.Compound {
+		pc, _, _ := compileCore(db, part.Core, ss, nil, nil, nil)
+		sp.compound = append(sp.compound, compoundPlan{op: part.Op, core: pc})
+	}
+	sp.limit = foldLimit(stmt.Limit)
+	sp.offset = foldLimit(stmt.Offset)
+	return sp, cols, ok
+}
+
+// compileCore compiles one select core (plus the statement-level ORDER BY /
+// LIMIT / OFFSET that evalCoreFull owns). The returned columns are the
+// core's output names; ok reports whether they are statically known.
+func compileCore(db *sqldb.Database, core *sqlparse.SelectCore, ss *staticScope,
+	orderBy []sqlparse.OrderItem, limit, offset sqlparse.Expr) (*corePlan, []string, bool) {
+
+	cp := &corePlan{src: core, srcOrderBy: orderBy, srcLimit: limit, srcOffset: offset}
+	bail := func() (*corePlan, []string, bool) {
+		cp.fallback = true
+		return cp, nil, false
+	}
+
+	from, ok := compileFrom(db, core.From, ss)
+	if !ok {
+		return bail()
+	}
+	items, err := expandStars(core.Items, from.cols)
+	if err != nil {
+		return bail()
+	}
+	outCols := outputColumns(items)
+
+	// Window calls in the projection or ORDER BY need the interpreter's
+	// per-output-row environments; fall back (output layout stays known).
+	for _, item := range items {
+		if hasWindowCall(item.Expr) {
+			cp.fallback = true
+			return cp, outCols, true
+		}
+	}
+	for _, o := range orderBy {
+		if hasWindowCall(o.Expr) {
+			cp.fallback = true
+			return cp, outCols, true
+		}
+	}
+
+	orderExprs, orderIdx, err := resolveOrderTargets(orderBy, items)
+	if err != nil {
+		cp.fallback = true
+		return cp, outCols, true
+	}
+
+	cp.from = from
+	cp.items = items
+	cp.outCols = outCols
+	cp.distinct = core.Distinct
+	cp.limit = foldLimit(limit)
+	cp.offset = foldLimit(offset)
+
+	cp.aggregated = len(core.GroupBy) > 0 || core.Having != nil
+	if !cp.aggregated {
+		for _, item := range items {
+			if containsAggregate(item.Expr) {
+				cp.aggregated = true
+				break
+			}
+		}
+	}
+	if !cp.aggregated {
+		for _, o := range orderBy {
+			if containsAggregate(o.Expr) {
+				cp.aggregated = true
+				break
+			}
+		}
+	}
+
+	compileWhere(cp, core.Where, from)
+
+	for _, ge := range core.GroupBy {
+		p, _ := compileExpr(ge, from.cols)
+		cp.groupBy = append(cp.groupBy, p)
+	}
+	if core.Having != nil {
+		cp.having, _ = compileExpr(core.Having, from.cols)
+	}
+	cp.projs = make([]program, len(items))
+	for i, item := range items {
+		cp.projs[i], _ = compileExpr(item.Expr, from.cols)
+	}
+	cp.orderBy = orderBy
+	cp.orderIdx = orderIdx
+	cp.orderProgs = make([]program, len(orderBy))
+	for i := range orderBy {
+		if orderIdx[i] < 0 {
+			cp.orderProgs[i], _ = compileExpr(orderExprs[i], from.cols)
+		}
+	}
+	return cp, outCols, true
+}
+
+func hasWindowCall(e sqlparse.Expr) bool {
+	found := false
+	sqlparse.WalkExprs(e, func(x sqlparse.Expr) {
+		if fc, ok := x.(*sqlparse.FuncCall); ok && fc.Over != nil {
+			found = true
+		}
+	})
+	return found
+}
+
+// compileWhere lowers the WHERE clause, attempting predicate pushdown when
+// the FROM clause is a join. Pushdown only engages when *every* conjunct is
+// total (exprTotal): under three-valued logic the kept row set of an AND
+// chain is order-independent, and with no conjunct able to error,
+// evaluating some of them early (on rows the interpreter never filters) or
+// skipping them (on rows a pushed predicate already rejected) is
+// unobservable. Every join ON expression in the tree must be total as well:
+// leaf filters remove rows before the join evaluates ON, so an ON
+// expression that can error on a filtered-out row would otherwise lose the
+// error the interpreter raises. Conjuncts are pushed only to
+// preserved-side inputs — the null-supplying side of an outer join sees
+// synthesized NULL rows the pre-join input does not, where a
+// null-accepting predicate could diverge.
+func compileWhere(cp *corePlan, where sqlparse.Expr, from *fromPlan) {
+	if where == nil {
+		return
+	}
+	conjs := splitConjuncts(where, nil)
+	pushdown := from.join != nil && joinOnTotal(from)
+	if pushdown {
+		for _, conj := range conjs {
+			if !exprTotal(conj, from.cols) {
+				pushdown = false
+				break
+			}
+		}
+	}
+	if !pushdown {
+		p, _ := compileExpr(where, from.cols)
+		cp.where = []program{p}
+		return
+	}
+	leaves := collectLeaves(from, true, 0, nil)
+	for _, conj := range conjs {
+		if leaf := pushTarget(conj, from.cols, leaves); leaf != nil {
+			p, _ := compileExpr(conj, leaf.cols)
+			leaf.leaf.filters = append(leaf.leaf.filters, p)
+			continue
+		}
+		p, _ := compileExpr(conj, from.cols)
+		cp.where = append(cp.where, p)
+	}
+}
+
+// joinOnTotal reports whether every ON expression in the join tree is
+// total (evaluated against that join node's combined layout); only then is
+// filtering an input before the join unable to suppress an ON error.
+func joinOnTotal(fp *fromPlan) bool {
+	if fp.leaf != nil {
+		return true
+	}
+	if on := fp.join.src.On; on != nil && !exprTotal(on, fp.cols) {
+		return false
+	}
+	return joinOnTotal(fp.join.left) && joinOnTotal(fp.join.right)
+}
+
+// leafRange is one scan leaf of a join tree with its ordinal range in the
+// combined column layout and whether predicates may be pushed to it.
+type leafRange struct {
+	leaf       *leafPlan
+	cols       []bindCol
+	start, end int
+	pushable   bool
+}
+
+func collectLeaves(fp *fromPlan, pushable bool, start int, acc []leafRange) []leafRange {
+	if fp.leaf != nil {
+		return append(acc, leafRange{
+			leaf: fp.leaf, cols: fp.cols,
+			start: start, end: start + len(fp.cols), pushable: pushable,
+		})
+	}
+	leftPush, rightPush := pushable, pushable
+	switch fp.join.src.Kind {
+	case sqlparse.LeftJoin:
+		rightPush = false
+	case sqlparse.RightJoin:
+		leftPush = false
+	case sqlparse.FullJoin:
+		leftPush, rightPush = false, false
+	}
+	acc = collectLeaves(fp.join.left, leftPush, start, acc)
+	return collectLeaves(fp.join.right, rightPush, start+len(fp.join.left.cols), acc)
+}
+
+// pushTarget returns the leaf a conjunct may be pushed to: every column
+// reference must resolve (first-match against the combined layout, exactly
+// as evaluation would) into the same pushable leaf's ordinal range. Within
+// one leaf the combined-layout first match and the leaf-local first match
+// are the same column, so recompiling against the leaf's own layout is
+// sound. Constant-only conjuncts stay above the join.
+func pushTarget(conj sqlparse.Expr, cols []bindCol, leaves []leafRange) *leafRange {
+	target := -1
+	ok := true
+	sqlparse.WalkExprs(conj, func(x sqlparse.Expr) {
+		cr, isRef := x.(*sqlparse.ColumnRef)
+		if !isRef || !ok {
+			return
+		}
+		ord := bindColumn(cr, cols)
+		if ord < 0 {
+			ok = false
+			return
+		}
+		li := -1
+		for i := range leaves {
+			if ord >= leaves[i].start && ord < leaves[i].end {
+				li = i
+				break
+			}
+		}
+		if li < 0 || (target >= 0 && target != li) {
+			ok = false
+			return
+		}
+		target = li
+	})
+	if !ok || target < 0 || !leaves[target].pushable {
+		return nil
+	}
+	return &leaves[target]
+}
+
+// compileFrom lowers a FROM clause into a scan/join tree with statically
+// bound column layouts. ok=false means the layout could not be determined
+// (unknown table, derived table with unknown output) and the core must fall
+// back.
+func compileFrom(db *sqldb.Database, from sqlparse.TableExpr, ss *staticScope) (*fromPlan, bool) {
+	if from == nil {
+		return &fromPlan{leaf: &leafPlan{noFrom: true}}, true
+	}
+	switch x := from.(type) {
+	case *sqlparse.TableName:
+		qual := x.Alias
+		if qual == "" {
+			qual = x.Name
+		}
+		if cteCols, ok := ss.lookup(x.Name); ok {
+			cols := make([]bindCol, len(cteCols))
+			for i, c := range cteCols {
+				cols[i] = bindCol{qual: strings.ToUpper(qual), name: c}
+			}
+			return &fromPlan{cols: cols, leaf: &leafPlan{cte: x.Name}}, true
+		}
+		tbl := db.Table(x.Name)
+		if tbl == nil {
+			return nil, false
+		}
+		cols := make([]bindCol, len(tbl.Columns))
+		for i, c := range tbl.Columns {
+			cols[i] = bindCol{qual: strings.ToUpper(qual), name: c.Name}
+		}
+		return &fromPlan{cols: cols, leaf: &leafPlan{table: x.Name}}, true
+
+	case *sqlparse.SubqueryTable:
+		sub, subCols, ok := compileStmtScoped(db, x.Select, ss)
+		if !ok {
+			return nil, false
+		}
+		qual := strings.ToUpper(x.Alias)
+		cols := make([]bindCol, len(subCols))
+		for i, c := range subCols {
+			cols[i] = bindCol{qual: qual, name: c}
+		}
+		return &fromPlan{cols: cols, leaf: &leafPlan{sub: sub}}, true
+
+	case *sqlparse.JoinExpr:
+		left, ok := compileFrom(db, x.Left, ss)
+		if !ok {
+			return nil, false
+		}
+		right, ok := compileFrom(db, x.Right, ss)
+		if !ok {
+			return nil, false
+		}
+		cols := append(append([]bindCol{}, left.cols...), right.cols...)
+		return &fromPlan{cols: cols, join: &joinPlan{src: x, left: left, right: right}}, true
+	}
+	return nil, false
+}
+
+// ---- runtime ----
+
+// runStmt executes a compiled statement plan. The scope carries CTE rows
+// and is shared with interpreter fallbacks, so the two paths interleave
+// freely within one statement.
+func (e *Executor) runStmt(sp *stmtPlan, sc *scope) (*Result, error) {
+	if sp.fallback {
+		return e.evalStmt(sp.stmt, sc, nil)
+	}
+	if len(sp.ctes) > 0 {
+		sc = sc.child()
+		for i := range sp.ctes {
+			cte := sp.ctes[i].src
+			res, err := e.runStmt(sp.ctes[i].sub, sc)
+			if err != nil {
+				return nil, err
+			}
+			cols := res.Columns
+			if len(cte.Columns) > 0 {
+				if len(cte.Columns) != len(res.Columns) {
+					return nil, execErrf("CTE %s declares %d columns but select returns %d",
+						cte.Name, len(cte.Columns), len(res.Columns))
+				}
+				cols = cte.Columns
+			}
+			sc.ctes[strings.ToUpper(cte.Name)] = &namedRelation{columns: cols, rows: res.Rows}
+		}
+	}
+
+	if len(sp.compound) == 0 {
+		return e.runCore(sp.core, sc)
+	}
+	res, err := e.runCore(sp.core, sc)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range sp.compound {
+		next, err := e.runCore(part.core, sc)
+		if err != nil {
+			return nil, err
+		}
+		res, err = combine(part.op, res, next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := orderResultByOutput(res, sp.stmt.OrderBy); err != nil {
+		return nil, err
+	}
+	return applyFolded(res, sp.limit, sp.offset)
+}
+
+// applyFolded applies folded LIMIT/OFFSET, raising any fold error at the
+// clause's evaluation point (offset first, as the interpreter does).
+func applyFolded(res *Result, limit, offset *foldedInt) (*Result, error) {
+	if offset != nil {
+		if offset.err != nil {
+			return nil, offset.err
+		}
+		n := offset.n
+		if n < 0 {
+			n = 0
+		}
+		if int(n) >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[n:]
+		}
+	}
+	if limit != nil {
+		if limit.err != nil {
+			return nil, limit.err
+		}
+		n := limit.n
+		if n < 0 {
+			n = 0
+		}
+		if int(n) < len(res.Rows) {
+			res.Rows = res.Rows[:n]
+		}
+	}
+	return res, nil
+}
+
+// projRow is one projected output row with its hidden ORDER BY keys.
+type projRow struct {
+	row  sqldb.Row
+	keys sqldb.Row
+}
+
+// runCore executes one compiled select core, mirroring evalCoreFull's
+// clause order (and therefore its error order) exactly: FROM, WHERE,
+// grouping + HAVING over all groups, projection over all survivors,
+// DISTINCT, ORDER BY, LIMIT/OFFSET.
+func (e *Executor) runCore(cp *corePlan, sc *scope) (*Result, error) {
+	if cp.fallback {
+		return e.evalCoreFull(cp.src, sc, nil, cp.srcOrderBy, cp.srcLimit, cp.srcOffset)
+	}
+	rel, err := e.runFrom(cp.from, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	env := &rowEnv{exec: e, sc: sc, cols: rel.cols}
+
+	if len(cp.where) > 0 {
+		var kept []sqldb.Row
+		for _, row := range rel.rows {
+			env.row = row
+			keep := true
+			for _, p := range cp.where {
+				v, err := p(env)
+				if err != nil {
+					return nil, err
+				}
+				if !truthy(v) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				kept = append(kept, row)
+			}
+		}
+		rel.rows = kept
+	}
+
+	var outs []projRow
+	project := func() error {
+		row := make(sqldb.Row, len(cp.projs))
+		for i, p := range cp.projs {
+			v, err := p(env)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		keys := make(sqldb.Row, len(cp.orderBy))
+		for i := range cp.orderBy {
+			if cp.orderIdx[i] >= 0 {
+				keys[i] = row[cp.orderIdx[i]]
+				continue
+			}
+			v, err := cp.orderProgs[i](env)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		outs = append(outs, projRow{row: row, keys: keys})
+		return nil
+	}
+
+	if cp.aggregated {
+		groups, err := e.runGroupBy(cp, rel, env)
+		if err != nil {
+			return nil, err
+		}
+		emptyRow := sqldb.Row(nil)
+		setGroup := func(g []sqldb.Row) {
+			env.group = g
+			if len(g) > 0 {
+				env.row = g[0]
+			} else {
+				if emptyRow == nil {
+					emptyRow = make(sqldb.Row, len(rel.cols))
+				}
+				env.row = emptyRow
+			}
+		}
+		// HAVING over every group first, projection second — the
+		// interpreter builds all group environments (evaluating HAVING)
+		// before its projection loop, and error order must match.
+		var kept [][]sqldb.Row
+		for _, g := range groups {
+			if g == nil {
+				g = []sqldb.Row{}
+			}
+			setGroup(g)
+			if cp.having != nil {
+				v, err := cp.having(env)
+				if err != nil {
+					return nil, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			kept = append(kept, g)
+		}
+		for _, g := range kept {
+			setGroup(g)
+			if err := project(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, row := range rel.rows {
+			env.row = row
+			if err := project(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if cp.distinct {
+		seen := make(map[string]bool, len(outs))
+		dedup := outs[:0:0]
+		for _, o := range outs {
+			k := sqldb.CompositeKey(o.row)
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, o)
+			}
+		}
+		outs = dedup
+	}
+
+	if len(cp.orderBy) > 0 {
+		if n, ok := cp.topN(len(outs)); ok {
+			outs = topNProjRows(outs, cp.orderBy, n)
+		} else {
+			sort.SliceStable(outs, func(i, j int) bool {
+				return compareOrderKeys(outs[i].keys, outs[j].keys, cp.orderBy) < 0
+			})
+		}
+	}
+
+	res := &Result{Columns: cp.outCols}
+	for _, o := range outs {
+		res.Rows = append(res.Rows, o.row)
+	}
+	return applyFolded(res, cp.limit, cp.offset)
+}
+
+// runGroupBy partitions the relation by the compiled GROUP BY programs
+// using length-prefixed composite keys, preserving first-occurrence order.
+func (e *Executor) runGroupBy(cp *corePlan, rel relation, env *rowEnv) ([][]sqldb.Row, error) {
+	if len(cp.groupBy) == 0 {
+		return [][]sqldb.Row{rel.rows}, nil
+	}
+	var order []string
+	groups := make(map[string][]sqldb.Row)
+	var kb []byte
+	for _, row := range rel.rows {
+		env.row = row
+		kb = kb[:0]
+		for _, p := range cp.groupBy {
+			v, err := p(env)
+			if err != nil {
+				return nil, err
+			}
+			kb = sqldb.AppendValueKey(kb, v)
+		}
+		key := string(kb)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], row)
+	}
+	out := make([][]sqldb.Row, 0, len(order))
+	for _, key := range order {
+		out = append(out, groups[key])
+	}
+	return out, nil
+}
+
+// topN reports the bounded-heap size for ORDER BY when a clean static
+// LIMIT (plus OFFSET) needs fewer rows than the full result; otherwise the
+// full stable sort runs (which is also where folded LIMIT/OFFSET errors
+// must still surface, afterwards).
+func (cp *corePlan) topN(total int) (int, bool) {
+	if cp.limit == nil || cp.limit.err != nil {
+		return 0, false
+	}
+	n := cp.limit.n
+	if n < 0 {
+		n = 0
+	}
+	if n >= int64(total) {
+		return 0, false
+	}
+	if cp.offset != nil {
+		if cp.offset.err != nil {
+			return 0, false
+		}
+		off := cp.offset.n
+		if off < 0 {
+			off = 0
+		}
+		if off >= int64(total) || n+off >= int64(total) {
+			return 0, false
+		}
+		n += off
+	}
+	return int(n), true
+}
+
+// topNProjRows returns the first n rows of the stable ORDER BY sort of
+// rows without sorting the whole slice. A bounded max-heap retains the
+// current best n rows; ties break by original index, which makes the order
+// total and its smallest-n prefix exactly the stable sort's prefix.
+func topNProjRows(rows []projRow, orderBy []sqlparse.OrderItem, n int) []projRow {
+	if n <= 0 {
+		return nil
+	}
+	// less is the total sort order: ORDER BY keys, then input position.
+	less := func(i, j int) bool {
+		if c := compareOrderKeys(rows[i].keys, rows[j].keys, orderBy); c != 0 {
+			return c < 0
+		}
+		return i < j
+	}
+	// h is a max-heap of row indices: h[0] is the worst row retained.
+	h := make([]int, 0, n)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			largest := i
+			if l < len(h) && less(h[largest], h[l]) {
+				largest = l
+			}
+			if r < len(h) && less(h[largest], h[r]) {
+				largest = r
+			}
+			if largest == i {
+				return
+			}
+			h[i], h[largest] = h[largest], h[i]
+			i = largest
+		}
+	}
+	for i := range rows {
+		if len(h) < n {
+			h = append(h, i)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !less(h[p], h[c]) {
+					break
+				}
+				h[p], h[c] = h[c], h[p]
+				c = p
+			}
+			continue
+		}
+		if less(i, h[0]) {
+			h[0] = i
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return less(h[a], h[b]) })
+	out := make([]projRow, len(h))
+	for i, ri := range h {
+		out[i] = rows[ri]
+	}
+	return out
+}
+
+// runFrom materializes a compiled FROM tree, applying pushed-down
+// predicates at the leaves before any join builds its hash table.
+func (e *Executor) runFrom(fp *fromPlan, sc *scope) (relation, error) {
+	if fp.leaf != nil {
+		return e.runLeaf(fp, sc)
+	}
+	left, err := e.runFrom(fp.join.left, sc)
+	if err != nil {
+		return relation{}, err
+	}
+	right, err := e.runFrom(fp.join.right, sc)
+	if err != nil {
+		return relation{}, err
+	}
+	return e.joinRelations(fp.join.src, left, right, fp.cols, sc, nil)
+}
+
+func (e *Executor) runLeaf(fp *fromPlan, sc *scope) (relation, error) {
+	lp := fp.leaf
+	var rows []sqldb.Row
+	switch {
+	case lp.noFrom:
+		rows = []sqldb.Row{{}}
+	case lp.cte != "":
+		rel := sc.lookup(lp.cte)
+		if rel == nil {
+			return relation{}, execErrf("unknown table %q", lp.cte)
+		}
+		rows = rel.rows
+	case lp.sub != nil:
+		res, err := e.runStmt(lp.sub, sc)
+		if err != nil {
+			return relation{}, err
+		}
+		rows = res.Rows
+	default:
+		tbl := e.db.Table(lp.table)
+		if tbl == nil {
+			return relation{}, execErrf("unknown table %q", lp.table)
+		}
+		rows = tbl.Rows
+	}
+	if len(lp.filters) > 0 {
+		env := &rowEnv{exec: e, sc: sc, cols: fp.cols}
+		var kept []sqldb.Row
+		for _, row := range rows {
+			env.row = row
+			keep := true
+			for _, p := range lp.filters {
+				v, err := p(env)
+				if err != nil {
+					return relation{}, err // unreachable: pushed predicates are total
+				}
+				if !truthy(v) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	return relation{cols: fp.cols, rows: rows}, nil
+}

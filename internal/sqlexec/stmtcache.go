@@ -13,10 +13,11 @@ import (
 // ones, so a few hundred entries cover the hot set.
 const DefaultStatementCacheSize = 512
 
-// stmtCache is a concurrency-safe LRU of parsed statements keyed by the raw
-// SQL text. Cached ASTs are shared across executions; evaluation never
-// mutates a parsed statement, so reuse is safe (including from concurrent
-// eval workers).
+// stmtCache is a concurrency-safe LRU of parsed statements and their
+// compiled plans, keyed by the raw SQL text. Cached ASTs and plans are
+// shared across executions; evaluation never mutates a parsed statement and
+// compiled programs are stateless closures, so reuse is safe (including
+// from concurrent eval workers).
 type stmtCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -30,6 +31,7 @@ type stmtCache struct {
 type stmtEntry struct {
 	sql  string
 	stmt *sqlparse.SelectStmt
+	plan *stmtPlan // nil until first compiled execution
 }
 
 func newStmtCache(capacity int) *stmtCache {
@@ -43,32 +45,46 @@ func newStmtCache(capacity int) *stmtCache {
 	}
 }
 
-func (c *stmtCache) get(sql string) (*sqlparse.SelectStmt, bool) {
+func (c *stmtCache) get(sql string) (*sqlparse.SelectStmt, *stmtPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[sql]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, nil, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*stmtEntry).stmt, true
+	ent := el.Value.(*stmtEntry)
+	return ent.stmt, ent.plan, true
 }
 
-func (c *stmtCache) put(sql string, stmt *sqlparse.SelectStmt) {
+func (c *stmtCache) put(sql string, stmt *sqlparse.SelectStmt, plan *stmtPlan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[sql]; ok {
-		el.Value.(*stmtEntry).stmt = stmt
+		ent := el.Value.(*stmtEntry)
+		ent.stmt = stmt
+		ent.plan = plan
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[sql] = c.order.PushFront(&stmtEntry{sql: sql, stmt: stmt})
+	c.items[sql] = c.order.PushFront(&stmtEntry{sql: sql, stmt: stmt, plan: plan})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*stmtEntry).sql)
+	}
+}
+
+// setPlan attaches a compiled plan to an existing entry (a cache populated
+// before compiled execution was enabled, or by a concurrent miss). It does
+// not count as a use, and is a no-op if the entry has been evicted.
+func (c *stmtCache) setPlan(sql string, plan *stmtPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[sql]; ok {
+		el.Value.(*stmtEntry).plan = plan
 	}
 }
 

@@ -15,18 +15,20 @@ func (e *Executor) evalWindow(fc *sqlparse.FuncCall, envs []*rowEnv) ([]sqldb.Va
 	n := len(envs)
 	out := make([]sqldb.Value, n)
 
-	// Partition.
+	// Partition (length-prefixed keys: values containing delimiter bytes
+	// must not alias across partition columns).
 	partKeys := make([]string, n)
+	var kb []byte
 	for i, env := range envs {
-		key := ""
+		kb = kb[:0]
 		for _, pe := range fc.Over.PartitionBy {
 			v, err := evalExpr(pe, env)
 			if err != nil {
 				return nil, err
 			}
-			key += v.Key() + "\x1f"
+			kb = sqldb.AppendValueKey(kb, v)
 		}
-		partKeys[i] = key
+		partKeys[i] = string(kb)
 	}
 	partitions := make(map[string][]int)
 	var order []string
