@@ -22,8 +22,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (concurrent packages: service facade, daemon, parallel runner, shared executors) =="
-go test -race . ./cmd/geneditd ./internal/eval ./internal/sqlexec ./internal/pipeline
+echo "== go test -race (concurrent packages: service facade, daemon incl. feedback endpoints, parallel runner, shared executors, knowledge store, solver) =="
+go test -race . ./cmd/geneditd ./internal/eval ./internal/sqlexec ./internal/pipeline ./internal/kstore ./internal/feedback
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -bench=. -benchtime=1x -run '^$' .

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"genedit"
+	"genedit/internal/eval"
+	"genedit/internal/feedback"
+	"genedit/internal/task"
+)
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, raw
+}
+
+const fbDB = "sports_holdings"
+
+// newStoreServer spins up a daemon over a durable store directory and
+// returns the test server plus a closer that simulates a clean kill.
+func newStoreServer(t *testing.T, dir string) (*httptest.Server, func()) {
+	t.Helper()
+	suite := genedit.NewBenchmark(1)
+	svc := genedit.NewService(suite, genedit.WithModelSeed(42), genedit.WithStorePath(dir))
+	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second))
+	closed := false
+	closer := func() {
+		if closed {
+			return
+		}
+		closed = true
+		srv.Close()
+		svc.Close()
+	}
+	t.Cleanup(closer)
+	return srv, closer
+}
+
+func decode[T any](t *testing.T, raw []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+	return v
+}
+
+func getKnowledge(t *testing.T, base string) knowledgeResponse {
+	t.Helper()
+	resp, raw := getURL(t, base+"/v1/knowledge/"+fbDB)
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET knowledge = %d: %s", resp.StatusCode, raw)
+	}
+	return decode[knowledgeResponse](t, raw)
+}
+
+// TestFeedbackLoopEndToEnd drives the full online continuous-improvement
+// flow over HTTP — open → regenerate → submit → approve — against a
+// durable store, then restarts the daemon and asserts the knowledge
+// version and audit history survive the kill.
+func TestFeedbackLoopEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	srv, kill := newStoreServer(t, dir)
+
+	// A deterministic twin of the daemon's stack crafts the SME feedback
+	// (FeedbackFor needs the generation record) and finds failing cases.
+	suite := genedit.NewBenchmark(1)
+	local := genedit.NewService(suite, genedit.WithModelSeed(42))
+	runner := eval.NewRunner(suite.Databases)
+	sme := feedback.NewSimulatedSME(7)
+
+	var cases []*task.Case
+	for _, c := range suite.Cases {
+		if c.DB == fbDB {
+			cases = append(cases, c)
+		}
+	}
+
+	approvedVersion := 0
+	for _, c := range cases {
+		resp, err := local.Generate(t.Context(), genedit.Request{Database: fbDB, Question: c.Question, Evidence: c.Evidence})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := runner.Evaluate(c, resp.SQL); ok {
+			continue
+		}
+
+		body, _ := json.Marshal(feedbackOpenRequest{Database: fbDB, Question: c.Question, Evidence: c.Evidence})
+		hresp, raw := postJSON(t, srv.URL+"/v1/feedback/open", string(body))
+		if hresp.StatusCode != 200 {
+			t.Fatalf("open = %d: %s", hresp.StatusCode, raw)
+		}
+		opened := decode[feedbackOpenResponse](t, raw)
+		if opened.ID == "" || opened.SQL == "" {
+			t.Fatalf("open response incomplete: %s", raw)
+		}
+		if opened.SQL != resp.SQL {
+			t.Fatalf("daemon initial SQL %q != local twin %q", opened.SQL, resp.SQL)
+		}
+
+		fbText, _ := json.Marshal(regenerateRequest{Feedback: sme.FeedbackFor(c, resp.Record)})
+		hresp, raw = postJSON(t, srv.URL+"/v1/feedback/"+opened.ID+"/regenerate", string(fbText))
+		if hresp.StatusCode != 200 {
+			t.Fatalf("regenerate = %d: %s", hresp.StatusCode, raw)
+		}
+		regen := decode[regenerateResponse](t, raw)
+		if len(regen.Edits) == 0 {
+			t.Fatalf("regenerate staged no edits: %s", raw)
+		}
+
+		hresp, raw = postJSON(t, srv.URL+"/v1/feedback/"+opened.ID+"/submit", `{}`)
+		if hresp.StatusCode != 200 {
+			t.Fatalf("submit = %d: %s", hresp.StatusCode, raw)
+		}
+		sub := decode[submitResponse](t, raw)
+		if !sub.Passed {
+			continue // regression gate rejected; try another case
+		}
+
+		hresp, raw = postJSON(t, srv.URL+"/v1/feedback/"+opened.ID+"/approve", `{"approver":"reviewer"}`)
+		if hresp.StatusCode != 200 {
+			t.Fatalf("approve = %d: %s", hresp.StatusCode, raw)
+		}
+		appr := decode[approveResponse](t, raw)
+		if !appr.Persisted || appr.PersistedSeq != appr.KnowledgeVersion {
+			t.Fatalf("approve not persisted through its version: %+v", appr)
+		}
+		// An approved session is evicted; a second approval must 404.
+		hresp, _ = postJSON(t, srv.URL+"/v1/feedback/"+opened.ID+"/approve", `{}`)
+		if hresp.StatusCode != 404 {
+			t.Errorf("double approve = %d, want 404 after eviction", hresp.StatusCode)
+		}
+		approvedVersion = appr.KnowledgeVersion
+		break
+	}
+	if approvedVersion == 0 {
+		t.Fatal("no feedback session reached approval")
+	}
+
+	before := getKnowledge(t, srv.URL)
+	if before.Version != approvedVersion {
+		t.Errorf("knowledge version = %d, want %d", before.Version, approvedVersion)
+	}
+	if !before.Persisted || before.PersistedSeq != before.Version {
+		t.Errorf("store not caught up: %+v", before)
+	}
+	if before.HistoryLen == 0 || len(before.History) == 0 {
+		t.Error("knowledge endpoint returned no history")
+	}
+
+	// Kill the daemon and restart over the same store: the approved
+	// version and full change history must survive.
+	kill()
+	srv2, _ := newStoreServer(t, dir)
+	after := getKnowledge(t, srv2.URL)
+	if after.Version != before.Version {
+		t.Errorf("restarted version = %d, want %d", after.Version, before.Version)
+	}
+	if after.HistoryLen != before.HistoryLen {
+		t.Errorf("restarted history len = %d, want %d", after.HistoryLen, before.HistoryLen)
+	}
+	if after.Examples != before.Examples || after.Instructions != before.Instructions {
+		t.Errorf("restarted counts %+v, want %+v", after, before)
+	}
+
+	// And the restarted daemon still serves generations over the recovered
+	// knowledge.
+	body, _ := json.Marshal(generateRequest{Database: fbDB, Question: cases[0].Question, Evidence: cases[0].Evidence})
+	hresp, raw := postJSON(t, srv2.URL+"/v1/generate", string(body))
+	if hresp.StatusCode != 200 {
+		t.Fatalf("generate after restart = %d: %s", hresp.StatusCode, raw)
+	}
+	if got := decode[generateResponse](t, raw); got.SQL == "" {
+		t.Error("empty SQL after restart")
+	}
+}
+
+func TestFeedbackEndpointErrors(t *testing.T) {
+	srv := newTestServer(t, 30*time.Second)
+
+	// Unknown session IDs.
+	for _, ep := range []string{"regenerate", "submit", "approve"} {
+		resp, _ := postJSON(t, srv.URL+"/v1/feedback/nope/"+ep, `{"feedback":"x"}`)
+		if resp.StatusCode != 404 {
+			t.Errorf("%s on unknown session = %d, want 404", ep, resp.StatusCode)
+		}
+	}
+	// Unknown database on open and on the knowledge endpoint.
+	resp, _ := postJSON(t, srv.URL+"/v1/feedback/open", `{"database":"nope","question":"q"}`)
+	if resp.StatusCode != 404 {
+		t.Errorf("open on unknown db = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = getURL(t, srv.URL+"/v1/knowledge/nope")
+	if resp.StatusCode != 404 {
+		t.Errorf("knowledge on unknown db = %d, want 404", resp.StatusCode)
+	}
+	// Missing fields.
+	resp, _ = postJSON(t, srv.URL+"/v1/feedback/open", `{"database":"retail_chain"}`)
+	if resp.StatusCode != 400 {
+		t.Errorf("open without question = %d, want 400", resp.StatusCode)
+	}
+
+	// Approve before a passing submit must conflict.
+	suite := genedit.NewBenchmark(1)
+	var c *task.Case
+	for _, cc := range suite.Cases {
+		if cc.DB == fbDB {
+			c = cc
+			break
+		}
+	}
+	body, _ := json.Marshal(feedbackOpenRequest{Database: fbDB, Question: c.Question, Evidence: c.Evidence})
+	hresp, raw := postJSON(t, srv.URL+"/v1/feedback/open", string(body))
+	if hresp.StatusCode != 200 {
+		t.Fatalf("open = %d: %s", hresp.StatusCode, raw)
+	}
+	opened := decode[feedbackOpenResponse](t, raw)
+	hresp, _ = postJSON(t, srv.URL+"/v1/feedback/"+opened.ID+"/approve", `{}`)
+	if hresp.StatusCode != 409 {
+		t.Errorf("approve without submit = %d, want 409", hresp.StatusCode)
+	}
+	// Submitting with nothing staged is a client error, not a crash.
+	hresp, _ = postJSON(t, srv.URL+"/v1/feedback/"+opened.ID+"/submit", `{}`)
+	if hresp.StatusCode == 200 {
+		t.Error("submit with nothing staged should fail")
+	}
+}
+
+// TestKnowledgeEndpoint covers the inspection surface on a plain in-memory
+// daemon: counts are populated and the ?n= bound works.
+func TestKnowledgeEndpoint(t *testing.T) {
+	srv := newTestServer(t, 30*time.Second)
+	resp, raw := getURL(t, srv.URL+"/v1/knowledge/"+fbDB+"?n=5")
+	if resp.StatusCode != 200 {
+		t.Fatalf("knowledge = %d: %s", resp.StatusCode, raw)
+	}
+	got := decode[knowledgeResponse](t, raw)
+	if got.Database != fbDB || got.Version == 0 || got.Examples == 0 || got.Instructions == 0 {
+		t.Errorf("knowledge response incomplete: %+v", got)
+	}
+	if got.Persisted {
+		t.Error("in-memory daemon must not report a persistent store")
+	}
+	if len(got.History) != 5 {
+		t.Errorf("history tail = %d events, want 5", len(got.History))
+	}
+	if got.HistoryLen <= 5 {
+		t.Errorf("history_len = %d, want the full log length", got.HistoryLen)
+	}
+	resp, _ = getURL(t, srv.URL+"/v1/knowledge/"+fbDB+"?n=bogus")
+	if resp.StatusCode != 400 {
+		t.Errorf("bad n = %d, want 400", resp.StatusCode)
+	}
+}

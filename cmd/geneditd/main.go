@@ -5,18 +5,30 @@
 //
 //	geneditd -addr :8080
 //	geneditd -addr :8080 -prewarm -workers 8 -timeout 10s -stmtcache 2048
+//	geneditd -addr :8080 -store /var/lib/genedit   durable knowledge sets
 //
 // Endpoints:
 //
-//	POST /v1/generate        {"database": "...", "question": "...", "evidence": "..."}
-//	POST /v1/generate/batch  {"requests": [{...}, ...]}
-//	GET  /v1/databases       list servable databases
-//	GET  /healthz            liveness probe
+//	POST /v1/generate                   {"database": "...", "question": "...", "evidence": "..."}
+//	POST /v1/generate/batch             {"requests": [{...}, ...]}
+//	GET  /v1/databases                  list servable databases
+//	POST /v1/feedback/open              start an SME feedback session
+//	POST /v1/feedback/{id}/regenerate   critique -> staged edits -> regenerate
+//	POST /v1/feedback/{id}/submit       regression-test the staged edits
+//	POST /v1/feedback/{id}/approve      merge (persist + hot-swap the engine)
+//	GET  /v1/knowledge/{db}             knowledge version, counts, change history
+//	GET  /healthz                       liveness probe
 //
 // Engines are built lazily per database (coalesced across concurrent
 // requests) unless -prewarm front-loads them. -timeout bounds each request;
 // a deadline that expires mid-pipeline returns 504 with the cancellation
 // error. -trace logs per-operator timings for every request.
+//
+// -store makes the continuous-improvement loop durable: each database's
+// knowledge set is backed by a WAL + snapshot store under <dir>/<database>.
+// Approved feedback merges are fsynced before the serving engine hot-swaps,
+// and a restarted daemon recovers the exact knowledge version, audit
+// history and checkpoints instead of re-running the seed build.
 package main
 
 import (
@@ -124,8 +136,9 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 // newMux wires the service behind the daemon's routes. perReq bounds each
 // request's wall-clock time (0 = unbounded); it is split out from main so
-// tests can drive the daemon end-to-end with httptest.
-func newMux(svc *genedit.Service, perReq time.Duration) *http.ServeMux {
+// tests can drive the daemon end-to-end with httptest. suite is the tenant
+// registry the feedback hub picks golden regression cases from.
+func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration) *http.ServeMux {
 	withTimeout := func(ctx context.Context) (context.Context, context.CancelFunc) {
 		if perReq <= 0 {
 			return ctx, func() {}
@@ -134,6 +147,7 @@ func newMux(svc *genedit.Service, perReq time.Duration) *http.ServeMux {
 	}
 
 	mux := http.NewServeMux()
+	newFeedbackHub(svc, suite).registerRoutes(mux, withTimeout)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -207,9 +221,13 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 	prewarm := flag.Bool("prewarm", false, "build all engines at startup instead of lazily")
 	trace := flag.Bool("trace", false, "log per-operator timings for every request")
+	store := flag.String("store", "", "directory for durable per-database knowledge stores (empty = in-memory)")
 	flag.Parse()
 
 	opts := []genedit.Option{genedit.WithModelSeed(*modelSeed)}
+	if *store != "" {
+		opts = append(opts, genedit.WithStorePath(*store))
+	}
 	if *workers > 0 {
 		opts = append(opts, genedit.WithWorkers(*workers))
 	}
@@ -233,7 +251,7 @@ func main() {
 		log.Printf("prewarmed %d engines in %s", len(svc.Databases()), time.Since(start).Round(time.Millisecond))
 	}
 
-	server := &http.Server{Addr: *addr, Handler: newMux(svc, *timeout)}
+	server := &http.Server{Addr: *addr, Handler: newMux(svc, suite, *timeout)}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -255,6 +273,11 @@ func main() {
 	// ListenAndServe returns as soon as Shutdown begins; wait for the drain
 	// so in-flight requests finish before the process exits.
 	<-drained
+	// Release the durable stores only after every in-flight approval has
+	// committed.
+	if err := svc.Close(); err != nil {
+		log.Printf("closing stores: %v", err)
+	}
 }
 
 func formatOps(ops []genedit.OpTiming) string {

@@ -16,7 +16,7 @@ func newTestServer(t *testing.T, timeout time.Duration) *httptest.Server {
 	t.Helper()
 	suite := genedit.NewBenchmark(1)
 	svc := genedit.NewService(suite, genedit.WithModelSeed(42))
-	srv := httptest.NewServer(newMux(svc, timeout))
+	srv := httptest.NewServer(newMux(svc, suite, timeout))
 	t.Cleanup(srv.Close)
 	return srv
 }

@@ -12,7 +12,8 @@
 //     context cancellation, per-request tracing);
 //   - a Solver per database (the continuous-improvement workflow:
 //     feedback → recommended edits → staging → regression testing →
-//     approval → merge).
+//     approval → merge, with merges persisted and hot-swapped into
+//     serving when the service is durable).
 //
 // Quick use:
 //
@@ -28,9 +29,15 @@
 // The Service is safe for concurrent use and honors context deadlines
 // mid-pipeline; GenerateBatch fans many requests out over a bounded worker
 // pool. Construction is configured with functional options (WithConfig,
-// WithModelSeed, WithWorkers, WithStatementCacheSize, WithTrace). The
-// positional constructors NewEngine and NewSolver remain as deprecated
-// wrappers for one release.
+// WithModelSeed, WithWorkers, WithStatementCacheSize, WithTrace,
+// WithStorePath). The positional constructors NewEngine and NewSolver
+// remain as deprecated wrappers for one release.
+//
+// WithStorePath makes the knowledge sets durable: each database is backed
+// by a crash-safe WAL + snapshot store (internal/kstore), approved SME
+// edits are fsynced before the serving engine hot-swaps, and a restarted
+// service recovers the exact knowledge version and audit history. See
+// DESIGN.md, "Knowledge persistence & online feedback".
 //
 // See DESIGN.md for the system inventory (including the "Service layer"
 // section) and EXPERIMENTS.md for the paper-vs-measured record of every
@@ -72,6 +79,10 @@ type (
 	KnowledgeSet = knowledge.Set
 	// Edit is one change to a knowledge set.
 	Edit = knowledge.Edit
+	// ChangeEvent is one knowledge-set audit record: full-fidelity (it
+	// carries the entity payload), so a log of events is replayable — the
+	// record format of the durable store's WAL (WithStorePath).
+	ChangeEvent = knowledge.ChangeEvent
 	// Solver is the interactive feedback workflow.
 	Solver = feedback.Solver
 	// Report aggregates evaluation outcomes for one system.

@@ -3,6 +3,7 @@ package feedback
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"genedit/internal/eval"
 	"genedit/internal/generr"
@@ -16,13 +17,26 @@ import (
 // for one database, opens feedback sessions, regression-tests submitted
 // edits and merges them on approval. Every merge checkpoints the knowledge
 // set first, so any prior state can be restored via the knowledge library.
+//
+// Concurrency contract: Solver methods are safe for concurrent use (the
+// serving daemon drives many SME sessions against one solver). A merge
+// never mutates the currently served knowledge set: Approve applies the
+// edits to a full clone and atomically swaps the engine, so in-flight
+// generations keep reading their immutable snapshot. Session values are
+// NOT synchronized — each feedback session is single-user by design.
 type Solver struct {
-	engine      *pipeline.Engine
 	recommender *Recommender
 	golden      []*task.Case
+
+	mu     sync.Mutex
+	engine *pipeline.Engine
 	// pending holds submitted changes awaiting human approval.
 	pending []*PendingChange
 	nextFB  int
+	// mergeHook, when set, runs after a merge is assembled but before it is
+	// adopted; the serving layer uses it to persist the merged events and
+	// hot-swap the service's engine. An error aborts the approval.
+	mergeHook func(*pipeline.Engine) error
 }
 
 // NewSolver builds a solver around a live engine. The golden cases are the
@@ -31,11 +45,28 @@ func NewSolver(engine *pipeline.Engine, recommender *Recommender, golden []*task
 	return &Solver{engine: engine, recommender: recommender, golden: golden}
 }
 
+// SetMergeHook installs fn to run on every approved merge with the new
+// live engine (rebuilt over the merged knowledge set) before the solver
+// adopts it. The serving layer hooks persistence (kstore.Commit) and
+// engine hot-swap here; if fn errors the approval fails and the previous
+// engine stays live.
+func (s *Solver) SetMergeHook(fn func(*pipeline.Engine) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeHook = fn
+}
+
 // Engine returns the current live engine (it changes after merges).
-func (s *Solver) Engine() *pipeline.Engine { return s.engine }
+func (s *Solver) Engine() *pipeline.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine
+}
 
 // Pending lists changes that passed regression and await approval.
 func (s *Solver) Pending() []*PendingChange {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]*PendingChange(nil), s.pending...)
 }
 
@@ -65,14 +96,17 @@ func (s *Solver) Open(question, evidence string) (*Session, error) {
 // Cancellation propagates into the generation pipeline; a canceled ctx
 // returns an error matching generr.ErrCanceled.
 func (s *Solver) OpenContext(ctx context.Context, question, evidence string) (*Session, error) {
-	rec, err := s.engine.GenerateContext(ctx, question, evidence)
+	rec, err := s.Engine().GenerateContext(ctx, question, evidence)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	s.nextFB++
+	id := fmt.Sprintf("fb-%03d", s.nextFB)
+	s.mu.Unlock()
 	return &Session{
 		solver:     s,
-		FeedbackID: fmt.Sprintf("fb-%03d", s.nextFB),
+		FeedbackID: id,
 		Question:   question,
 		Evidence:   evidence,
 		Record:     rec,
@@ -109,11 +143,12 @@ func (sess *Session) Regenerate() (*pipeline.Record, error) {
 // RegenerateContext is Regenerate with cancellation: the staged-engine
 // generation aborts mid-pipeline once ctx is done.
 func (sess *Session) RegenerateContext(ctx context.Context) (*pipeline.Record, error) {
-	staged, err := sess.solver.engine.KnowledgeSet().Stage(sess.Staged, "sme", sess.FeedbackID)
+	live := sess.solver.Engine()
+	staged, err := live.KnowledgeSet().Stage(sess.Staged, "sme", sess.FeedbackID)
 	if err != nil {
 		return nil, err
 	}
-	stagedEngine := sess.solver.engine.WithKnowledge(staged)
+	stagedEngine := live.WithKnowledge(staged)
 	rec, err := stagedEngine.GenerateContext(ctx, sess.Question, sess.Evidence)
 	if err != nil {
 		return nil, err
@@ -165,7 +200,9 @@ func (sess *Session) SubmitContext(ctx context.Context) (*SubmitResult, error) {
 			RegressionPassed: true,
 			RegressionDetail: detail,
 		}
+		sess.solver.mu.Lock()
 		sess.solver.pending = append(sess.solver.pending, p)
+		sess.solver.mu.Unlock()
 		res.Pending = p
 	}
 	return res, nil
@@ -175,15 +212,16 @@ func (sess *Session) SubmitContext(ctx context.Context) (*SubmitResult, error) {
 // staged engine; edits pass when no golden case regresses from correct to
 // incorrect.
 func (s *Solver) regressionTest(ctx context.Context, edits []knowledge.Edit, feedbackID string) (bool, string, error) {
-	staged, err := s.engine.KnowledgeSet().Stage(edits, "sme", feedbackID)
+	live := s.Engine()
+	staged, err := live.KnowledgeSet().Stage(edits, "sme", feedbackID)
 	if err != nil {
 		return false, "", err
 	}
-	before, err := s.runGolden(ctx, s.engine)
+	before, err := s.runGolden(ctx, live)
 	if err != nil {
 		return false, "", err
 	}
-	after, err := s.runGolden(ctx, s.engine.WithKnowledge(staged))
+	after, err := s.runGolden(ctx, live.WithKnowledge(staged))
 	if err != nil {
 		return false, "", err
 	}
@@ -232,10 +270,20 @@ func (s *Solver) runGolden(ctx context.Context, engine *pipeline.Engine) (map[st
 	return out, nil
 }
 
-// Approve merges a pending change into the live knowledge set. A checkpoint
-// is recorded first so the change can be reverted from the knowledge
-// library.
+// Approve merges a pending change into the next generation of the
+// knowledge set. A checkpoint is recorded first so the change can be
+// reverted from the knowledge library.
+//
+// Engine-swap safety: the merge is applied to a full clone (content,
+// history and checkpoints) of the live set — the set reachable from the
+// currently served engine is never written. The rebuilt engine (indices
+// re-derived via WithKnowledge) is first offered to the merge hook, which
+// persists the new events and hot-swaps any external registry; only then
+// does the solver adopt it. In-flight generations keep their old engine
+// and knowledge snapshot throughout.
 func (s *Solver) Approve(p *PendingChange, approver string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	found := -1
 	for i, q := range s.pending {
 		if q == p {
@@ -246,21 +294,29 @@ func (s *Solver) Approve(p *PendingChange, approver string) error {
 	if found < 0 {
 		return fmt.Errorf("change %s is not pending", p.FeedbackID)
 	}
-	live := s.engine.KnowledgeSet()
-	live.Checkpoint("before-" + p.FeedbackID)
+	merged := s.engine.KnowledgeSet().CloneFull()
+	merged.Checkpoint("before-" + p.FeedbackID)
 	for _, e := range p.Edits {
-		if err := live.Apply(e, approver, p.FeedbackID); err != nil {
+		if err := merged.Apply(e, approver, p.FeedbackID); err != nil {
 			return fmt.Errorf("merging %s: %w", e.Describe(), err)
 		}
 	}
 	// Rebuild retrieval indices over the merged set.
-	s.engine = s.engine.WithKnowledge(live)
+	next := s.engine.WithKnowledge(merged)
+	if s.mergeHook != nil {
+		if err := s.mergeHook(next); err != nil {
+			return fmt.Errorf("merge %s: %w", p.FeedbackID, err)
+		}
+	}
+	s.engine = next
 	s.pending = append(s.pending[:found], s.pending[found+1:]...)
 	return nil
 }
 
 // Reject drops a pending change without merging.
 func (s *Solver) Reject(p *PendingChange) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, q := range s.pending {
 		if q == p {
 			s.pending = append(s.pending[:i], s.pending[i+1:]...)

@@ -56,11 +56,27 @@ func Build(in BuildInput) (*Set, error) {
 	set := NewSet()
 	intentByName := make(map[string]*Intent)
 
+	// Pre-mine the schema elements each intent's logged queries reference.
+	// Doing this before intent creation keeps the intent-insert audit event
+	// complete — an intent is never mutated after it is logged, so replaying
+	// the event history (kstore recovery) reproduces the set exactly.
+	elementsByIntent := make(map[string][]schema.Element)
+	if in.Schema != nil {
+		for _, entry := range in.Logs {
+			key := intentKey(entry.IntentName)
+			for _, el := range referencedElements(entry.SQL, in.Schema) {
+				if !containsElement(elementsByIntent[key], el) {
+					elementsByIntent[key] = append(elementsByIntent[key], el)
+				}
+			}
+		}
+	}
+
 	intentFor := func(name string) *Intent {
 		if name == "" {
 			name = "general"
 		}
-		key := strings.ToLower(name)
+		key := intentKey(name)
 		if it, ok := intentByName[key]; ok {
 			return it
 		}
@@ -68,6 +84,7 @@ func Build(in BuildInput) (*Set, error) {
 			ID:          fmt.Sprintf("intent-%03d", len(intentByName)+1),
 			Name:        name,
 			Description: "Queries about " + name + ".",
+			Elements:    elementsByIntent[key],
 		}
 		intentByName[key] = it
 		set.AddIntent(it)
@@ -76,7 +93,7 @@ func Build(in BuildInput) (*Set, error) {
 
 	// Instructions from documents first, so term definitions exist before
 	// examples reference them.
-	for _, doc := range docs(in.Docs) {
+	for _, doc := range in.Docs {
 		for _, entry := range doc.Entries {
 			it := intentFor(entry.IntentName)
 			ins := &Instruction{
@@ -121,19 +138,17 @@ func Build(in BuildInput) (*Set, error) {
 				return nil, err
 			}
 		}
-		// Associate schema elements referenced by the query with the intent.
-		if in.Schema != nil {
-			for _, el := range referencedElements(entry.SQL, in.Schema) {
-				if !containsElement(it.Elements, el) {
-					it.Elements = append(it.Elements, el)
-				}
-			}
-		}
 	}
 	return set, nil
 }
 
-func docs(ds []Document) []Document { return ds }
+// intentKey normalizes an intent name the same way intentFor does.
+func intentKey(name string) string {
+	if name == "" {
+		name = "general"
+	}
+	return strings.ToLower(name)
+}
 
 // termsInText keeps the subset of terms that actually appear in the
 // fragment's text, so fragment-level term tagging stays precise.

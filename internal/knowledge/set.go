@@ -16,66 +16,92 @@ import (
 // library's audit and reversion views (§4.2.2).
 type Provenance struct {
 	// Source names the origin: a query-log ID, document title, or "feedback".
-	Source string
+	Source string `json:"source,omitempty"`
 	// Editor is who created or last changed the item (an SME name or
 	// "preprocessing").
-	Editor string
+	Editor string `json:"editor,omitempty"`
 	// FeedbackID links items created through the feedback solver.
-	FeedbackID string
+	FeedbackID string `json:"feedback_id,omitempty"`
 	// Version is the knowledge-set version at which the item last changed.
-	Version int
+	Version int `json:"version,omitempty"`
 }
 
 // Example is a decomposed SQL sub-statement with its natural-language
 // description (§3.2.1). Unlike traditional full-query few-shot examples,
 // these are clause-granular fragments referenced by CoT plan steps.
 type Example struct {
-	ID        string
-	IntentIDs []string
+	ID        string   `json:"id"`
+	IntentIDs []string `json:"intent_ids,omitempty"`
 	// NL describes the sub-statement ("Compute RPV as revenue over views").
-	NL string
+	NL string `json:"nl,omitempty"`
 	// Pseudo is the pseudo-SQL display form ("... FROM SPORTS_FINANCIALS ...").
-	Pseudo string
+	Pseudo string `json:"pseudo,omitempty"`
 	// SQL is the raw sub-statement content used during composition.
-	SQL string
+	SQL string `json:"sql,omitempty"`
 	// Clause labels the fragment kind (projection, where, ...).
-	Clause string
+	Clause string `json:"clause,omitempty"`
 	// SourceSQL is the full query the fragment was decomposed from.
-	SourceSQL string
+	SourceSQL string `json:"source_sql,omitempty"`
 	// SourceQuestion is the natural-language question of the source query.
-	SourceQuestion string
+	SourceQuestion string `json:"source_question,omitempty"`
 	// Terms lists domain terms this example exercises (e.g. "QoQFP", "RPV").
-	Terms      []string
-	Provenance Provenance
+	Terms      []string   `json:"terms,omitempty"`
+	Provenance Provenance `json:"provenance,omitempty"`
 }
 
 // Text renders the example for embedding and ranking.
 func (e *Example) Text() string { return e.NL + " " + e.Pseudo }
 
+// clone deep-copies the example, including its slice fields, so the copy
+// shares no mutable state with the original.
+func (e *Example) clone() *Example {
+	c := *e
+	c.IntentIDs = append([]string(nil), e.IntentIDs...)
+	c.Terms = append([]string(nil), e.Terms...)
+	return &c
+}
+
 // Instruction is a natural-language generation guideline, optionally with an
 // expected SQL sub-expression (§3.2.2).
 type Instruction struct {
-	ID        string
-	IntentIDs []string
-	Text      string
+	ID        string   `json:"id"`
+	IntentIDs []string `json:"intent_ids,omitempty"`
+	Text      string   `json:"text,omitempty"`
 	// SQLHint is the expected SQL sub-expression, when relevant.
-	SQLHint string
+	SQLHint string `json:"sql_hint,omitempty"`
 	// Terms lists domain terms this instruction defines.
-	Terms      []string
-	Provenance Provenance
+	Terms      []string   `json:"terms,omitempty"`
+	Provenance Provenance `json:"provenance,omitempty"`
 }
 
-// Text renders the instruction for embedding and ranking.
-func (i *Instruction) Text2() string { return i.Text + " " + i.SQLHint }
+// RetrievalText renders the instruction for embedding and ranking: the
+// guideline text concatenated with its expected-SQL hint, so retrieval
+// matches either phrasing or SQL shape.
+func (i *Instruction) RetrievalText() string { return i.Text + " " + i.SQLHint }
+
+// clone deep-copies the instruction, including its slice fields.
+func (i *Instruction) clone() *Instruction {
+	c := *i
+	c.IntentIDs = append([]string(nil), i.IntentIDs...)
+	c.Terms = append([]string(nil), i.Terms...)
+	return &c
+}
 
 // Intent is a mined user intent grouping examples, instructions and schema
 // elements (§2.1).
 type Intent struct {
-	ID          string
-	Name        string
-	Description string
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Description string `json:"description,omitempty"`
 	// Elements are schema columns considered relevant to the intent.
-	Elements []schema.Element
+	Elements []schema.Element `json:"elements,omitempty"`
+}
+
+// clone deep-copies the intent, including its element list.
+func (in *Intent) clone() *Intent {
+	c := *in
+	c.Elements = append([]schema.Element(nil), in.Elements...)
+	return &c
 }
 
 // ChangeOp enumerates audit-history operations.
@@ -101,16 +127,31 @@ const (
 	DirectiveEntity   EntityKind = "retrieval_directive"
 )
 
-// ChangeEvent is one audit-history record.
+// ChangeEvent is one audit-history record. Events are full-fidelity: besides
+// the audit metadata they carry the entity payload the operation wrote, so a
+// log of events is a complete serialization of the set's evolution — the
+// record format of the kstore write-ahead log. ApplyEvent replays one.
 type ChangeEvent struct {
-	Seq        int
-	Version    int
-	Op         ChangeOp
-	Kind       EntityKind
-	EntityID   string
-	Summary    string
-	Editor     string
-	FeedbackID string
+	Seq        int        `json:"seq"`
+	Version    int        `json:"version"`
+	Op         ChangeOp   `json:"op"`
+	Kind       EntityKind `json:"kind"`
+	EntityID   string     `json:"entity_id,omitempty"`
+	Summary    string     `json:"summary,omitempty"`
+	Editor     string     `json:"editor,omitempty"`
+	FeedbackID string     `json:"feedback_id,omitempty"`
+
+	// Payloads: exactly one is set for mutating ops (the entity content as
+	// written, provenance included); all nil/zero for deletes, whose
+	// EntityID suffices. Payload pointers are private snapshots taken at
+	// log time — they never alias live set entries.
+	Example     *Example     `json:"example,omitempty"`
+	Instruction *Instruction `json:"instruction,omitempty"`
+	Intent      *Intent      `json:"intent,omitempty"`
+	Directive   string       `json:"directive,omitempty"`
+	// CheckpointID/CheckpointName describe checkpoint and revert ops.
+	CheckpointID   int    `json:"checkpoint_id,omitempty"`
+	CheckpointName string `json:"checkpoint_name,omitempty"`
 }
 
 // Checkpoint is a named, restorable snapshot of the set.
@@ -129,6 +170,18 @@ type snapshot struct {
 }
 
 // Set is the knowledge set: the paper's materialized view.
+//
+// Concurrency contract: a Set is NOT internally synchronized. A Set that is
+// reachable from a live pipeline.Engine must be treated as read-only — the
+// engine's retrieval indices are built from it once, and concurrent
+// Generate calls read it without locks. All mutation flows (feedback
+// merges, reverts) therefore work on a CloneFull/Clone and re-serve the
+// result via Engine.WithKnowledge, never mutating a served set in place.
+// The bulk accessors (Examples, Instructions, Intents, History,
+// Checkpoints, Directives) return defensive copies so inspection surfaces
+// (daemon endpoints, persistence) can hold results across engine swaps.
+// The by-ID lookups (Example, Instruction, Intent) return live pointers
+// for the engine's hot path and must not be written through.
 type Set struct {
 	examples     map[string]*Example
 	instructions map[string]*Instruction
@@ -144,6 +197,11 @@ type Set struct {
 	history     []ChangeEvent
 	checkpoints []Checkpoint
 	nextSeq     int
+	// nextCheckpointID is a monotonic counter: checkpoint IDs must stay
+	// unique even after MaxCheckpoints pruning shortens the list (deriving
+	// IDs from the list length would recycle them and make Revert match
+	// the wrong snapshot).
+	nextCheckpointID int
 }
 
 // NewSet returns an empty knowledge set.
@@ -166,17 +224,22 @@ func (s *Set) AddIntent(in *Intent) {
 		s.intentIDs = append(s.intentIDs, in.ID)
 	}
 	s.intents[in.ID] = in
-	s.log(OpInsert, IntentEntity, in.ID, "intent "+in.Name, "preprocessing", "")
+	s.log(ChangeEvent{
+		Op: OpInsert, Kind: IntentEntity, EntityID: in.ID,
+		Summary: "intent " + in.Name, Editor: "preprocessing", Intent: in.clone(),
+	})
 }
 
 // Intent returns the intent by ID, or nil.
 func (s *Set) Intent(id string) *Intent { return s.intents[id] }
 
-// Intents returns all intents in insertion order.
+// Intents returns all intents in insertion order. The returned structs are
+// defensive copies (Elements share backing arrays but are never mutated in
+// place once built).
 func (s *Set) Intents() []*Intent {
 	out := make([]*Intent, 0, len(s.intentIDs))
 	for _, id := range s.intentIDs {
-		out = append(out, s.intents[id])
+		out = append(out, s.intents[id].clone())
 	}
 	return out
 }
@@ -196,7 +259,11 @@ func (s *Set) InsertExample(e *Example, editor, feedbackID string) error {
 	e.Provenance.Editor = editor
 	e.Provenance.FeedbackID = feedbackID
 	e.Provenance.Version = s.version + 1
-	s.log(OpInsert, ExampleEntity, e.ID, summarize(e.NL), editor, feedbackID)
+	s.log(ChangeEvent{
+		Op: OpInsert, Kind: ExampleEntity, EntityID: e.ID,
+		Summary: summarize(e.NL), Editor: editor, FeedbackID: feedbackID,
+		Example: e.clone(),
+	})
 	return nil
 }
 
@@ -209,7 +276,11 @@ func (s *Set) UpdateExample(e *Example, editor, feedbackID string) error {
 	e.Provenance.FeedbackID = feedbackID
 	e.Provenance.Version = s.version + 1
 	s.examples[e.ID] = e
-	s.log(OpUpdate, ExampleEntity, e.ID, summarize(e.NL), editor, feedbackID)
+	s.log(ChangeEvent{
+		Op: OpUpdate, Kind: ExampleEntity, EntityID: e.ID,
+		Summary: summarize(e.NL), Editor: editor, FeedbackID: feedbackID,
+		Example: e.clone(),
+	})
 	return nil
 }
 
@@ -220,18 +291,23 @@ func (s *Set) DeleteExample(id, editor, feedbackID string) error {
 	}
 	delete(s.examples, id)
 	s.exampleIDs = removeID(s.exampleIDs, id)
-	s.log(OpDelete, ExampleEntity, id, "", editor, feedbackID)
+	s.log(ChangeEvent{
+		Op: OpDelete, Kind: ExampleEntity, EntityID: id,
+		Editor: editor, FeedbackID: feedbackID,
+	})
 	return nil
 }
 
 // Example returns the example by ID, or nil.
 func (s *Set) Example(id string) *Example { return s.examples[id] }
 
-// Examples returns all examples in insertion order.
+// Examples returns all examples in insertion order. The returned structs
+// are defensive copies: inspection endpoints can hold them while another
+// goroutine stages a rebuild, and writes through them never reach the set.
 func (s *Set) Examples() []*Example {
 	out := make([]*Example, 0, len(s.exampleIDs))
 	for _, id := range s.exampleIDs {
-		out = append(out, s.examples[id])
+		out = append(out, s.examples[id].clone())
 	}
 	return out
 }
@@ -266,7 +342,11 @@ func (s *Set) InsertInstruction(in *Instruction, editor, feedbackID string) erro
 	in.Provenance.Editor = editor
 	in.Provenance.FeedbackID = feedbackID
 	in.Provenance.Version = s.version + 1
-	s.log(OpInsert, InstructionEntity, in.ID, summarize(in.Text), editor, feedbackID)
+	s.log(ChangeEvent{
+		Op: OpInsert, Kind: InstructionEntity, EntityID: in.ID,
+		Summary: summarize(in.Text), Editor: editor, FeedbackID: feedbackID,
+		Instruction: in.clone(),
+	})
 	return nil
 }
 
@@ -279,7 +359,11 @@ func (s *Set) UpdateInstruction(in *Instruction, editor, feedbackID string) erro
 	in.Provenance.FeedbackID = feedbackID
 	in.Provenance.Version = s.version + 1
 	s.instructions[in.ID] = in
-	s.log(OpUpdate, InstructionEntity, in.ID, summarize(in.Text), editor, feedbackID)
+	s.log(ChangeEvent{
+		Op: OpUpdate, Kind: InstructionEntity, EntityID: in.ID,
+		Summary: summarize(in.Text), Editor: editor, FeedbackID: feedbackID,
+		Instruction: in.clone(),
+	})
 	return nil
 }
 
@@ -290,18 +374,22 @@ func (s *Set) DeleteInstruction(id, editor, feedbackID string) error {
 	}
 	delete(s.instructions, id)
 	s.instrIDs = removeID(s.instrIDs, id)
-	s.log(OpDelete, InstructionEntity, id, "", editor, feedbackID)
+	s.log(ChangeEvent{
+		Op: OpDelete, Kind: InstructionEntity, EntityID: id,
+		Editor: editor, FeedbackID: feedbackID,
+	})
 	return nil
 }
 
 // Instruction returns the instruction by ID, or nil.
 func (s *Set) Instruction(id string) *Instruction { return s.instructions[id] }
 
-// Instructions returns all instructions in insertion order.
+// Instructions returns all instructions in insertion order. The returned
+// structs are defensive copies, like Examples.
 func (s *Set) Instructions() []*Instruction {
 	out := make([]*Instruction, 0, len(s.instrIDs))
 	for _, id := range s.instrIDs {
-		out = append(out, s.instructions[id])
+		out = append(out, s.instructions[id].clone())
 	}
 	return out
 }
@@ -340,7 +428,12 @@ func (s *Set) DefinesTerm(term string) *Instruction {
 // AddDirective appends a retrieval/re-ranking directive.
 func (s *Set) AddDirective(text, editor, feedbackID string) {
 	s.directives = append(s.directives, text)
-	s.log(OpInsert, DirectiveEntity, fmt.Sprintf("dir-%d", len(s.directives)), summarize(text), editor, feedbackID)
+	s.log(ChangeEvent{
+		Op: OpInsert, Kind: DirectiveEntity,
+		EntityID: fmt.Sprintf("dir-%d", len(s.directives)),
+		Summary:  summarize(text), Editor: editor, FeedbackID: feedbackID,
+		Directive: text,
+	})
 }
 
 // Directives returns the retrieval directives in insertion order.
@@ -350,36 +443,84 @@ func (s *Set) Directives() []string {
 
 // --- history, checkpoints, clone ---
 
-func (s *Set) log(op ChangeOp, kind EntityKind, id, summary, editor, feedbackID string) {
+// log stamps Seq and Version onto the event and appends it to the history.
+// All mutators funnel through here, so the history is a complete, replayable
+// serialization of the set (see ApplyEvent).
+func (s *Set) log(ev ChangeEvent) {
 	s.version++
 	s.nextSeq++
-	s.history = append(s.history, ChangeEvent{
-		Seq: s.nextSeq, Version: s.version, Op: op, Kind: kind,
-		EntityID: id, Summary: summary, Editor: editor, FeedbackID: feedbackID,
-	})
+	ev.Seq = s.nextSeq
+	ev.Version = s.version
+	s.history = append(s.history, ev)
 }
 
-// History returns the audit log, oldest first.
+// History returns the audit log, oldest first. The returned slice is a
+// defensive copy: callers (daemon inspection endpoints, persistence) may
+// hold it across engine rebuilds without racing the set. Event payload
+// pointers are immutable log-time snapshots and are safe to share.
 func (s *Set) History() []ChangeEvent {
 	return append([]ChangeEvent(nil), s.history...)
 }
 
-// Checkpoint records a named snapshot and returns its ID.
+// HistorySince returns the audit events with Seq strictly greater than seq,
+// oldest first — the tail a write-ahead log needs to persist after a commit
+// at seq. The result is a defensive copy.
+func (s *Set) HistorySince(seq int) []ChangeEvent {
+	// Seqs are contiguous from 1, so the tail starts at index seq.
+	if seq < 0 {
+		seq = 0
+	}
+	if seq >= len(s.history) {
+		return nil
+	}
+	return append([]ChangeEvent(nil), s.history[seq:]...)
+}
+
+// LastSeq reports the sequence number of the most recent history event (0
+// for a fresh set).
+func (s *Set) LastSeq() int { return s.nextSeq }
+
+// MaxCheckpoints bounds the revert window: each checkpoint holds a full
+// content snapshot and long-lived sets checkpoint on every merge, so the
+// list would otherwise grow without bound (inflating every CloneFull and
+// every serialized State). Older checkpoints are dropped as new ones are
+// recorded; their history events remain, but Revert to them fails.
+const MaxCheckpoints = 32
+
+// Checkpoint records a named snapshot and returns its ID. Only the newest
+// MaxCheckpoints snapshots are retained (see MaxCheckpoints).
 func (s *Set) Checkpoint(name string) int {
+	s.nextCheckpointID++
 	cp := Checkpoint{
-		ID:      len(s.checkpoints) + 1,
+		ID:      s.nextCheckpointID,
 		Name:    name,
 		Version: s.version,
 		snap:    s.snapshot(),
 	}
 	s.checkpoints = append(s.checkpoints, cp)
-	s.log(OpCheckpoint, DirectiveEntity, fmt.Sprintf("cp-%d", cp.ID), "checkpoint "+name, "system", "")
+	s.pruneCheckpoints()
+	s.log(ChangeEvent{
+		Op: OpCheckpoint, Kind: DirectiveEntity,
+		EntityID: fmt.Sprintf("cp-%d", cp.ID), Summary: "checkpoint " + name,
+		Editor: "system", CheckpointID: cp.ID, CheckpointName: name,
+	})
 	return cp.ID
 }
 
 // Checkpoints lists recorded checkpoints, oldest first.
 func (s *Set) Checkpoints() []Checkpoint {
 	return append([]Checkpoint(nil), s.checkpoints...)
+}
+
+// pruneCheckpoints enforces MaxCheckpoints after every checkpoint append.
+// It runs identically in Checkpoint() and in ApplyEvent's replay of a
+// checkpoint event, so a replayed set always holds the same revert window
+// as the original.
+func (s *Set) pruneCheckpoints() {
+	if len(s.checkpoints) <= MaxCheckpoints {
+		return
+	}
+	s.checkpoints = append([]Checkpoint(nil), s.checkpoints[len(s.checkpoints)-MaxCheckpoints:]...)
 }
 
 // Revert restores the set's contents to a checkpoint. History and
@@ -397,23 +538,24 @@ func (s *Set) Revert(checkpointID int) error {
 		return fmt.Errorf("checkpoint %d does not exist", checkpointID)
 	}
 	s.restore(cp.snap)
-	s.log(OpRevert, DirectiveEntity, fmt.Sprintf("cp-%d", cp.ID), "revert to "+cp.Name, "system", "")
+	s.log(ChangeEvent{
+		Op: OpRevert, Kind: DirectiveEntity,
+		EntityID: fmt.Sprintf("cp-%d", cp.ID), Summary: "revert to " + cp.Name,
+		Editor: "system", CheckpointID: cp.ID, CheckpointName: cp.Name,
+	})
 	return nil
 }
 
 func (s *Set) snapshot() *snapshot {
 	sn := &snapshot{directives: append([]string(nil), s.directives...)}
 	for _, id := range s.exampleIDs {
-		c := *s.examples[id]
-		sn.examples = append(sn.examples, &c)
+		sn.examples = append(sn.examples, s.examples[id].clone())
 	}
 	for _, id := range s.instrIDs {
-		c := *s.instructions[id]
-		sn.instructions = append(sn.instructions, &c)
+		sn.instructions = append(sn.instructions, s.instructions[id].clone())
 	}
 	for _, id := range s.intentIDs {
-		c := *s.intents[id]
-		sn.intents = append(sn.intents, &c)
+		sn.intents = append(sn.intents, s.intents[id].clone())
 	}
 	return sn
 }
@@ -422,22 +564,22 @@ func (s *Set) restore(sn *snapshot) {
 	s.examples = make(map[string]*Example, len(sn.examples))
 	s.exampleIDs = s.exampleIDs[:0]
 	for _, e := range sn.examples {
-		c := *e
-		s.examples[c.ID] = &c
+		c := e.clone()
+		s.examples[c.ID] = c
 		s.exampleIDs = append(s.exampleIDs, c.ID)
 	}
 	s.instructions = make(map[string]*Instruction, len(sn.instructions))
 	s.instrIDs = s.instrIDs[:0]
 	for _, in := range sn.instructions {
-		c := *in
-		s.instructions[c.ID] = &c
+		c := in.clone()
+		s.instructions[c.ID] = c
 		s.instrIDs = append(s.instrIDs, c.ID)
 	}
 	s.intents = make(map[string]*Intent, len(sn.intents))
 	s.intentIDs = s.intentIDs[:0]
 	for _, in := range sn.intents {
-		c := *in
-		s.intents[c.ID] = &c
+		c := in.clone()
+		s.intents[c.ID] = c
 		s.intentIDs = append(s.intentIDs, c.ID)
 	}
 	s.directives = append([]string(nil), sn.directives...)
@@ -450,6 +592,40 @@ func (s *Set) Clone() *Set {
 	out := NewSet()
 	out.restore(s.snapshot())
 	out.version = s.version
+	return out
+}
+
+// CloneFull deep-copies the entire set — contents, version, sequence
+// counter, audit history and checkpoints (with their snapshots). Merge
+// flows use it to build the next served generation of the knowledge set
+// without mutating the currently served (read-only) one: apply edits to the
+// full clone, rebuild indices via Engine.WithKnowledge, hot-swap.
+func (s *Set) CloneFull() *Set {
+	out := NewSet()
+	out.restore(s.snapshot())
+	out.version = s.version
+	out.nextSeq = s.nextSeq
+	out.nextCheckpointID = s.nextCheckpointID
+	out.history = append([]ChangeEvent(nil), s.history...)
+	out.checkpoints = make([]Checkpoint, len(s.checkpoints))
+	for i, cp := range s.checkpoints {
+		out.checkpoints[i] = Checkpoint{ID: cp.ID, Name: cp.Name, Version: cp.Version, snap: cp.snap.clone()}
+	}
+	return out
+}
+
+// clone deep-copies a checkpoint snapshot.
+func (sn *snapshot) clone() *snapshot {
+	out := &snapshot{directives: append([]string(nil), sn.directives...)}
+	for _, e := range sn.examples {
+		out.examples = append(out.examples, e.clone())
+	}
+	for _, in := range sn.instructions {
+		out.instructions = append(out.instructions, in.clone())
+	}
+	for _, it := range sn.intents {
+		out.intents = append(out.intents, it.clone())
+	}
 	return out
 }
 

@@ -1,0 +1,429 @@
+package kstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"genedit/internal/knowledge"
+)
+
+// seedSet builds a small knowledge set through the mutators.
+func seedSet(t *testing.T) *knowledge.Set {
+	t.Helper()
+	s := knowledge.NewSet()
+	s.AddIntent(&knowledge.Intent{ID: "intent-001", Name: "financial performance"})
+	if err := s.InsertExample(&knowledge.Example{
+		ID: "ex-001", IntentIDs: []string{"intent-001"},
+		NL: "Compute RPV as revenue over views", SQL: "REVENUE / NULLIF(VIEWS, 0)", Clause: "projection",
+	}, "preprocessing", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertInstruction(&knowledge.Instruction{
+		ID: "ins-001", Text: "Apply a -1 multiplier for QoQFP", Terms: []string{"QoQFP"},
+	}, "preprocessing", ""); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// edit applies one distinguishable change per call.
+func edit(t *testing.T, s *knowledge.Set, i int) {
+	t.Helper()
+	if err := s.InsertInstruction(&knowledge.Instruction{
+		Text: "guideline " + strings.Repeat("x", i+1),
+	}, "sme", "fb-001"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts ...Option) *Store {
+	t.Helper()
+	st, err := Open(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func assertSame(t *testing.T, got, want *knowledge.Set, context string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.State(), want.State()) {
+		t.Fatalf("%s: recovered set diverged", context)
+	}
+	gh, wh := got.History(), want.History()
+	if len(gh) != len(wh) {
+		t.Fatalf("%s: history %d events, want %d", context, len(gh), len(wh))
+	}
+	for i := range gh {
+		if !reflect.DeepEqual(gh[i], wh[i]) {
+			t.Fatalf("%s: history[%d] = %+v, want %+v", context, i, gh[i], wh[i])
+		}
+	}
+}
+
+func TestFreshStoreIsEmpty(t *testing.T) {
+	st := mustOpen(t, t.TempDir())
+	if !st.Empty() {
+		t.Error("fresh store should be empty")
+	}
+	if st.Recovered().Version() != 0 {
+		t.Error("fresh store should recover an empty set")
+	}
+}
+
+// TestCommitReopenRecovers is the core WAL property: commit, kill (close),
+// reopen, and the recovered set matches the in-memory one event-for-event.
+func TestCommitReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	set := seedSet(t)
+	if err := st.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+	edit(t, set, 0)
+	edit(t, set, 1)
+	if err := st.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2 := mustOpen(t, dir)
+	if st2.Empty() {
+		t.Fatal("store should not be empty after commits")
+	}
+	assertSame(t, st2.Recovered(), set, "pure WAL replay")
+}
+
+// TestSnapshotPlusReplayEquivalence compares the two recovery paths: pure
+// WAL replay vs snapshot + WAL-tail replay must recover identical sets.
+func TestSnapshotPlusReplayEquivalence(t *testing.T) {
+	set := seedSet(t)
+
+	// Path A: everything through the WAL.
+	dirA := t.TempDir()
+	stA := mustOpen(t, dirA)
+	if err := stA.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+
+	// Path B: snapshot mid-stream, then WAL tail.
+	dirB := t.TempDir()
+	stB := mustOpen(t, dirB)
+	if err := stB.Compact(set); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		edit(t, set, i)
+	}
+	if err := stA.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+	stA.Close()
+	stB.Close()
+
+	recA := mustOpen(t, dirA)
+	recB := mustOpen(t, dirB)
+	if recA.SnapshotVersion() != 0 {
+		t.Error("path A should have no snapshot")
+	}
+	if recB.SnapshotVersion() == 0 {
+		t.Error("path B should have a snapshot")
+	}
+	setA, setB := recA.Recovered(), recB.Recovered()
+	assertSame(t, setA, set, "pure replay")
+	assertSame(t, setB, set, "snapshot+replay")
+	assertSame(t, setA, setB, "replay vs snapshot+replay")
+}
+
+// TestTornTailTruncated simulates a crash mid-append: the final WAL record
+// is cut short. Recovery must drop exactly that record and keep the rest.
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 7, 24} {
+		dir := t.TempDir()
+		st := mustOpen(t, dir)
+		set := seedSet(t)
+		if err := st.Commit(set); err != nil {
+			t.Fatal(err)
+		}
+		before := set.CloneFull()
+		edit(t, set, 0)
+		if err := st.Commit(set); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+
+		wal := filepath.Join(dir, walName)
+		raw, err := os.ReadFile(wal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(wal, raw[:len(raw)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		st2 := mustOpen(t, dir)
+		resumed := st2.Recovered()
+		assertSame(t, resumed, before, "torn tail recovery")
+
+		// The truncated log must accept new commits cleanly.
+		edit(t, resumed, 5)
+		if err := st2.Commit(resumed); err != nil {
+			t.Fatal(err)
+		}
+		st2.Close()
+		st3 := mustOpen(t, dir)
+		assertSame(t, st3.Recovered(), resumed, "commit after torn-tail truncation")
+	}
+}
+
+// TestCorruptionBeforeTailRefused: flipping bytes in a non-final record is
+// unrecoverable corruption, not a torn tail, and Open must refuse it.
+func TestCorruptionBeforeTailRefused(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	set := seedSet(t)
+	if err := st.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	wal := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("want >= 2 WAL records, got %d", len(lines)-1)
+	}
+	// Corrupt the first record's CRC-covered payload.
+	lines[0] = strings.Replace(lines[0], `"op":"insert"`, `"op":"INSERT"`, 1)
+	if err := os.WriteFile(wal, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("Open with mid-log corruption = %v, want corrupt-WAL error", err)
+	}
+}
+
+// TestCrashBetweenAppendAndCompact is the seeded crash-point test: the
+// process dies after the WAL append but before compaction truncates the
+// log (simulated by never calling Compact), and again after compaction
+// with a stale WAL left behind (simulated by restoring the pre-compaction
+// WAL bytes). Both recoveries must match the in-memory set.
+func TestCrashBetweenAppendAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	set := seedSet(t)
+	if err := st.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		edit(t, set, i)
+		if err := st.Commit(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walBytes, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash point 1: append done, compaction never ran.
+	st.Close()
+	rec1 := mustOpen(t, dir)
+	assertSame(t, rec1.Recovered(), set, "crash after append, before compact")
+	rec1.Close()
+
+	// Crash point 2: compaction published the snapshot but died before the
+	// WAL truncation became durable — snapshot and full WAL coexist, and
+	// replay must skip the overlap instead of double-applying.
+	st2 := mustOpen(t, dir)
+	if err := st2.Compact(set); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	if err := os.WriteFile(filepath.Join(dir, walName), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := mustOpen(t, dir)
+	assertSame(t, rec2.Recovered(), set, "crash between snapshot rename and WAL truncate")
+}
+
+// TestAutoCompaction: Commit compacts once the WAL crosses the threshold,
+// and the recovered set stays exact.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, WithCompactEvery(4))
+	set := seedSet(t)
+	if err := st.Commit(set); err != nil { // 3 events -> no compact
+		t.Fatal(err)
+	}
+	if st.SnapshotVersion() != 0 {
+		t.Fatal("compaction should not have run yet")
+	}
+	edit(t, set, 0)
+	if err := st.Commit(set); err != nil { // 4th event crosses threshold
+		t.Fatal(err)
+	}
+	if st.SnapshotVersion() != set.Version() {
+		t.Fatalf("snapshot version = %d, want %d", st.SnapshotVersion(), set.Version())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 {
+		t.Errorf("WAL should be truncated after compaction, has %d bytes", len(raw))
+	}
+	st.Close()
+	rec := mustOpen(t, dir)
+	assertSame(t, rec.Recovered(), set, "post-auto-compaction recovery")
+}
+
+// TestSnapshotPruning keeps only the configured number of generations.
+func TestSnapshotPruning(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, WithKeepSnapshots(2))
+	set := seedSet(t)
+	for i := 0; i < 4; i++ {
+		edit(t, set, i)
+		if err := st.Compact(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(st.snapshotVersions()); got != 2 {
+		t.Errorf("snapshots on disk = %d, want 2", got)
+	}
+}
+
+// TestCorruptLatestSnapshotFallsBack: a rotted newest snapshot must not
+// lose the store — recovery falls back to the previous generation plus
+// whatever the WAL still holds.
+func TestCorruptLatestSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, WithKeepSnapshots(3))
+	set := seedSet(t)
+	if err := st.Compact(set); err != nil {
+		t.Fatal(err)
+	}
+	edit(t, set, 0)
+	if err := st.Compact(set); err != nil {
+		t.Fatal(err)
+	}
+	versions := st.snapshotVersions()
+	st.Close()
+	latest := versions[len(versions)-1]
+	if err := os.WriteFile(st.snapshotPath(latest), []byte("{ rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := mustOpen(t, dir)
+	// The older snapshot lacks the last edit, and the WAL was truncated by
+	// compaction — recovery lands on the previous durable generation.
+	if got, want := rec.Recovered().Version(), versions[len(versions)-2]; got != want {
+		t.Errorf("fallback recovered version %d, want %d", got, want)
+	}
+}
+
+// TestCommitRefusesDivergedHistory: two writers branching from the same
+// persisted state cannot both land — the second writer's history no longer
+// contains the durable log's last event, so its commit is refused instead
+// of silently losing edits or splicing incompatible events into the log.
+func TestCommitRefusesDivergedHistory(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	base := seedSet(t)
+	if err := st.Commit(base); err != nil {
+		t.Fatal(err)
+	}
+
+	forkA := base.CloneFull()
+	if err := forkA.InsertInstruction(&knowledge.Instruction{Text: "writer A's edit"}, "a", "fb-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(forkA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fork B branched before A landed; same LastSeq, different history.
+	forkB := base.CloneFull()
+	if err := forkB.InsertInstruction(&knowledge.Instruction{Text: "writer B's edit"}, "b", "fb-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(forkB); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("commit of equal-length fork = %v, want diverged error", err)
+	}
+	// A longer fork diverges too (its event at the persisted seq differs).
+	if err := forkB.InsertInstruction(&knowledge.Instruction{Text: "writer B again"}, "b", "fb-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(forkB); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("commit of longer fork = %v, want diverged error", err)
+	}
+
+	// The store remains usable for the canonical lineage, including across
+	// a reopen (the lineage anchor must be rebuilt from recovery).
+	if err := forkA.InsertInstruction(&knowledge.Instruction{Text: "writer A continues"}, "a", "fb-a2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(forkA); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2 := mustOpen(t, dir)
+	rec := st2.Recovered()
+	assertSame(t, rec, forkA, "canonical lineage after divergence refusals")
+	if err := st2.Commit(forkB); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("post-reopen commit of fork = %v, want diverged error", err)
+	}
+}
+
+func TestCommitBehindStoreFails(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	set := seedSet(t)
+	if err := st.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+	stale := knowledge.NewSet()
+	if err := st.Commit(stale); err == nil || !strings.Contains(err.Error(), "behind") {
+		t.Errorf("committing a stale set = %v, want behind-store error", err)
+	}
+}
+
+func TestClosedStoreRefusesWrites(t *testing.T) {
+	st := mustOpen(t, t.TempDir())
+	st.Close()
+	if err := st.Commit(seedSet(t)); err != ErrClosed {
+		t.Errorf("Commit on closed store = %v, want ErrClosed", err)
+	}
+	if err := st.Compact(seedSet(t)); err != ErrClosed {
+		t.Errorf("Compact on closed store = %v, want ErrClosed", err)
+	}
+}
+
+// TestCommitIsIdempotentOnSeq: committing the same set twice writes the
+// tail once.
+func TestCommitIsIdempotentOnSeq(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	set := seedSet(t)
+	if err := st.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+	raw1, _ := os.ReadFile(filepath.Join(dir, walName))
+	if err := st.Commit(set); err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := os.ReadFile(filepath.Join(dir, walName))
+	if len(raw1) != len(raw2) {
+		t.Error("re-committing an unchanged set must not grow the WAL")
+	}
+}

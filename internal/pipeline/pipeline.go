@@ -121,6 +121,14 @@ type Engine struct {
 
 	exIndex  *embed.Index
 	insIndex *embed.Index
+	// intentOpts is the classification option list, derived from the
+	// knowledge set once at index-build time (the set is immutable while
+	// served, and Intents() deep-copies on every call).
+	intentOpts []llm.IntentOption
+	// fullExs are the deduplicated full-query example candidates (the
+	// "w/o Decomposition" ablation path), with their ranking vectors
+	// precomputed so per-Generate scoring is a dot product per candidate.
+	fullExs []fullExCand
 	// Vectors precomputed at index-build time so per-Generate re-ranking
 	// does not re-embed unchanged knowledge items. Read-only after
 	// buildIndices (WithKnowledge rebuilds them with the indices).
@@ -167,7 +175,7 @@ func (e *Engine) buildIndices() {
 	e.insIndex = embed.NewIndex()
 	e.insTextVecs = make(map[string]embed.Vector)
 	for _, ins := range e.kset.Instructions() {
-		e.insIndex.Add(ins.ID, ins.Text+" "+ins.SQLHint)
+		e.insIndex.Add(ins.ID, ins.RetrievalText())
 		e.insTextVecs[ins.ID] = embed.Text(ins.Text)
 	}
 	directives := e.kset.Directives()
@@ -175,6 +183,36 @@ func (e *Engine) buildIndices() {
 	for i, d := range directives {
 		e.dirVecs[i] = embed.Text(d)
 	}
+	e.intentOpts = nil
+	for _, it := range e.kset.Intents() {
+		e.intentOpts = append(e.intentOpts, llm.IntentOption{ID: it.ID, Name: it.Name, Description: it.Description})
+	}
+	e.fullExs = nil
+	seenSQL := make(map[string]bool)
+	for _, ex := range e.kset.Examples() {
+		if ex.SourceSQL == "" || seenSQL[ex.SourceSQL] {
+			continue
+		}
+		seenSQL[ex.SourceSQL] = true
+		text := ex.SourceQuestion
+		if text == "" {
+			text = ex.SourceSQL
+		}
+		e.fullExs = append(e.fullExs, fullExCand{
+			id:  fmt.Sprintf("full-%03d", len(e.fullExs)+1),
+			nl:  ex.SourceQuestion,
+			sql: ex.SourceSQL,
+			vec: embed.Text(text),
+		})
+	}
+}
+
+// fullExCand is one precomputed full-query example candidate.
+type fullExCand struct {
+	id  string
+	nl  string
+	sql string
+	vec embed.Vector
 }
 
 // KnowledgeSet returns the engine's live knowledge set.
@@ -240,12 +278,8 @@ func (e *Engine) GenerateContext(ctx context.Context, question, evidence string)
 	}
 
 	// Operator 2: intent classification.
-	var options []llm.IntentOption
-	for _, it := range e.kset.Intents() {
-		options = append(options, llm.IntentOption{ID: it.ID, Name: it.Name, Description: it.Description})
-	}
 	done := tr.step("intent_classification")
-	intentIDs, err := e.model.ClassifyIntents(reformulated, options)
+	intentIDs, err := e.model.ClassifyIntents(reformulated, e.intentOpts)
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("intent classification: %w", err)
@@ -535,33 +569,13 @@ func (e *Engine) selectExamples(qv embed.Vector, intentIDs []string) []llm.Retri
 // examples (the traditional representation, used by the "w/o Decomposition"
 // ablation).
 func (e *Engine) selectFullExamples(qv embed.Vector) []llm.RetrievedExample {
-	type fullEx struct {
-		sql      string
-		question string
-	}
-	seen := make(map[string]*fullEx)
-	var order []string
-	for _, ex := range e.kset.Examples() {
-		if ex.SourceSQL == "" {
-			continue
-		}
-		if _, ok := seen[ex.SourceSQL]; !ok {
-			seen[ex.SourceSQL] = &fullEx{sql: ex.SourceSQL, question: ex.SourceQuestion}
-			order = append(order, ex.SourceSQL)
-		}
-	}
-	var scored []llm.RetrievedExample
-	for i, sql := range order {
-		fe := seen[sql]
-		text := fe.question
-		if text == "" {
-			text = fe.sql
-		}
+	scored := make([]llm.RetrievedExample, 0, len(e.fullExs))
+	for _, fe := range e.fullExs {
 		scored = append(scored, llm.RetrievedExample{
-			ID:      fmt.Sprintf("full-%03d", i+1),
-			NL:      fe.question,
+			ID:      fe.id,
+			NL:      fe.nl,
 			FullSQL: fe.sql,
-			Score:   embed.Cosine(qv, embed.Text(text)),
+			Score:   embed.Cosine(qv, fe.vec),
 		})
 	}
 	sort.SliceStable(scored, func(i, j int) bool {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +13,8 @@ import (
 	"genedit/internal/eval"
 	"genedit/internal/feedback"
 	"genedit/internal/generr"
+	"genedit/internal/knowledge"
+	"genedit/internal/kstore"
 	"genedit/internal/pipeline"
 	"genedit/internal/simllm"
 )
@@ -120,6 +123,20 @@ func WithStatementCacheSize(n int) Option {
 // that request. fn must be safe for concurrent use.
 func WithTrace(fn TraceFunc) Option { return func(s *Service) { s.trace = fn } }
 
+// WithStorePath makes the service durable: each database's knowledge set is
+// backed by a crash-safe kstore (WAL + snapshots) under dir/<database>. On
+// first use of a database the store is empty, so the service seed-builds
+// the knowledge set from the benchmark's pre-processing inputs and persists
+// it; on later opens — including after a crash or restart — the set is
+// recovered from disk with its full version, audit history and checkpoints,
+// and the seed build is skipped. Edits merged through Service.Solver are
+// fsynced to the store before the serving engine hot-swaps, so an
+// acknowledged approval survives a kill -9.
+//
+// A store directory assumes a single writing process; run one service per
+// store path. Call Close to release the stores.
+func WithStorePath(dir string) Option { return func(s *Service) { s.storePath = dir } }
+
 // Service is the long-lived, multi-tenant serving facade over the GenEdit
 // pipeline. It lazily builds one shared Engine per database — the expensive
 // pre-processing phase (knowledge-set construction + retrieval-index build)
@@ -130,6 +147,10 @@ func WithTrace(fn TraceFunc) Option { return func(s *Service) { s.trace = fn } }
 // Concurrency contract: all Service methods are safe for concurrent use.
 // Engines are immutable once built (see pipeline.Engine), so requests never
 // contend on anything but the executor's internal statement-cache mutex.
+// Approved feedback merges never mutate a served engine: the solver's
+// merge hook swaps a freshly built engine into the registry atomically
+// (swapEngine), so a request sees either the old or the new knowledge
+// version, never a half-rebuilt one.
 type Service struct {
 	suite         *Benchmark
 	cfg           Config
@@ -137,9 +158,13 @@ type Service struct {
 	workers       int
 	stmtCacheSize int
 	trace         TraceFunc
+	storePath     string
 
 	mu      sync.Mutex
 	engines map[string]*enginePromise
+	// stores holds the open kstore per database when WithStorePath is set.
+	stores map[string]*kstore.Store
+	closed bool
 }
 
 // enginePromise coalesces concurrent builds of one database's engine: the
@@ -160,6 +185,7 @@ func NewService(b *Benchmark, opts ...Option) *Service {
 		modelSeed: 42,
 		workers:   runtime.GOMAXPROCS(0),
 		engines:   make(map[string]*enginePromise),
+		stores:    make(map[string]*kstore.Store),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -219,9 +245,11 @@ func (s *Service) Engine(ctx context.Context, db string) (*Engine, error) {
 	}
 }
 
-// build runs the pre-processing phase for one database.
+// build runs the pre-processing phase for one database — or, when the
+// service is durable and the database's store already holds state, recovers
+// the knowledge set from disk instead and skips the seed build.
 func (s *Service) build(db string) (*Engine, error) {
-	kset, err := s.suite.BuildKnowledge(db)
+	kset, err := s.buildKnowledge(db)
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +259,117 @@ func (s *Service) build(db string) (*Engine, error) {
 	}
 	model := simllm.New(simllm.GenEditProfile(), s.suite.Registry, s.modelSeed)
 	return pipeline.New(model, kset, s.suite.Databases[db], cfg), nil
+}
+
+// buildKnowledge resolves the knowledge set for one database: straight from
+// the pre-processing inputs when the service is in-memory, through the
+// durable store when WithStorePath is set.
+func (s *Service) buildKnowledge(db string) (*knowledge.Set, error) {
+	if s.storePath == "" {
+		return s.suite.BuildKnowledge(db)
+	}
+	store, err := s.openStore(db)
+	if err != nil {
+		return nil, err
+	}
+	if store.Empty() {
+		// First open: seed-build and persist. The seed goes straight to a
+		// snapshot (plus an empty WAL), so restarts load one file instead
+		// of replaying hundreds of build events.
+		kset, err := s.suite.BuildKnowledge(db)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Compact(kset); err != nil {
+			return nil, fmt.Errorf("genedit: persisting seed knowledge for %q: %w", db, err)
+		}
+		return kset, nil
+	}
+	// Recovery path. The Open-time set is handed out once; if it is gone
+	// or stale relative to the log — a previous build attempt appended
+	// events after Open and then failed partway (e.g. the seed snapshot
+	// errored after its WAL append) — re-read the store from disk rather
+	// than serving an out-of-date set.
+	if kset := store.Recovered(); kset != nil && kset.LastSeq() == store.LastSeq() {
+		return kset, nil
+	}
+	store, err = s.reopenStore(db)
+	if err != nil {
+		return nil, err
+	}
+	if kset := store.Recovered(); kset != nil {
+		return kset, nil
+	}
+	return nil, fmt.Errorf("genedit: knowledge store for %q yielded no recovered set", db)
+}
+
+// reopenStore closes and reopens a database's store, forcing recovery from
+// disk.
+func (s *Service) reopenStore(db string) (*kstore.Store, error) {
+	s.mu.Lock()
+	if st, ok := s.stores[db]; ok {
+		st.Close()
+		delete(s.stores, db)
+	}
+	s.mu.Unlock()
+	return s.openStore(db)
+}
+
+// openStore opens (once) the kstore for a database.
+func (s *Service) openStore(db string) (*kstore.Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("genedit: service is closed")
+	}
+	if st, ok := s.stores[db]; ok {
+		return st, nil
+	}
+	st, err := kstore.Open(filepath.Join(s.storePath, db))
+	if err != nil {
+		return nil, fmt.Errorf("genedit: opening knowledge store for %q: %w", db, err)
+	}
+	s.stores[db] = st
+	return st, nil
+}
+
+// store returns the open store for a database, or nil for in-memory mode.
+func (s *Service) store(db string) *kstore.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stores[db]
+}
+
+// swapEngine atomically replaces the served engine for a database under the
+// registry lock. In-flight requests keep the engine (and its immutable
+// knowledge snapshot) they resolved earlier; requests arriving after the
+// swap see the new one. The promise is pre-resolved, so waiters never
+// block.
+func (s *Service) swapEngine(db string, engine *Engine) {
+	p := &enginePromise{ready: make(chan struct{}), engine: engine}
+	close(p.ready)
+	s.mu.Lock()
+	s.engines[db] = p
+	s.mu.Unlock()
+}
+
+// Close releases the service's durable stores (no-op for an in-memory
+// service). In-flight generations are unaffected — engines are pure
+// in-memory structures — but subsequent approvals will fail to persist.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var errs []error
+	for db, st := range s.stores {
+		if err := st.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("closing store %q: %w", db, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Prewarm builds the engines for the given databases (all servable
@@ -310,13 +449,88 @@ func (s *Service) GenerateBatch(ctx context.Context, reqs []Request) ([]*Respons
 
 // Solver builds the continuous-improvement workflow around a database's
 // shared engine. The golden cases form the regression suite gating merges.
-// Note the solver mutates its own engine pointer on merge; the service's
-// shared engine is unaffected until the solver's knowledge set is re-served.
+//
+// The solver is wired back into the service: approving a pending change
+// first persists the merged knowledge events to the database's store (when
+// the service is durable — the fsync happens before anything else observes
+// the merge) and then atomically hot-swaps the service's served engine, so
+// the next Generate call runs with the new knowledge version while
+// in-flight calls finish on their old immutable snapshot. Each call
+// returns a fresh Solver (own pending queue); share one solver across the
+// sessions that should see each other's pending changes.
 func (s *Service) Solver(ctx context.Context, db string, golden []*Case) (*Solver, error) {
 	engine, err := s.Engine(ctx, db)
 	if err != nil {
 		return nil, err
 	}
 	model := simllm.New(simllm.GenEditProfile(), s.suite.Registry, s.modelSeed)
-	return feedback.NewSolver(engine, feedback.NewRecommender(model), golden), nil
+	solver := feedback.NewSolver(engine, feedback.NewRecommender(model), golden)
+	solver.SetMergeHook(func(next *Engine) error {
+		if st := s.store(db); st != nil {
+			if err := st.Commit(next.KnowledgeSet()); err != nil {
+				return err
+			}
+		}
+		s.swapEngine(db, next)
+		return nil
+	})
+	return solver, nil
+}
+
+// KnowledgeInfo reports the live knowledge state of one database for
+// inspection surfaces (the daemon's GET /v1/knowledge/{db}).
+type KnowledgeInfo struct {
+	Database string
+	// Version is the knowledge-set version currently being served.
+	Version int
+	// Entity counts plus directive count for the served set.
+	Examples     int
+	Instructions int
+	Intents      int
+	Directives   int
+	// HistoryLen is the total audit-log length; History holds the
+	// requested tail of it (defensive copy), oldest first.
+	HistoryLen int
+	History    []ChangeEvent
+	// Persisted reports whether a durable store backs this database;
+	// PersistedSeq and SnapshotVersion describe it (0 when in-memory).
+	Persisted       bool
+	PersistedSeq    int
+	SnapshotVersion int
+}
+
+// Knowledge returns the served knowledge-set status for one database,
+// building (or recovering) the engine on first use. lastN bounds the
+// returned history tail — the audit log grows without bound, so copying
+// all of it on every inspection call is wasted work: n > 0 returns the n
+// most recent events, 0 returns none, and a negative n returns the full
+// log.
+func (s *Service) Knowledge(ctx context.Context, db string, lastN int) (*KnowledgeInfo, error) {
+	engine, err := s.Engine(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	kset := engine.KnowledgeSet()
+	st := kset.Stats()
+	info := &KnowledgeInfo{
+		Database:     db,
+		Version:      st.Version,
+		Examples:     st.Examples,
+		Instructions: st.Instructions,
+		Intents:      st.Intents,
+		Directives:   st.Directives,
+		HistoryLen:   kset.LastSeq(),
+	}
+	switch {
+	case lastN < 0:
+		info.History = kset.History()
+	case lastN > 0:
+		info.History = kset.HistorySince(kset.LastSeq() - lastN)
+	}
+	if store := s.store(db); store != nil {
+		info.Persisted = true
+		info.PersistedSeq = store.LastSeq()
+		info.SnapshotVersion = store.SnapshotVersion()
+	}
+	return info, nil
 }
