@@ -22,17 +22,23 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (concurrent packages: service facade, daemon incl. feedback endpoints, parallel runner, shared executors, knowledge store, solver) =="
-go test -race . ./cmd/geneditd ./internal/eval ./internal/sqlexec ./internal/pipeline ./internal/kstore ./internal/feedback
+echo "== go test -race (concurrent packages: service facade incl. generation-cache stress, daemon incl. feedback endpoints, generation cache, parallel runner, shared executors, knowledge store, solver) =="
+go test -race . ./cmd/geneditd ./internal/eval ./internal/gencache ./internal/sqlexec ./internal/pipeline ./internal/kstore ./internal/feedback
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -bench=. -benchtime=1x -run '^$' .
 go test -bench=. -benchtime=1x -run '^$' ./internal/bench
 
-# BENCH_2.json (compiled execution, PR 3) carries the current wall-clock
+echo "== parallel serving benchmarks under -race (cache hit path, coalescing, shard contention) =="
+go test -race -bench 'GenerationCache|GenerationCoalescing|StatementCacheParallel|ParallelEval' -benchtime=1x -run '^$' .
+
+echo "== closed-loop load smoke (benchrunner -parallel) =="
+go run ./cmd/benchrunner -parallel 4 -requests 200 > /dev/null
+
+# BENCH_3.json (concurrent serving, PR 5) carries the current wall-clock
 # trajectory; its EX tables are bit-identical to BENCH_0.json, so gating
 # against it preserves the original accuracy baseline.
-echo "== EX parity gate (all tables vs committed BENCH_2.json baseline) =="
-go run ./cmd/benchrunner -json /tmp/bench_parity.json -baseline BENCH_2.json > /dev/null
+echo "== EX parity gate (all tables vs committed BENCH_3.json baseline) =="
+go run ./cmd/benchrunner -json /tmp/bench_parity.json -baseline BENCH_3.json > /dev/null
 
 echo "CI pass complete."

@@ -10,9 +10,20 @@
 // The -seed flag varies the synthetic workload; -modelseed varies the
 // simulated model's deterministic draws. Paper reference numbers are printed
 // alongside for comparison.
+//
+// -parallel N switches to closed-loop load mode instead of regenerating
+// tables: N workers issue Generate requests against a serving Service (the
+// whole eval set as the request mix, repeated), reporting throughput
+// (gen/sec), p50/p95/p99 latency and generation-cache counters. -requests
+// bounds the total request count and -gencache sizes the cache (0 = serve
+// every request through the full pipeline):
+//
+//	benchrunner -parallel 8 -requests 4000
+//	benchrunner -parallel 8 -requests 4000 -gencache 0     # uncached baseline
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,8 +31,11 @@ import (
 	"reflect"
 	"runtime/pprof"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"genedit"
 	"genedit/internal/bench"
 	"genedit/internal/eval"
 	"genedit/internal/feedback"
@@ -89,6 +103,9 @@ func main() {
 	jsonPath := flag.String("json", "", "also write results (EX tables + wall-clock) as JSON to this file")
 	baseline := flag.String("baseline", "", "EX-parity gate: compare the regenerated EX tables against this committed JSON baseline and exit non-zero on any drift")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	parallel := flag.Int("parallel", 0, "closed-loop load mode: N concurrent workers issuing Generate requests (skips table regeneration)")
+	requests := flag.Int("requests", 2000, "total requests to issue in -parallel load mode")
+	genCache := flag.Int("gencache", 4096, "generation-cache size in -parallel load mode (0 = disabled)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -107,6 +124,25 @@ func main() {
 			pprof.StopCPUProfile()
 			f.Close()
 		}()
+	}
+
+	if *parallel > 0 {
+		// Load mode produces no EX tables, so the table-record flags are
+		// rejected rather than silently ignored; -cpuprofile (set up above)
+		// profiles the load run itself.
+		if *baseline != "" {
+			fmt.Fprintln(os.Stderr, "-baseline gates the EX tables; it cannot be combined with -parallel load mode")
+			os.Exit(1)
+		}
+		if *jsonPath != "" {
+			fmt.Fprintln(os.Stderr, "-json records the EX tables; it cannot be combined with -parallel load mode")
+			os.Exit(1)
+		}
+		if err := runParallelLoad(*seed, *modelSeed, *parallel, *requests, *genCache); err != nil {
+			fmt.Fprintln(os.Stderr, "load mode failed:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	record := benchRecord{
@@ -223,6 +259,99 @@ func main() {
 		}
 		fmt.Printf("EX parity gate passed: tables bit-identical to %s\n", *baseline)
 	}
+}
+
+// runParallelLoad drives a serving Service with workers concurrent
+// closed-loop clients (each issues its next request as soon as the previous
+// one completes) and reports throughput, latency percentiles and the
+// generation-cache counters. The request mix is the full eval set, visited
+// round-robin, so repeat traffic exercises the cache-hit path exactly the
+// way recurring enterprise questions do.
+func runParallelLoad(seed, modelSeed uint64, workers, totalRequests, genCacheSize int) error {
+	if totalRequests < 1 {
+		totalRequests = 1
+	}
+	suite := workload.NewSuite(seed)
+	opts := []genedit.Option{genedit.WithModelSeed(modelSeed)}
+	if genCacheSize > 0 {
+		opts = append(opts, genedit.WithGenerationCache(genCacheSize))
+	}
+	svc := genedit.NewService(suite, opts...)
+	ctx := context.Background()
+
+	fmt.Printf("prewarming %d engines...\n", len(svc.Databases()))
+	warmStart := time.Now()
+	if err := svc.Prewarm(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("prewarmed in %s\n", time.Since(warmStart).Round(time.Millisecond))
+
+	cases := suite.Cases
+	var next atomic.Int64
+	latencies := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, totalRequests/workers+1)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(totalRequests) {
+					break
+				}
+				c := cases[int(i)%len(cases)]
+				reqStart := time.Now()
+				_, err := svc.Generate(ctx, genedit.Request{Database: c.DB, Question: c.Question, Evidence: c.Evidence})
+				if err != nil {
+					errs[w] = err
+					break
+				}
+				lats = append(lats, time.Since(reqStart))
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	var all []time.Duration
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	fmt.Printf("\nclosed-loop load: %d workers, %d requests over %d cases\n",
+		workers, len(all), len(cases))
+	fmt.Printf("  wall clock   %s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput   %.1f gen/sec\n", float64(len(all))/elapsed.Seconds())
+	fmt.Printf("  latency      p50 %s   p95 %s   p99 %s   max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	st := svc.GenerationCacheStats()
+	if svc.GenerationCacheEnabled() {
+		served := st.Hits + st.Misses + st.Coalesced
+		fmt.Printf("  gen cache    %d hits / %d misses / %d coalesced (%.1f%% served without a pipeline run), %d/%d entries\n",
+			st.Hits, st.Misses, st.Coalesced,
+			100*float64(st.Hits+st.Coalesced)/float64(max(served, 1)),
+			st.Entries, st.Capacity)
+	} else {
+		fmt.Printf("  gen cache    disabled (every request ran the full pipeline)\n")
+	}
+	return nil
 }
 
 // checkParity diffs the regenerated EX tables against a committed baseline

@@ -17,12 +17,20 @@
 //	POST /v1/feedback/{id}/submit       regression-test the staged edits
 //	POST /v1/feedback/{id}/approve      merge (persist + hot-swap the engine)
 //	GET  /v1/knowledge/{db}             knowledge version, counts, change history
+//	GET  /v1/stats                      serving counters (generation cache hit/miss/coalesce)
 //	GET  /healthz                       liveness probe
 //
 // Engines are built lazily per database (coalesced across concurrent
 // requests) unless -prewarm front-loads them. -timeout bounds each request;
 // a deadline that expires mid-pipeline returns 504 with the cancellation
 // error. -trace logs per-operator timings for every request.
+//
+// -gencache (default 1024, 0 disables) caches completed generations per
+// (database, knowledge version, normalized question, evidence) with
+// concurrent duplicates coalesced onto one pipeline run; responses served
+// this way carry "cached": true. Approved feedback merges bump the
+// knowledge version, which invalidates by key — no flush. Note -trace
+// effectively bypasses the cache: traced requests must run the pipeline.
 //
 // -store makes the continuous-improvement loop durable: each database's
 // knowledge set is backed by a WAL + snapshot store under <dir>/<database>.
@@ -69,6 +77,7 @@ type generateResponse struct {
 	Database     string       `json:"database"`
 	SQL          string       `json:"sql"`
 	OK           bool         `json:"ok"`
+	Cached       bool         `json:"cached,omitempty"`
 	Reformulated string       `json:"reformulated,omitempty"`
 	Intents      []string     `json:"intents,omitempty"`
 	Attempts     int          `json:"attempts"`
@@ -82,6 +91,13 @@ type batchResponse struct {
 	Responses []generateResponse `json:"responses"`
 }
 
+// statsResponse is the GET /v1/stats body: serving-path counters, starting
+// with the generation cache's hit/miss/coalesce numbers.
+type statsResponse struct {
+	GenerationCacheEnabled bool                         `json:"generation_cache_enabled"`
+	GenerationCache        genedit.GenerationCacheStats `json:"generation_cache"`
+}
+
 func toWire(req genedit.Request, resp *genedit.Response) generateResponse {
 	out := generateResponse{Database: req.Database}
 	if resp == nil {
@@ -89,6 +105,7 @@ func toWire(req genedit.Request, resp *genedit.Response) generateResponse {
 	}
 	out.SQL = resp.SQL
 	out.OK = resp.OK
+	out.Cached = resp.Cached
 	out.DurationMS = float64(resp.Duration.Microseconds()) / 1000
 	if resp.Record != nil {
 		out.Reformulated = resp.Record.Reformulated
@@ -151,6 +168,13 @@ func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsResponse{
+			GenerationCacheEnabled: svc.GenerationCacheEnabled(),
+			GenerationCache:        svc.GenerationCacheStats(),
+		})
 	})
 
 	mux.HandleFunc("GET /v1/databases", func(w http.ResponseWriter, r *http.Request) {
@@ -218,6 +242,7 @@ func main() {
 	modelSeed := flag.Uint64("modelseed", 42, "simulated-model seed")
 	workers := flag.Int("workers", 0, "batch worker pool (0 = GOMAXPROCS)")
 	stmtCache := flag.Int("stmtcache", 0, "per-engine parsed-statement LRU size (0 = default 512)")
+	genCache := flag.Int("gencache", 1024, "generation-cache size: completed records cached per (database, knowledge version, question); 0 disables")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 	prewarm := flag.Bool("prewarm", false, "build all engines at startup instead of lazily")
 	trace := flag.Bool("trace", false, "log per-operator timings for every request")
@@ -233,6 +258,9 @@ func main() {
 	}
 	if *stmtCache > 0 {
 		opts = append(opts, genedit.WithStatementCacheSize(*stmtCache))
+	}
+	if *genCache > 0 {
+		opts = append(opts, genedit.WithGenerationCache(*genCache))
 	}
 	if *trace {
 		opts = append(opts, genedit.WithTrace(func(t *genedit.Trace) {

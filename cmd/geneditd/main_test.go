@@ -156,3 +156,60 @@ func TestDatabasesAndHealth(t *testing.T) {
 		t.Fatalf("healthz = %d, want 200", hresp.StatusCode)
 	}
 }
+
+// TestGenerationCacheAndStats drives /v1/generate twice with an identical
+// request against a cache-enabled service and checks the second response is
+// served from the cache with identical SQL, and that /v1/stats reports the
+// hit.
+func TestGenerationCacheAndStats(t *testing.T) {
+	suite := genedit.NewBenchmark(1)
+	svc := genedit.NewService(suite, genedit.WithModelSeed(42), genedit.WithGenerationCache(64))
+	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second))
+	t.Cleanup(srv.Close)
+
+	var q, db string
+	for _, c := range suite.Cases {
+		q, db = c.Question, c.DB
+		break
+	}
+	body, _ := json.Marshal(generateRequest{Database: db, Question: q})
+
+	var first, second generateResponse
+	for i, out := range []*generateResponse{&first, &second} {
+		resp, raw := postJSON(t, srv.URL+"/v1/generate", string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status = %d, body %s", i, resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first.Cached {
+		t.Error("first request should not be cached")
+	}
+	if !second.Cached {
+		t.Error("second identical request should be served from the cache")
+	}
+	if first.SQL == "" || first.SQL != second.SQL {
+		t.Errorf("cached SQL diverged: %q vs %q", first.SQL, second.SQL)
+	}
+
+	sresp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.GenerationCacheEnabled {
+		t.Error("stats should report the cache enabled")
+	}
+	if stats.GenerationCache.Hits != 1 || stats.GenerationCache.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", stats.GenerationCache)
+	}
+	if stats.GenerationCache.Entries != 1 || stats.GenerationCache.Capacity != 64 {
+		t.Errorf("stats fill = %+v, want 1 entry / capacity 64", stats.GenerationCache)
+	}
+}

@@ -9,7 +9,7 @@ import (
 	"container/heap"
 	"math"
 	"sort"
-	"strings"
+	"unicode"
 )
 
 // Dim is the embedding dimensionality.
@@ -34,12 +34,41 @@ func fnvAdd(h uint64, s string) uint64 {
 	return h
 }
 
+// lowerAlnum lower-cases one rune and reports whether the result is a kept
+// token rune ([a-z0-9]). Every kept rune is a single ASCII byte, which is
+// what lets Text hash tokens incrementally without building strings.
+func lowerAlnum(r rune) (byte, bool) {
+	if r >= 'A' && r <= 'Z' {
+		return byte(r + ('a' - 'A')), true
+	}
+	if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+		return byte(r), true
+	}
+	if r >= 0x80 {
+		// Non-ASCII uppercase letters can lower-case into the kept ASCII
+		// range (e.g. the Kelvin sign U+212A -> 'k'); mirror the previous
+		// strings.ToLower-based tokenizer exactly.
+		if lr := unicode.ToLower(r); lr >= 'a' && lr <= 'z' {
+			return byte(lr), true
+		}
+	}
+	return 0, false
+}
+
 // Text embeds a string. Tokenization lower-cases and splits on
 // non-alphanumeric runes; unigrams and adjacent-word bigrams are hashed into
 // Dim buckets with signed hashing to reduce collision bias.
+//
+// The token stream is consumed as it is scanned — no token slice or lowered
+// copy of s is materialized. Two running FNV-1a states track the current
+// word: one from the hash offset (the unigram) and one continued from the
+// previous word through a "_" byte (the bigram), so each feature hash is
+// bitwise identical to hashing the materialized token strings. Bucket
+// updates happen in the same order as the token-slice implementation
+// (unigram w0, bigram w0_w1, unigram w1, ...), so the accumulated — and
+// then normalized — vectors are bit-identical to the reference.
 func Text(s string) Vector {
 	v := make(Vector, Dim)
-	words := Tokenize(s)
 	add := func(sum uint64, weight float64) {
 		bucket := int(sum % Dim)
 		sign := 1.0
@@ -48,37 +77,88 @@ func Text(s string) Vector {
 		}
 		v[bucket] += sign * weight
 	}
-	for i, w := range words {
-		h := fnvAdd(fnvOffset64, w)
+	var (
+		h        uint64 // FNV state of the current word
+		hBig     uint64 // FNV state of prevWord+"_"+current word so far
+		inWord   bool
+		havePrev bool
+		prevH    uint64 // completed FNV state of the previous word
+	)
+	endWord := func() {
+		if !inWord {
+			return
+		}
+		if havePrev {
+			add(hBig, 0.6) // bigram(prev, current) lands before unigram(current)
+		}
 		add(h, 1.0)
-		if i+1 < len(words) {
-			// Continue hashing "w_next" from w's state: same sum as hashing
-			// the concatenated token, without building the string.
-			add(fnvAdd(fnvAdd(h, "_"), words[i+1]), 0.6)
+		prevH = h
+		havePrev = true
+		inWord = false
+	}
+	for _, r := range s {
+		c, ok := lowerAlnum(r)
+		if !ok {
+			endWord()
+			continue
+		}
+		if !inWord {
+			inWord = true
+			h = fnvOffset64
+			if havePrev {
+				// Continue hashing "prev_current" from prev's state: same
+				// sum as hashing the concatenated token, no string built.
+				hBig = (prevH ^ '_') * fnvPrime64
+			}
+		}
+		h = (h ^ uint64(c)) * fnvPrime64
+		if havePrev {
+			hBig = (hBig ^ uint64(c)) * fnvPrime64
 		}
 	}
-	return v.Normalize()
+	endWord()
+	normalizeInPlace(v)
+	return v
 }
 
 // Tokenize lower-cases and splits text into alphanumeric word tokens.
 func Tokenize(s string) []string {
 	var words []string
-	var cur strings.Builder
+	// All kept runes are single ASCII bytes, so one reusable byte buffer
+	// replaces the per-token strings.Builder (and the lowered copy of s).
+	var cur []byte
 	flush := func() {
-		if cur.Len() > 0 {
-			words = append(words, cur.String())
-			cur.Reset()
+		if len(cur) > 0 {
+			words = append(words, string(cur))
+			cur = cur[:0]
 		}
 	}
-	for _, r := range strings.ToLower(s) {
-		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
-			cur.WriteRune(r)
+	for _, r := range s {
+		if c, ok := lowerAlnum(r); ok {
+			cur = append(cur, c)
 		} else {
 			flush()
 		}
 	}
 	flush()
 	return words
+}
+
+// normalizeInPlace scales v to unit length in place (zero vectors are left
+// unchanged), with the same operations — and therefore bit pattern — as
+// Normalize.
+func normalizeInPlace(v Vector) {
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm == 0 {
+		return
+	}
+	norm = math.Sqrt(norm)
+	for i, x := range v {
+		v[i] = x / norm
+	}
 }
 
 // Normalize returns the vector scaled to unit length (zero vectors pass

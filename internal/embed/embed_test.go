@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -230,5 +231,60 @@ func TestTextMatchesHashFNVReference(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTokenizeMatchesToLowerReference pins the per-rune lower-casing scan
+// against the original strings.ToLower-then-filter tokenizer, including the
+// non-ASCII runes that lower-case into [a-z] (Kelvin sign, dotted capital I).
+func TestTokenizeMatchesToLowerReference(t *testing.T) {
+	ref := func(s string) []string {
+		var words []string
+		var cur strings.Builder
+		flush := func() {
+			if cur.Len() > 0 {
+				words = append(words, cur.String())
+				cur.Reset()
+			}
+		}
+		for _, r := range strings.ToLower(s) {
+			if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+				cur.WriteRune(r)
+			} else {
+				flush()
+			}
+		}
+		flush()
+		return words
+	}
+	fixed := []string{
+		"", "  ", "Hello, World!", "a-b_c d",
+		"Kİ temperature", // Kelvin sign + dotted capital I
+		"café Ångström 42", "\xff invalid \xfe utf8",
+	}
+	for _, s := range fixed {
+		got, want := Tokenize(s), ref(s)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("Tokenize(%q) = %q, want %q", s, got, want)
+		}
+	}
+	f := func(s string) bool {
+		return fmt.Sprint(Tokenize(s)) == fmt.Sprint(ref(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTextAllocsDoNotScaleWithTokens: the streaming scan must not allocate
+// per token — embedding a long text costs the same allocations (the vector
+// plus a fixed closure overhead) as a short one.
+func TestTextAllocsDoNotScaleWithTokens(t *testing.T) {
+	short := "revenue"
+	long := strings.Repeat("quarterly revenue per viewer across organisations in canada ", 40)
+	allocsShort := testing.AllocsPerRun(50, func() { Text(short) })
+	allocsLong := testing.AllocsPerRun(50, func() { Text(long) })
+	if allocsLong > allocsShort {
+		t.Errorf("Text allocations scale with input: short=%v long=%v", allocsShort, allocsLong)
 	}
 }

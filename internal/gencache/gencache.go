@@ -1,0 +1,238 @@
+// Package gencache implements the versioned generation cache of the serving
+// layer: a bounded LRU of completed pipeline Records keyed by
+// (database, knowledge version, normalized question, evidence), with
+// singleflight coalescing so N concurrent identical requests run one
+// generation and share its result.
+//
+// The knowledge version in the key is the invalidation contract. An
+// approved SME merge hot-swaps a freshly built engine whose knowledge set
+// carries a strictly greater version (every mutation bumps it, including
+// checkpoint reverts), so every post-swap request computes a new key and
+// misses — stale entries are never served and never need an explicit flush;
+// the LRU simply ages them out.
+//
+// Two result classes are deliberately not cached:
+//
+//   - errors (cancellation, operator failures): they describe one request's
+//     fate, not the question's answer, and must not poison later requests;
+//   - traced requests are expected to bypass the cache entirely (the caller
+//     checks, since the trace hook rides on its context): a per-operator
+//     timing hook observes an actual pipeline run, and a cache hit runs no
+//     operators.
+//
+// Records whose final SQL failed ARE cached: generation is deterministic
+// for a fixed knowledge version, so the same question reproduces the same
+// failure — re-running the pipeline to rediscover it is pure waste.
+package gencache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+
+	"genedit/internal/generr"
+	"genedit/internal/pipeline"
+	"genedit/internal/task"
+)
+
+// Cache is the versioned generation cache. It is safe for concurrent use.
+// Cached *pipeline.Record values are shared across all callers and must be
+// treated as read-only (the serving layer already documents Records as
+// immutable traces).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *entry
+	items   map[string]*list.Element
+	flights map[string]*flight
+
+	hits      uint64 // LRU lookups that found a completed record
+	misses    uint64 // lookups that started a new generation (flight leaders)
+	coalesced uint64 // lookups that joined an in-flight generation
+}
+
+type entry struct {
+	key string
+	rec *pipeline.Record
+}
+
+// flight is one in-progress generation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	rec  *pipeline.Record
+	err  error
+}
+
+// New returns a cache bounded to capacity records. Capacity must be
+// positive — the serving layer represents "cache disabled" as a nil *Cache,
+// not a zero-capacity one.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		panic("gencache: capacity must be positive")
+	}
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		items:   make(map[string]*list.Element, capacity),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Key builds the cache key for one request. The question is normalized
+// (lower-cased, whitespace runs collapsed) so trivially re-spelled duplicates
+// of a hot question share an entry; evidence is taken verbatim. Components
+// are length-prefixed so no spelling of one tuple can alias another.
+func Key(database string, version int, question, evidence string) string {
+	q := NormalizeQuestion(question)
+	var b strings.Builder
+	b.Grow(len(database) + len(q) + len(evidence) + 24)
+	writePart := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte('|')
+		b.WriteString(s)
+	}
+	writePart(database)
+	writePart(strconv.Itoa(version))
+	writePart(q)
+	writePart(evidence)
+	return b.String()
+}
+
+// NormalizeQuestion lower-cases a question and collapses runs of whitespace
+// to single spaces (leading/trailing runs dropped). Two questions with the
+// same normal form are served the same cached record.
+//
+// This is deliberately task.QuestionKey: the simulated model resolves
+// questions through the registry at exactly that granularity, so the cache
+// key can never be coarser than the model's own question resolution. Making
+// this function coarser than QuestionKey (e.g. stripping punctuation) would
+// let two questions with different registered answers share one entry.
+func NormalizeQuestion(q string) string {
+	return task.QuestionKey(q)
+}
+
+// Do returns the cached record for key, joins an in-flight generation for
+// it, or — as the flight leader — runs generate and publishes the result.
+// The cached bool reports whether the record came from the cache or a
+// shared flight rather than this caller's own generate run.
+//
+// Error contract: a leader's error is returned to the leader and to every
+// waiter that joined its flight, and nothing is cached. The exception is a
+// leader canceled by its own context: waiters whose contexts are still live
+// retry (one becomes the next leader) instead of inheriting a cancellation
+// that was never theirs. A waiter whose own ctx expires stops waiting and
+// returns its cancellation; the flight keeps running for the others.
+func (c *Cache) Do(ctx context.Context, key string, generate func() (*pipeline.Record, error)) (*pipeline.Record, bool, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.hits++
+			c.order.MoveToFront(el)
+			rec := el.Value.(*entry).rec
+			c.mu.Unlock()
+			return rec, true, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil {
+					if errors.Is(f.err, generr.ErrCanceled) && ctx.Err() == nil {
+						// Leader was canceled, we were not: retry (possibly
+						// becoming the next leader). The retry iteration will
+						// count this request again, so take back the
+						// coalesced increment — each request contributes
+						// exactly one counter tick.
+						c.mu.Lock()
+						c.coalesced--
+						c.mu.Unlock()
+						continue
+					}
+					return nil, false, f.err
+				}
+				return f.rec, true, nil
+			case <-ctx.Done():
+				return nil, false, generr.Canceled(ctx.Err())
+			}
+		}
+		c.misses++
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+
+		// The flight must resolve even if generate panics (e.g. recovered
+		// by an http handler above us): publish whatever state we have and
+		// wake the waiters, then let the panic continue.
+		completed := false
+		defer func() {
+			if !completed {
+				if f.err == nil && f.rec == nil {
+					f.err = errors.New("gencache: generation panicked")
+				}
+				c.finishFlight(key, f)
+			}
+		}()
+		f.rec, f.err = generate()
+		completed = true
+		c.finishFlight(key, f)
+		return f.rec, false, f.err
+	}
+}
+
+// finishFlight retires a flight, caching successful records, and wakes its
+// waiters.
+func (c *Cache) finishFlight(key string, f *flight) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil && f.rec != nil {
+		c.insertLocked(key, f.rec)
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// insertLocked adds (or refreshes) one completed record under c.mu.
+func (c *Cache) insertLocked(key string, rec *pipeline.Record) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).rec = rec
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry{key: key, rec: rec})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts requests served straight from the LRU.
+	Hits uint64 `json:"hits"`
+	// Misses counts requests that ran a generation (flight leaders).
+	Misses uint64 `json:"misses"`
+	// Coalesced counts requests that joined another request's in-flight
+	// generation instead of running their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Entries and Capacity describe the LRU's current fill and bound.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// Stats reports the cache's counters. Safe to call concurrently with Do.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Entries:   c.order.Len(),
+		Capacity:  c.cap,
+	}
+}

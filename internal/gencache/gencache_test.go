@@ -1,0 +1,308 @@
+package gencache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"genedit/internal/generr"
+	"genedit/internal/pipeline"
+)
+
+func record(sql string) *pipeline.Record {
+	return &pipeline.Record{FinalSQL: sql, OK: true}
+}
+
+func TestKeyComponentsDoNotAlias(t *testing.T) {
+	// Distinct tuples must produce distinct keys however the components are
+	// spelled around the separators.
+	keys := map[string]string{}
+	add := func(db string, ver int, q, ev string) {
+		k := Key(db, ver, q, ev)
+		id := fmt.Sprintf("(%q,%d,%q,%q)", db, ver, q, ev)
+		if prev, ok := keys[k]; ok {
+			t.Errorf("key collision: %s and %s -> %q", prev, id, k)
+		}
+		keys[k] = id
+	}
+	add("db", 1, "q", "")
+	add("db", 1, "", "q")
+	add("db1", 1, "q", "")
+	add("db", 11, "q", "")
+	add("db", 1, "q 1", "")
+	add("d", 1, "bq", "")
+	add("db", 1, "q", "e")
+	add("db", 1, "q e", "")
+}
+
+func TestKeyNormalizesQuestion(t *testing.T) {
+	a := Key("db", 3, "  Top   5 ORGS\tby revenue ", "ev")
+	b := Key("db", 3, "top 5 orgs by revenue", "ev")
+	if a != b {
+		t.Errorf("normalized questions should share a key:\n%q\n%q", a, b)
+	}
+	if Key("db", 3, "top 5 orgs", "ev") == Key("db", 4, "top 5 orgs", "ev") {
+		t.Error("different knowledge versions must not share a key")
+	}
+}
+
+func TestDoCachesAndHits(t *testing.T) {
+	c := New(8)
+	calls := 0
+	gen := func() (*pipeline.Record, error) {
+		calls++
+		return record("SELECT 1"), nil
+	}
+	ctx := context.Background()
+	rec1, cached, err := c.Do(ctx, "k", gen)
+	if err != nil || cached || calls != 1 {
+		t.Fatalf("first Do: rec=%v cached=%v err=%v calls=%d", rec1, cached, err, calls)
+	}
+	rec2, cached, err := c.Do(ctx, "k", gen)
+	if err != nil || !cached || calls != 1 {
+		t.Fatalf("second Do: cached=%v err=%v calls=%d", cached, err, calls)
+	}
+	if rec1 != rec2 {
+		t.Error("cache hit must return the identical shared record")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 || st.Entries != 1 || st.Capacity != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDoDoesNotCacheErrors(t *testing.T) {
+	c := New(8)
+	calls := 0
+	boom := errors.New("boom")
+	gen := func() (*pipeline.Record, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return record("ok"), nil
+	}
+	ctx := context.Background()
+	if _, _, err := c.Do(ctx, "k", gen); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("error result was cached: %+v", st)
+	}
+	rec, cached, err := c.Do(ctx, "k", gen)
+	if err != nil || cached || rec.FinalSQL != "ok" || calls != 2 {
+		t.Fatalf("retry after error: rec=%v cached=%v err=%v calls=%d", rec, cached, err, calls)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	ctx := context.Background()
+	gen := func(sql string) func() (*pipeline.Record, error) {
+		return func() (*pipeline.Record, error) { return record(sql), nil }
+	}
+	c.Do(ctx, "a", gen("a"))
+	c.Do(ctx, "b", gen("b"))
+	c.Do(ctx, "a", gen("a")) // refresh a
+	c.Do(ctx, "c", gen("c")) // evicts b
+	if _, cached, _ := c.Do(ctx, "a", gen("a2")); !cached {
+		t.Error("a should have survived (recently used)")
+	}
+	if rec, cached, _ := c.Do(ctx, "b", gen("b2")); cached || rec.FinalSQL != "b2" {
+		t.Errorf("b should have been evicted; cached=%v rec=%v", cached, rec)
+	}
+}
+
+func TestCoalescingSharesOneGeneration(t *testing.T) {
+	c := New(8)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	gen := func() (*pipeline.Record, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return record("shared"), nil
+	}
+	ctx := context.Background()
+
+	leaderDone := make(chan *pipeline.Record, 1)
+	go func() {
+		rec, _, _ := c.Do(ctx, "k", gen)
+		leaderDone <- rec
+	}()
+	<-started
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	recs := make([]*pipeline.Record, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, cached, err := c.Do(ctx, "k", func() (*pipeline.Record, error) {
+				t.Error("waiter ran its own generation")
+				return nil, errors.New("unreachable")
+			})
+			if err != nil || !cached {
+				t.Errorf("waiter %d: cached=%v err=%v", i, cached, err)
+			}
+			recs[i] = rec
+		}(i)
+	}
+	// Give the waiters time to join the flight before releasing the leader.
+	for {
+		if st := c.Stats(); st.Coalesced == waiters {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	leader := <-leaderDone
+
+	if calls.Load() != 1 {
+		t.Fatalf("generation ran %d times, want 1", calls.Load())
+	}
+	for i, rec := range recs {
+		if rec != leader {
+			t.Errorf("waiter %d got a different record than the leader", i)
+		}
+	}
+	st := c.Stats()
+	if st.Coalesced != waiters || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWaiterCancellationLeavesFlightRunning(t *testing.T) {
+	c := New(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	gen := func() (*pipeline.Record, error) {
+		close(started)
+		<-release
+		return record("late"), nil
+	}
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.Do(context.Background(), "k", gen)
+	}()
+	<-started
+
+	wctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(wctx, "k", nil) // nil generate: must never run
+		waiterErr <- err
+	}()
+	for {
+		if st := c.Stats(); st.Coalesced == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, generr.ErrCanceled) {
+		t.Fatalf("canceled waiter err = %v, want ErrCanceled", err)
+	}
+	close(release)
+	<-leaderDone
+	// The flight still completed and cached its record.
+	rec, cached, err := c.Do(context.Background(), "k", nil)
+	if err != nil || !cached || rec.FinalSQL != "late" {
+		t.Fatalf("flight result lost: rec=%v cached=%v err=%v", rec, cached, err)
+	}
+}
+
+func TestCanceledLeaderDoesNotPoisonWaiters(t *testing.T) {
+	c := New(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderGen := func() (*pipeline.Record, error) {
+		close(started)
+		<-release
+		return nil, generr.Canceled(context.Canceled)
+	}
+	go c.Do(context.Background(), "k", leaderGen)
+	<-started
+
+	waiterDone := make(chan *pipeline.Record, 1)
+	go func() {
+		rec, _, err := c.Do(context.Background(), "k", func() (*pipeline.Record, error) {
+			return record("retried"), nil
+		})
+		if err != nil {
+			t.Errorf("waiter err = %v", err)
+		}
+		waiterDone <- rec
+	}()
+	for {
+		if st := c.Stats(); st.Coalesced >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	// The waiter must retry (becoming the new leader) rather than inherit
+	// the leader's cancellation.
+	if rec := <-waiterDone; rec == nil || rec.FinalSQL != "retried" {
+		t.Fatalf("waiter record = %v, want retried generation", rec)
+	}
+}
+
+func TestDoConcurrentMixedKeys(t *testing.T) {
+	c := New(64)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				rec, _, err := c.Do(context.Background(), key, func() (*pipeline.Record, error) {
+					calls.Add(1)
+					return record("sql-" + key), nil
+				})
+				if err != nil || rec.FinalSQL != "sql-"+key {
+					t.Errorf("worker %d: rec=%v err=%v", w, rec, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// 16 distinct keys: at most a few generations each under heavy reuse.
+	if n := calls.Load(); n < 16 || n > 64 {
+		t.Errorf("generation calls = %d, want close to 16", n)
+	}
+	st := c.Stats()
+	if st.Hits+st.Coalesced+st.Misses != 8*200 {
+		t.Errorf("counter sum %d != request count %d (%+v)", st.Hits+st.Coalesced+st.Misses, 8*200, st)
+	}
+}
+
+func TestNormalizeQuestion(t *testing.T) {
+	cases := map[string]string{
+		"  Top   5  ":        "top 5",
+		"A\tB\nC":            "a b c",
+		"":                   "",
+		"   ":                "",
+		"already normalized": "already normalized",
+	}
+	for in, want := range cases {
+		if got := NormalizeQuestion(in); got != want {
+			t.Errorf("NormalizeQuestion(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.Contains(Key("db", 1, "A  B", ""), "a b") {
+		t.Error("key should embed the normalized question")
+	}
+}

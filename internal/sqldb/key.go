@@ -23,13 +23,21 @@ func AppendValueKey(dst []byte, v Value) []byte {
 	return AppendLengthPrefixed(dst, v.Key())
 }
 
+// AppendCompositeKey appends the row's composite grouping key to dst and
+// returns the extended buffer. This is the allocation-free variant of
+// CompositeKey for hot loops that hash many rows: callers reuse one scratch
+// buffer (typically from a sync.Pool) across rows instead of materializing a
+// fresh byte slice per row.
+func AppendCompositeKey(dst []byte, row Row) []byte {
+	for _, v := range row {
+		dst = AppendValueKey(dst, v)
+	}
+	return dst
+}
+
 // CompositeKey returns the concatenated length-prefixed grouping keys of the
 // row's values: two rows share a composite key iff they are pairwise Key()
 // equal, regardless of delimiter bytes inside string values.
 func CompositeKey(row Row) string {
-	var dst []byte
-	for _, v := range row {
-		dst = AppendValueKey(dst, v)
-	}
-	return string(dst)
+	return string(AppendCompositeKey(nil, row))
 }

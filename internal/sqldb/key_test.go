@@ -37,3 +37,26 @@ func TestAppendLengthPrefixed(t *testing.T) {
 		t.Errorf("encoding = %q, want %q", got, "2|ab0|")
 	}
 }
+
+func TestAppendCompositeKeyMatchesCompositeKey(t *testing.T) {
+	rows := []Row{
+		nil,
+		{},
+		{Str("a\x1f"), Str("b")},
+		{Int(12), Str("3"), Null(), Bool(false)},
+		{Float(3.5), Str("")},
+	}
+	buf := make([]byte, 0, 64)
+	for _, r := range rows {
+		buf = buf[:0]
+		buf = AppendCompositeKey(buf, r)
+		if string(buf) != CompositeKey(r) {
+			t.Errorf("AppendCompositeKey(%v) = %q, want %q", r, buf, CompositeKey(r))
+		}
+	}
+	// Appending extends dst rather than replacing it.
+	pre := AppendCompositeKey([]byte("x"), Row{Str("a")})
+	if string(pre) != "x"+CompositeKey(Row{Str("a")}) {
+		t.Errorf("AppendCompositeKey did not extend dst: %q", pre)
+	}
+}

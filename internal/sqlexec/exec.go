@@ -501,20 +501,33 @@ func rowKey(row sqldb.Row) string {
 	return sqldb.CompositeKey(row)
 }
 
-// combine applies a compound set operation.
+// combine applies a compound set operation. The hashing arms share one
+// pooled scratch buffer for composite keys (only the interned map-key
+// strings escape).
 func combine(op sqlparse.CompoundOp, a, b *Result) (*Result, error) {
 	if len(a.Columns) != len(b.Columns) {
 		return nil, execErrf("compound select arms have %d and %d columns", len(a.Columns), len(b.Columns))
 	}
-	switch op {
-	case sqlparse.UnionAllOp:
+	if op == sqlparse.UnionAllOp {
 		return &Result{Columns: a.Columns, Rows: append(append([]sqldb.Row{}, a.Rows...), b.Rows...)}, nil
+	}
+	kbp := getKeyBuf()
+	kb := *kbp
+	key := func(r sqldb.Row) string {
+		kb = sqldb.AppendCompositeKey(kb[:0], r)
+		return string(kb)
+	}
+	defer func() {
+		*kbp = kb
+		putKeyBuf(kbp)
+	}()
+	switch op {
 	case sqlparse.UnionOp:
 		seen := make(map[string]bool)
 		out := &Result{Columns: a.Columns}
 		for _, rows := range [][]sqldb.Row{a.Rows, b.Rows} {
 			for _, r := range rows {
-				k := rowKey(r)
+				k := key(r)
 				if !seen[k] {
 					seen[k] = true
 					out.Rows = append(out.Rows, r)
@@ -525,12 +538,12 @@ func combine(op sqlparse.CompoundOp, a, b *Result) (*Result, error) {
 	case sqlparse.ExceptOp:
 		drop := make(map[string]bool)
 		for _, r := range b.Rows {
-			drop[rowKey(r)] = true
+			drop[key(r)] = true
 		}
 		seen := make(map[string]bool)
 		out := &Result{Columns: a.Columns}
 		for _, r := range a.Rows {
-			k := rowKey(r)
+			k := key(r)
 			if !drop[k] && !seen[k] {
 				seen[k] = true
 				out.Rows = append(out.Rows, r)
@@ -540,12 +553,12 @@ func combine(op sqlparse.CompoundOp, a, b *Result) (*Result, error) {
 	case sqlparse.IntersectOp:
 		keep := make(map[string]bool)
 		for _, r := range b.Rows {
-			keep[rowKey(r)] = true
+			keep[key(r)] = true
 		}
 		seen := make(map[string]bool)
 		out := &Result{Columns: a.Columns}
 		for _, r := range a.Rows {
-			k := rowKey(r)
+			k := key(r)
 			if keep[k] && !seen[k] {
 				seen[k] = true
 				out.Rows = append(out.Rows, r)

@@ -211,9 +211,13 @@ func (e *Executor) joinKeys(rows []sqldb.Row, cols []bindCol, exprs []sqlparse.E
 	keys = make([][]sqldb.Value, len(rows))
 	classes = make([]int, len(exprs))
 	env := &rowEnv{exec: e, sc: sc, cols: cols, outer: outer}
+	// One backing array feeds every row's key slots: n·width slots in a
+	// single allocation instead of one per row. Slots of NULL-keyed rows go
+	// unused, which costs nothing.
+	backing := make([]sqldb.Value, len(rows)*len(exprs))
 	for i, row := range rows {
 		env.row = row
-		vals := make([]sqldb.Value, len(exprs))
+		vals := backing[i*len(exprs) : (i+1)*len(exprs) : (i+1)*len(exprs)]
 		rowNull := false
 		for j, ex := range exprs {
 			v, err := evalExpr(ex, env)
@@ -280,9 +284,16 @@ func (e *Executor) hashJoin(j *sqlparse.JoinExpr, left, right relation, cols []b
 	// Length-prefixed encoding (sqldb.AppendLengthPrefixed): a bare
 	// delimiter would let key components containing the delimiter byte alias
 	// across columns ("a\x1f"+"b" vs "a"+"\x1fb") and fabricate matches the
-	// nested loop never produces.
+	// nested loop never produces. One pooled scratch buffer serves every
+	// build and probe key; only the interned string escapes.
+	kbp := getKeyBuf()
+	kb := *kbp
+	defer func() {
+		*kbp = kb
+		putKeyBuf(kbp)
+	}()
 	bucketKey := func(vals []sqldb.Value) string {
-		var kb []byte
+		kb = kb[:0]
 		for i, v := range vals {
 			kb = sqldb.AppendLengthPrefixed(kb, canonicalKey(v, classes[i]))
 		}

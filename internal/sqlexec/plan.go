@@ -591,9 +591,17 @@ func (e *Executor) runCore(cp *corePlan, sc *scope) (*Result, error) {
 		rel.rows = kept
 	}
 
+	// Output rows are carved out of slab chunks: they escape into the
+	// Result, so they are never pooled, but chunking cuts the two
+	// allocations per projected row down to a few per query. projected
+	// counts projection calls so the survivors can be compacted off the
+	// slab when DISTINCT/top-N discard most of them (see below).
+	var slab rowSlab
 	var outs []projRow
+	projected := 0
 	project := func() error {
-		row := make(sqldb.Row, len(cp.projs))
+		projected++
+		row := slab.take(len(cp.projs))
 		for i, p := range cp.projs {
 			v, err := p(env)
 			if err != nil {
@@ -601,7 +609,7 @@ func (e *Executor) runCore(cp *corePlan, sc *scope) (*Result, error) {
 			}
 			row[i] = v
 		}
-		keys := make(sqldb.Row, len(cp.orderBy))
+		keys := slab.take(len(cp.orderBy))
 		for i := range cp.orderBy {
 			if cp.orderIdx[i] >= 0 {
 				keys[i] = row[cp.orderIdx[i]]
@@ -672,13 +680,17 @@ func (e *Executor) runCore(cp *corePlan, sc *scope) (*Result, error) {
 	if cp.distinct {
 		seen := make(map[string]bool, len(outs))
 		dedup := outs[:0:0]
+		kbp := getKeyBuf()
+		kb := *kbp
 		for _, o := range outs {
-			k := sqldb.CompositeKey(o.row)
-			if !seen[k] {
+			kb = sqldb.AppendCompositeKey(kb[:0], o.row)
+			if k := string(kb); !seen[k] {
 				seen[k] = true
 				dedup = append(dedup, o)
 			}
 		}
+		*kbp = kb
+		putKeyBuf(kbp)
 		outs = dedup
 	}
 
@@ -696,7 +708,34 @@ func (e *Executor) runCore(cp *corePlan, sc *scope) (*Result, error) {
 	for _, o := range outs {
 		res.Rows = append(res.Rows, o.row)
 	}
-	return applyFolded(res, cp.limit, cp.offset)
+	res, err = applyFolded(res, cp.limit, cp.offset)
+	if err != nil {
+		return nil, err
+	}
+	compactResultRows(res, projected, len(cp.projs))
+	return res, nil
+}
+
+// compactResultRows copies a small surviving row set into fresh backing
+// storage when DISTINCT, top-N or LIMIT/OFFSET discarded most of the
+// projected rows. It runs after the final truncation so it sees the true
+// survivor count. Without it a handful of retained rows would pin every
+// mostly-dead rowSlab chunk they were carved from — plus the full
+// row-header array the LIMIT/OFFSET reslice still references — for as long
+// as the Result lives (which, through the generation cache, can be a long
+// time).
+func compactResultRows(res *Result, projected, width int) {
+	if width <= 0 || len(res.Rows) == 0 || projected <= 4*len(res.Rows) {
+		return
+	}
+	backing := make([]sqldb.Value, len(res.Rows)*width)
+	rows := make([]sqldb.Row, len(res.Rows))
+	for i, r := range res.Rows {
+		row := backing[i*width : (i+1)*width : (i+1)*width]
+		copy(row, r)
+		rows[i] = row
+	}
+	res.Rows = rows
 }
 
 // runGroupBy partitions the relation by the compiled GROUP BY programs
@@ -707,13 +746,16 @@ func (e *Executor) runGroupBy(cp *corePlan, rel relation, env *rowEnv) ([][]sqld
 	}
 	var order []string
 	groups := make(map[string][]sqldb.Row)
-	var kb []byte
+	kbp := getKeyBuf()
+	kb := *kbp
 	for _, row := range rel.rows {
 		env.row = row
 		kb = kb[:0]
 		for _, p := range cp.groupBy {
 			v, err := p(env)
 			if err != nil {
+				*kbp = kb
+				putKeyBuf(kbp)
 				return nil, err
 			}
 			kb = sqldb.AppendValueKey(kb, v)
@@ -724,6 +766,8 @@ func (e *Executor) runGroupBy(cp *corePlan, rel relation, env *rowEnv) ([][]sqld
 		}
 		groups[key] = append(groups[key], row)
 	}
+	*kbp = kb
+	putKeyBuf(kbp)
 	out := make([][]sqldb.Row, 0, len(order))
 	for _, key := range order {
 		out = append(out, groups[key])

@@ -1,0 +1,84 @@
+package sqlexec
+
+import (
+	"sync"
+
+	"genedit/internal/sqldb"
+)
+
+// Allocation pooling for the executor hot path. Two reuse strategies:
+//
+//   - keyBufPool recycles the scratch byte buffers that composite-key
+//     hashing sites (hash-join buckets, DISTINCT, GROUP BY, compound set
+//     ops) fill and immediately convert to a map-key string. The buffer
+//     itself never escapes — only the interned string does — so pooling is
+//     safe and removes one grow-to-size allocation per hashing site per
+//     query.
+//   - rowSlab chunk-allocates the value slots of projected output rows.
+//     Rows DO escape (into Results and, through the generation cache, into
+//     long-lived Records), so they are never pooled or reused — the slab
+//     only amortizes allocation count by carving many rows out of one
+//     backing array. A slab is per-query-scope state, never shared across
+//     goroutines.
+//
+// Pooling rule of thumb, enforced by this split: scratch that dies inside
+// one Query call may be pooled; anything reachable from a Result must come
+// from ordinary (or slab) allocation.
+
+// keyBufPool holds *[]byte scratch buffers for composite-key construction.
+var keyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+func getKeyBuf() *[]byte { return keyBufPool.Get().(*[]byte) }
+
+func putKeyBuf(b *[]byte) {
+	// Oversized buffers (a query with huge string keys) are dropped rather
+	// than pinned in the pool forever.
+	if cap(*b) > 1<<16 {
+		return
+	}
+	*b = (*b)[:0]
+	keyBufPool.Put(b)
+}
+
+// Slab chunk sizing: chunks start small (a narrow query with a handful of
+// output rows should not pin a big backing array) and double per refill, so
+// a large scan converges on one allocation per rowSlabChunkMax slots.
+const (
+	rowSlabChunkMin = 64
+	rowSlabChunkMax = 4096
+)
+
+// rowSlab carves fixed-width rows out of chunked backing arrays. take
+// returns a full-length, full-capacity slice (three-index sliced) so an
+// accidental append can never bleed into a neighboring row.
+type rowSlab struct {
+	buf   []sqldb.Value
+	chunk int
+}
+
+func (s *rowSlab) take(n int) sqldb.Row {
+	if n <= 0 {
+		return sqldb.Row{}
+	}
+	if len(s.buf) < n {
+		switch {
+		case s.chunk == 0:
+			s.chunk = rowSlabChunkMin
+		case s.chunk < rowSlabChunkMax:
+			s.chunk *= 2
+		}
+		size := s.chunk
+		if n > size {
+			size = n
+		}
+		s.buf = make([]sqldb.Value, size)
+	}
+	r := s.buf[:n:n]
+	s.buf = s.buf[n:]
+	return sqldb.Row(r)
+}

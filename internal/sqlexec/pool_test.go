@@ -1,0 +1,56 @@
+package sqlexec
+
+import (
+	"testing"
+
+	"genedit/internal/sqldb"
+)
+
+func TestRowSlabRowsDoNotOverlap(t *testing.T) {
+	var s rowSlab
+	var rows []sqldb.Row
+	widths := []int{3, 1, 7, 3, 0, 200, 3, 5000}
+	for _, w := range widths {
+		r := s.take(w)
+		if len(r) != w || cap(r) != w && w > 0 {
+			t.Fatalf("take(%d): len=%d cap=%d", w, len(r), cap(r))
+		}
+		for i := range r {
+			r[i] = sqldb.Int(int64(len(rows)*10000 + i))
+		}
+		rows = append(rows, r)
+	}
+	// Writing each row must not have disturbed any other row.
+	for ri, r := range rows {
+		for i, v := range r {
+			if n, _ := v.AsInt(); int(n) != ri*10000+i {
+				t.Fatalf("row %d slot %d = %d, want %d (rows share backing memory)", ri, i, n, ri*10000+i)
+			}
+		}
+	}
+}
+
+func TestRowSlabChunkGrowth(t *testing.T) {
+	var s rowSlab
+	s.take(1)
+	if s.chunk != rowSlabChunkMin {
+		t.Fatalf("first chunk = %d, want %d", s.chunk, rowSlabChunkMin)
+	}
+	for i := 0; i < 20; i++ {
+		s.take(rowSlabChunkMax)
+	}
+	if s.chunk != rowSlabChunkMax {
+		t.Fatalf("chunk after heavy use = %d, want capped at %d", s.chunk, rowSlabChunkMax)
+	}
+}
+
+func TestKeyBufPoolDropsOversized(t *testing.T) {
+	b := getKeyBuf()
+	*b = append((*b)[:0], make([]byte, 1<<17)...)
+	putKeyBuf(b) // must be dropped, not pooled
+	n := getKeyBuf()
+	if cap(*n) > 1<<16 {
+		t.Fatalf("oversized buffer returned to pool (cap %d)", cap(*n))
+	}
+	putKeyBuf(n)
+}

@@ -2,7 +2,9 @@ package sqlexec
 
 import (
 	"container/list"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"genedit/internal/sqlparse"
 )
@@ -13,12 +15,37 @@ import (
 // ones, so a few hundred entries cover the hot set.
 const DefaultStatementCacheSize = 512
 
-// stmtCache is a concurrency-safe LRU of parsed statements and their
+// Shard layout. A single mutex-guarded LRU serializes every concurrent
+// Query on one lock — under the parallel serving path that lock, not the
+// work, becomes the bottleneck. The cache is therefore striped into up to
+// maxStmtCacheShards independent shards (FNV-1a on the SQL text selects the
+// shard), each an exact LRU with its own mutex. Small capacities collapse to
+// fewer shards (minStmtShardCap entries per shard at least), so a tightly
+// bounded cache keeps exact global LRU behavior instead of starving shards
+// with a zero or one-entry budget.
+const (
+	maxStmtCacheShards = 16
+	minStmtShardCap    = 32
+)
+
+// stmtCache is a concurrency-safe sharded LRU of parsed statements and their
 // compiled plans, keyed by the raw SQL text. Cached ASTs and plans are
 // shared across executions; evaluation never mutates a parsed statement and
 // compiled programs are stateless closures, so reuse is safe (including
-// from concurrent eval workers).
+// from concurrent eval workers). Hot-path operations (get/put/setPlan) take
+// only the owning shard's lock; a global atomic clock stamps each use so
+// resizing can preserve the most recently used entries across a shard-count
+// change.
 type stmtCache struct {
+	clock  atomic.Uint64 // global recency stamps for MRU-preserving resize
+	cap    int           // total entry bound across shards
+	shards []stmtShard
+}
+
+// stmtShard is one lock stripe. The trailing pad keeps adjacent shards'
+// mutexes and counters out of one cache line, so contended shards do not
+// false-share.
+type stmtShard struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used; element values are *stmtEntry
@@ -26,54 +53,114 @@ type stmtCache struct {
 
 	hits   uint64
 	misses uint64
+	_      [64]byte
 }
 
 type stmtEntry struct {
-	sql  string
-	stmt *sqlparse.SelectStmt
-	plan *stmtPlan // nil until first compiled execution
+	sql     string
+	stmt    *sqlparse.SelectStmt
+	plan    *stmtPlan // nil until first compiled execution
+	lastUse uint64    // global clock stamp of the most recent get/put
+}
+
+// stmtShardCount picks how many stripes a capacity supports: one per
+// minStmtShardCap entries, capped at maxStmtCacheShards and floored at one.
+// The default 512 yields 16 shards of 32 entries each.
+func stmtShardCount(capacity int) int {
+	n := capacity / minStmtShardCap
+	if n < 1 {
+		n = 1
+	}
+	if n > maxStmtCacheShards {
+		n = maxStmtCacheShards
+	}
+	return n
+}
+
+// newStmtShards builds the stripe array for a total capacity, distributing
+// the entry budget as evenly as possible (earlier shards absorb the
+// remainder).
+func newStmtShards(capacity int) []stmtShard {
+	n := stmtShardCount(capacity)
+	shards := make([]stmtShard, n)
+	base, rem := capacity/n, capacity%n
+	for i := range shards {
+		shards[i].cap = base
+		if i < rem {
+			shards[i].cap++
+		}
+		shards[i].order = list.New()
+		shards[i].items = make(map[string]*list.Element, shards[i].cap)
+	}
+	return shards
 }
 
 func newStmtCache(capacity int) *stmtCache {
 	if capacity <= 0 {
 		capacity = DefaultStatementCacheSize
 	}
-	return &stmtCache{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[string]*list.Element, capacity),
+	return &stmtCache{cap: capacity, shards: newStmtShards(capacity)}
+}
+
+// FNV-1a over the SQL text selects the shard; the same constants as
+// hash/fnv's New64a.
+const (
+	stmtFNVOffset uint64 = 14695981039346656037
+	stmtFNVPrime  uint64 = 1099511628211
+)
+
+func (c *stmtCache) shardFor(sql string) *stmtShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
 	}
+	h := stmtFNVOffset
+	for i := 0; i < len(sql); i++ {
+		h ^= uint64(sql[i])
+		h *= stmtFNVPrime
+	}
+	return &c.shards[h%uint64(len(c.shards))]
 }
 
 func (c *stmtCache) get(sql string) (*sqlparse.SelectStmt, *stmtPlan, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[sql]
+	sh := c.shardFor(sql)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[sql]
 	if !ok {
-		c.misses++
+		sh.misses++
 		return nil, nil, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
+	sh.hits++
+	sh.order.MoveToFront(el)
 	ent := el.Value.(*stmtEntry)
+	ent.lastUse = c.clock.Add(1)
 	return ent.stmt, ent.plan, true
 }
 
 func (c *stmtCache) put(sql string, stmt *sqlparse.SelectStmt, plan *stmtPlan) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[sql]; ok {
+	sh := c.shardFor(sql)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[sql]; ok {
 		ent := el.Value.(*stmtEntry)
 		ent.stmt = stmt
 		ent.plan = plan
-		c.order.MoveToFront(el)
+		ent.lastUse = c.clock.Add(1)
+		sh.order.MoveToFront(el)
 		return
 	}
-	c.items[sql] = c.order.PushFront(&stmtEntry{sql: sql, stmt: stmt, plan: plan})
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*stmtEntry).sql)
+	ent := &stmtEntry{sql: sql, stmt: stmt, plan: plan, lastUse: c.clock.Add(1)}
+	sh.items[sql] = sh.order.PushFront(ent)
+	sh.evictOverCap()
+}
+
+// evictOverCap drops least-recently-used entries until the shard fits its
+// budget. Callers hold sh.mu.
+func (sh *stmtShard) evictOverCap() {
+	for sh.order.Len() > sh.cap {
+		oldest := sh.order.Back()
+		sh.order.Remove(oldest)
+		delete(sh.items, oldest.Value.(*stmtEntry).sql)
 	}
 }
 
@@ -81,41 +168,84 @@ func (c *stmtCache) put(sql string, stmt *sqlparse.SelectStmt, plan *stmtPlan) {
 // before compiled execution was enabled, or by a concurrent miss). It does
 // not count as a use, and is a no-op if the entry has been evicted.
 func (c *stmtCache) setPlan(sql string, plan *stmtPlan) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[sql]; ok {
+	sh := c.shardFor(sql)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[sql]; ok {
 		el.Value.(*stmtEntry).plan = plan
 	}
 }
 
 func (c *stmtCache) stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return hits, misses
 }
 
-// setCapacity rebounds the LRU, evicting least-recently-used entries when
-// shrinking. Hit/miss counters are preserved.
+// entries reports the total number of cached statements across shards.
+func (c *stmtCache) entries() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// setCapacity rebounds the sharded LRU, preserving the most recently used
+// entries when shrinking: every entry is redistributed into the new shard
+// layout in most-recent-first order (the per-entry clock stamps give a
+// total recency order across shards), each landing at the back of its new
+// shard, and once a shard's budget fills, older entries bound for it are
+// dropped. Within each new shard exactly its most recent entries survive;
+// when the new layout is a single shard (any capacity below
+// 2*minStmtShardCap, which covers every tightly bounded configuration)
+// that is exactly the global MRU set. Across multiple new shards the kept
+// set is per-shard MRU — a hash-skewed working set may retain a slightly
+// colder entry in an underfull shard over a hotter one in a full shard.
+// Hit/miss counters are preserved. Like the executor's other configuration
+// knobs it is not synchronized against concurrent Query calls — size the
+// cache before sharing the executor.
 func (c *stmtCache) setCapacity(capacity int) {
 	if capacity <= 0 {
 		capacity = DefaultStatementCacheSize
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if capacity == c.cap {
+		return
+	}
+	var all []*stmtEntry
+	var hits, misses uint64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		hits += sh.hits
+		misses += sh.misses
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			all = append(all, el.Value.(*stmtEntry))
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].lastUse > all[j].lastUse })
 	c.cap = capacity
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*stmtEntry).sql)
+	c.shards = newStmtShards(capacity)
+	c.shards[0].hits = hits
+	c.shards[0].misses = misses
+	for _, ent := range all {
+		sh := c.shardFor(ent.sql)
+		if sh.order.Len() >= sh.cap {
+			continue
+		}
+		sh.items[ent.sql] = sh.order.PushBack(ent)
 	}
 }
 
-// capacity returns the current LRU bound.
-func (c *stmtCache) capacity() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cap
-}
+// capacity returns the current total LRU bound.
+func (c *stmtCache) capacity() int { return c.cap }
 
 // SetStatementCaching enables or disables the executor's parsed-statement
 // cache. Caching is on by default; disabling exists for benchmarks and for

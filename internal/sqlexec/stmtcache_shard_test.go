@@ -1,0 +1,171 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"genedit/internal/sqldb"
+)
+
+func TestStmtShardCount(t *testing.T) {
+	cases := []struct{ cap, want int }{
+		{1, 1}, {4, 1}, {31, 1}, {32, 1}, {63, 1}, {64, 2},
+		{128, 4}, {512, 16}, {10000, 16},
+	}
+	for _, c := range cases {
+		if got := stmtShardCount(c.cap); got != c.want {
+			t.Errorf("stmtShardCount(%d) = %d, want %d", c.cap, got, c.want)
+		}
+	}
+}
+
+func TestStmtCacheShardBudgetsSumToCapacity(t *testing.T) {
+	for _, capacity := range []int{1, 5, 32, 100, 512, 513, 1000} {
+		shards := newStmtShards(capacity)
+		total := 0
+		for i := range shards {
+			total += shards[i].cap
+		}
+		if total != capacity {
+			t.Errorf("capacity %d: shard budgets sum to %d", capacity, total)
+		}
+	}
+}
+
+// TestStmtCacheDefaultIsSharded pins the serving-deployment layout: the
+// default 512-entry cache stripes across 16 shards so concurrent Query calls
+// do not serialize on one mutex.
+func TestStmtCacheDefaultIsSharded(t *testing.T) {
+	e := cacheTestExecutor()
+	if n := len(e.stmts.shards); n != maxStmtCacheShards {
+		t.Fatalf("default cache has %d shards, want %d", n, maxStmtCacheShards)
+	}
+	if e.stmts.capacity() != DefaultStatementCacheSize {
+		t.Fatalf("default capacity = %d", e.stmts.capacity())
+	}
+}
+
+// TestStmtCacheShardedBoundsEntries fills a multi-shard cache far past its
+// bound and checks the total never exceeds it, while the hottest statements
+// keep hitting.
+func TestStmtCacheShardedBoundsEntries(t *testing.T) {
+	e := cacheTestExecutor()
+	e.SetStatementCacheSize(64) // 2 shards of 32
+	hot := make([]string, 8)
+	for i := range hot {
+		hot[i] = fmt.Sprintf("SELECT V FROM T WHERE V >= %d", i)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			if _, err := e.Query(fmt.Sprintf("SELECT V FROM T WHERE V >= %d AND V < %d", round, i+10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Hot statements run after the churn, so at round end they are the
+		// most recent entries in their shards.
+		for _, sql := range hot {
+			if _, err := e.Query(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n := e.stmts.entries(); n > 64 {
+		t.Fatalf("cache holds %d entries, bound is 64", n)
+	}
+	// Hot statements were re-queried each round, so they are globally recent
+	// within their shards and must still hit.
+	h0, _ := e.StatementCacheStats()
+	for _, sql := range hot {
+		if _, err := e.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, _ := e.StatementCacheStats(); h != h0+uint64(len(hot)) {
+		t.Fatalf("hot statements missed after churn (hits %d -> %d, want +%d)", h0, h, len(hot))
+	}
+}
+
+// TestStmtCacheResizeAcrossShardCounts grows a single-shard cache into a
+// multi-shard one and shrinks back, checking entries survive a grow and the
+// globally most recent survive a shrink.
+func TestStmtCacheResizeAcrossShardCounts(t *testing.T) {
+	e := cacheTestExecutor()
+	e.SetStatementCacheSize(8) // 1 shard
+	stmts := make([]string, 8)
+	for i := range stmts {
+		stmts[i] = fmt.Sprintf("SELECT V FROM T WHERE V >= %d", i)
+		if _, err := e.Query(stmts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.SetStatementCacheSize(128) // 4 shards: grow must keep everything
+	h0, _ := e.StatementCacheStats()
+	for _, sql := range stmts {
+		if _, err := e.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, _ := e.StatementCacheStats()
+	if h1 != h0+uint64(len(stmts)) {
+		t.Fatalf("grow dropped entries (hits %d -> %d, want +%d)", h0, h1, len(stmts))
+	}
+	e.SetStatementCacheSize(3) // back to 1 shard: keep the 3 most recent uses
+	if n := e.stmts.entries(); n != 3 {
+		t.Fatalf("cache holds %d entries after shrink, want 3", n)
+	}
+	for _, sql := range stmts[len(stmts)-3:] {
+		if _, err := e.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h2, _ := e.StatementCacheStats()
+	if h2 != h1+3 {
+		t.Fatalf("shrink did not keep the most recently used (hits %d -> %d, want +3)", h1, h2)
+	}
+}
+
+// TestStmtCacheConcurrentQuery hammers one shared executor from many
+// goroutines mixing hits and misses; run under -race this checks the shard
+// locking, and afterwards every result must still be correct.
+func TestStmtCacheConcurrentQuery(t *testing.T) {
+	db := sqldb.NewDatabase("d")
+	tbl := sqldb.NewTable("T", sqldb.Column{Name: "V", Type: "INTEGER"})
+	for i := 0; i < 10; i++ {
+		tbl.MustAppend(sqldb.Int(int64(i)))
+	}
+	db.AddTable(tbl)
+	e := New(db)
+	e.SetStatementCacheSize(64)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				want := (w + i) % 10
+				res, err := e.Query(fmt.Sprintf("SELECT COUNT(*) FROM T WHERE V < %d", want))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n, _ := res.Rows[0][0].AsInt(); int(n) != want {
+					errs <- fmt.Errorf("worker %d: COUNT = %d, want %d", w, n, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, misses := e.StatementCacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("expected both hits and misses, got hits=%d misses=%d", hits, misses)
+	}
+}

@@ -26,7 +26,7 @@ func TestSetStatementCacheSizeBoundsEntries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := e.stmts.order.Len(); n != 4 {
+	if n := e.stmts.entries(); n != 4 {
 		t.Fatalf("cache holds %d entries, want 4", n)
 	}
 	// The most recent statements hit; evicted ones miss.
@@ -53,7 +53,7 @@ func TestSetStatementCacheSizeShrinkPreservesMRU(t *testing.T) {
 		}
 	}
 	e.SetStatementCacheSize(2)
-	if n := e.stmts.order.Len(); n != 2 {
+	if n := e.stmts.entries(); n != 2 {
 		t.Fatalf("cache holds %d entries after shrink, want 2", n)
 	}
 	h0, _ := e.StatementCacheStats()

@@ -12,6 +12,7 @@ import (
 
 	"genedit/internal/eval"
 	"genedit/internal/feedback"
+	"genedit/internal/gencache"
 	"genedit/internal/generr"
 	"genedit/internal/knowledge"
 	"genedit/internal/kstore"
@@ -83,6 +84,10 @@ type Response struct {
 	// database, cancellation, operator error); Generate returns these
 	// directly instead.
 	Err error
+	// Cached reports that Record came from the generation cache (an LRU hit
+	// or a coalesced in-flight generation) rather than a pipeline run by
+	// this request. Always false when the cache is disabled.
+	Cached bool
 	// Duration is the request's wall-clock time, including any engine
 	// build it had to wait for.
 	Duration time.Duration
@@ -117,6 +122,27 @@ func WithStatementCacheSize(n int) Option {
 	return func(s *Service) { s.stmtCacheSize = n }
 }
 
+// WithGenerationCache enables the versioned generation cache: a bounded LRU
+// of completed Records keyed by (database, knowledge version, normalized
+// question, evidence), with singleflight coalescing so concurrent identical
+// requests share one pipeline run. Enterprise traffic is highly repetitive —
+// the same questions recur across users — so the hit path skips the whole
+// compounding-operator pipeline.
+//
+// Hot-swap safety comes from the key, not from flushing: an approved merge
+// installs an engine whose knowledge version is strictly greater, so
+// post-swap requests compute new keys and always regenerate; stale entries
+// age out of the LRU. Requests carrying a trace hook bypass the cache (a
+// per-operator timing trace requires an actual pipeline run), and errors are
+// never cached.
+//
+// size <= 0 disables the cache (the default), reproducing uncached serving
+// behavior exactly. Cached Records are shared across responses and must be
+// treated as read-only, which serving code already assumes.
+func WithGenerationCache(size int) Option {
+	return func(s *Service) { s.genCacheSize = size }
+}
+
 // WithTrace installs a service-level per-request trace hook: fn receives
 // per-operator timings for every Generate / GenerateBatch request. A hook
 // attached to a request's ctx via WithTraceContext takes precedence for
@@ -146,21 +172,28 @@ func WithStorePath(dir string) Option { return func(s *Service) { s.storePath = 
 //
 // Concurrency contract: all Service methods are safe for concurrent use.
 // Engines are immutable once built (see pipeline.Engine), so requests never
-// contend on anything but the executor's internal statement-cache mutex.
-// Approved feedback merges never mutate a served engine: the solver's
-// merge hook swaps a freshly built engine into the registry atomically
-// (swapEngine), so a request sees either the old or the new knowledge
-// version, never a half-rebuilt one.
+// contend on anything but the executor's internal sharded statement-cache
+// locks. The registry is guarded by an RWMutex: steady-state Generate calls
+// take only the read lock (and only briefly, to fetch a resolved promise),
+// so they never serialize behind engine builds, store opens or hot-swap
+// publications, which take the write lock. Approved feedback merges never
+// mutate a served engine: the solver's merge hook swaps a freshly built
+// engine into the registry atomically (swapEngine), so a request sees
+// either the old or the new knowledge version, never a half-rebuilt one.
 type Service struct {
 	suite         *Benchmark
 	cfg           Config
 	modelSeed     uint64
 	workers       int
 	stmtCacheSize int
+	genCacheSize  int
 	trace         TraceFunc
 	storePath     string
 
-	mu      sync.Mutex
+	// gencache is nil when the generation cache is disabled.
+	gencache *gencache.Cache
+
+	mu      sync.RWMutex
 	engines map[string]*enginePromise
 	// stores holds the open kstore per database when WithStorePath is set.
 	stores map[string]*kstore.Store
@@ -190,6 +223,9 @@ func NewService(b *Benchmark, opts ...Option) *Service {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.genCacheSize > 0 {
+		s.gencache = gencache.New(s.genCacheSize)
+	}
 	return s
 }
 
@@ -212,31 +248,37 @@ func (s *Service) Engine(ctx context.Context, db string) (*Engine, error) {
 	if _, ok := s.suite.Databases[db]; !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDatabase, db)
 	}
-	s.mu.Lock()
+	// Steady state is a read-locked map lookup of an already-resolved
+	// promise; only the first request for a database takes the write lock.
+	s.mu.RLock()
 	p, ok := s.engines[db]
+	s.mu.RUnlock()
 	if !ok {
-		p = &enginePromise{ready: make(chan struct{})}
-		s.engines[db] = p
-		s.mu.Unlock()
-		// The cleanup is deferred so even a panicking build (recovered by
-		// e.g. net/http handlers) cannot leave waiters blocked forever on
-		// an unresolved promise: the promise resolves as failed and is
-		// evicted for retry.
-		defer func() {
-			if p.err != nil || p.engine == nil {
-				if p.err == nil {
-					p.err = fmt.Errorf("genedit: engine build for %q panicked", db)
+		s.mu.Lock()
+		if p, ok = s.engines[db]; !ok {
+			p = &enginePromise{ready: make(chan struct{})}
+			s.engines[db] = p
+			s.mu.Unlock()
+			// The cleanup is deferred so even a panicking build (recovered by
+			// e.g. net/http handlers) cannot leave waiters blocked forever on
+			// an unresolved promise: the promise resolves as failed and is
+			// evicted for retry.
+			defer func() {
+				if p.err != nil || p.engine == nil {
+					if p.err == nil {
+						p.err = fmt.Errorf("genedit: engine build for %q panicked", db)
+					}
+					s.mu.Lock()
+					delete(s.engines, db)
+					s.mu.Unlock()
 				}
-				s.mu.Lock()
-				delete(s.engines, db)
-				s.mu.Unlock()
-			}
-			close(p.ready)
-		}()
-		p.engine, p.err = s.build(db)
-		return p.engine, p.err
+				close(p.ready)
+			}()
+			p.engine, p.err = s.build(db)
+			return p.engine, p.err
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	select {
 	case <-p.ready:
 		return p.engine, p.err
@@ -335,8 +377,8 @@ func (s *Service) openStore(db string) (*kstore.Store, error) {
 
 // store returns the open store for a database, or nil for in-memory mode.
 func (s *Service) store(db string) *kstore.Store {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.stores[db]
 }
 
@@ -395,6 +437,13 @@ func (s *Service) Prewarm(ctx context.Context, dbs ...string) error {
 // and operator errors verbatim. A request whose final SQL failed is NOT an
 // error — the Response carries a typed Failure instead, so serving layers
 // distinguish "the model produced bad SQL" from "the service broke".
+//
+// With WithGenerationCache enabled, a request whose (database, knowledge
+// version, normalized question, evidence) key has a completed Record is
+// served from the cache, and concurrent identical requests coalesce onto
+// one pipeline run; Response.Cached reports which path served the request.
+// Requests carrying a trace hook (WithTrace or WithTraceContext) bypass the
+// cache — the hook's contract is per-operator timings of an actual run.
 func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	if err := generr.FromContext(ctx); err != nil {
@@ -407,7 +456,19 @@ func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) 
 	if s.trace != nil && !pipeline.HasTrace(ctx) {
 		ctx = pipeline.WithTrace(ctx, s.trace)
 	}
-	rec, err := engine.GenerateContext(ctx, req.Question, req.Evidence)
+	var (
+		rec    *Record
+		cached bool
+	)
+	if s.gencache == nil || pipeline.HasTrace(ctx) {
+		rec, err = engine.GenerateContext(ctx, req.Question, req.Evidence)
+	} else {
+		kset := engine.KnowledgeSet()
+		key := gencache.Key(req.Database, kset.Version(), req.Question, req.Evidence)
+		rec, cached, err = s.gencache.Do(ctx, key, func() (*pipeline.Record, error) {
+			return engine.GenerateContext(ctx, req.Question, req.Evidence)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -417,9 +478,30 @@ func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) 
 		SQL:      rec.FinalSQL,
 		OK:       rec.OK,
 		Failure:  rec.Failure(),
+		Cached:   cached,
 		Duration: time.Since(start),
 	}, nil
 }
+
+// GenerationCacheStats is the generation cache's counter snapshot: Hits
+// (served from the LRU), Misses (ran a pipeline generation), Coalesced
+// (joined another request's in-flight generation), plus the LRU's current
+// Entries and Capacity.
+type GenerationCacheStats = gencache.Stats
+
+// GenerationCacheStats reports the generation cache's hit/miss/coalesce
+// counters and fill. All fields are zero when the cache is disabled
+// (WithGenerationCache absent or <= 0).
+func (s *Service) GenerationCacheStats() GenerationCacheStats {
+	if s.gencache == nil {
+		return GenerationCacheStats{}
+	}
+	return s.gencache.Stats()
+}
+
+// GenerationCacheEnabled reports whether WithGenerationCache configured a
+// cache for this service.
+func (s *Service) GenerationCacheEnabled() bool { return s.gencache != nil }
 
 // GenerateBatch serves many requests concurrently over the service's
 // bounded worker pool (WithWorkers). The returned slice always has one
