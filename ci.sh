@@ -29,16 +29,17 @@ echo "== benchmark smoke (1 iteration each) =="
 go test -bench=. -benchtime=1x -run '^$' .
 go test -bench=. -benchtime=1x -run '^$' ./internal/bench
 
-echo "== parallel serving benchmarks under -race (cache hit path, coalescing, shard contention) =="
-go test -race -bench 'GenerationCache|GenerationCoalescing|StatementCacheParallel|ParallelEval' -benchtime=1x -run '^$' .
+echo "== parallel serving benchmarks under -race (cache hit path, coalescing, shard contention, morsel scheduler) =="
+go test -race -bench 'GenerationCache|GenerationCoalescing|StatementCacheParallel|ParallelEval|BatchMorselParallel' -benchtime=1x -run '^$' .
 
 echo "== closed-loop load smoke (benchrunner -parallel) =="
 go run ./cmd/benchrunner -parallel 4 -requests 200 > /dev/null
 
-# BENCH_3.json (concurrent serving, PR 5) carries the current wall-clock
-# trajectory; its EX tables are bit-identical to BENCH_0.json, so gating
-# against it preserves the original accuracy baseline.
-echo "== EX parity gate (all tables vs committed BENCH_3.json baseline) =="
-go run ./cmd/benchrunner -json /tmp/bench_parity.json -baseline BENCH_3.json > /dev/null
+# BENCH_4.json (columnar batch executor, PR 6) carries the current
+# wall-clock and allocation trajectory; its EX tables are bit-identical to
+# BENCH_0.json even though every gated statement now runs through the batch
+# engine, so gating against it preserves the original accuracy baseline.
+echo "== EX parity gate (all tables vs committed BENCH_4.json baseline) =="
+go run ./cmd/benchrunner -json /tmp/bench_parity.json -baseline BENCH_4.json > /dev/null
 
 echo "CI pass complete."

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"sync"
@@ -39,6 +40,7 @@ import (
 	"genedit/internal/bench"
 	"genedit/internal/eval"
 	"genedit/internal/feedback"
+	"genedit/internal/sqlexec"
 	"genedit/internal/task"
 	"genedit/internal/workload"
 )
@@ -72,12 +74,33 @@ type jsonRow struct {
 	All         float64 `json:"ex_all"`
 }
 
+// execConfig records the SQL execution-engine configuration a run used, so
+// committed baselines say which engine produced them.
+type execConfig struct {
+	BatchExec     bool `json:"batch_exec"`
+	MorselSize    int  `json:"morsel_size"`
+	MorselWorkers int  `json:"morsel_workers"`
+}
+
+// allocStat is a -benchmem-style allocation summary for one exhibit:
+// heap allocation count and megabytes allocated while regenerating it
+// (runtime.MemStats deltas, so background allocation is included — treat
+// as a trajectory signal, not an exact figure).
+type allocStat struct {
+	Allocs  uint64  `json:"allocs"`
+	AllocMB float64 `json:"alloc_mb"`
+}
+
 // benchRecord is the machine-readable result file -json writes; committed
 // baselines (BENCH_0.json) give future PRs a perf and accuracy trajectory.
+// The parity gate (checkParity) compares Tables only; the remaining fields
+// are informational and may grow without invalidating old baselines.
 type benchRecord struct {
 	Seed        uint64               `json:"seed"`
 	ModelSeed   uint64               `json:"model_seed"`
+	Exec        execConfig           `json:"exec"`
 	DurationsMS map[string]float64   `json:"durations_ms"`
+	AllocStats  map[string]allocStat `json:"alloc_stats"`
 	Tables      map[string][]jsonRow `json:"tables"`
 }
 
@@ -106,6 +129,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "closed-loop load mode: N concurrent workers issuing Generate requests (skips table regeneration)")
 	requests := flag.Int("requests", 2000, "total requests to issue in -parallel load mode")
 	genCache := flag.Int("gencache", 4096, "generation-cache size in -parallel load mode (0 = disabled)")
+	noBatch := flag.Bool("nobatch", false, "serve -parallel load mode through the compiled row engine instead of the columnar batch engine")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -138,7 +162,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-json records the EX tables; it cannot be combined with -parallel load mode")
 			os.Exit(1)
 		}
-		if err := runParallelLoad(*seed, *modelSeed, *parallel, *requests, *genCache); err != nil {
+		if err := runParallelLoad(*seed, *modelSeed, *parallel, *requests, *genCache, !*noBatch); err != nil {
 			fmt.Fprintln(os.Stderr, "load mode failed:", err)
 			os.Exit(1)
 		}
@@ -146,9 +170,18 @@ func main() {
 	}
 
 	record := benchRecord{
-		Seed:        *seed,
-		ModelSeed:   *modelSeed,
+		Seed:      *seed,
+		ModelSeed: *modelSeed,
+		// Exhibits regenerate through engines at production defaults: batch
+		// execution on, morsels at the default size, fan-out bounded by
+		// GOMAXPROCS.
+		Exec: execConfig{
+			BatchExec:     true,
+			MorselSize:    sqlexec.DefaultMorselSize,
+			MorselWorkers: runtime.GOMAXPROCS(0),
+		},
 		DurationsMS: make(map[string]float64),
+		AllocStats:  make(map[string]allocStat),
 		Tables:      make(map[string][]jsonRow),
 	}
 
@@ -164,12 +197,24 @@ func main() {
 		if *table != "all" && *table != name {
 			return
 		}
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "table %s failed: %v\n", name, err)
 			os.Exit(1)
 		}
-		record.DurationsMS["table_"+name] = float64(time.Since(start).Microseconds()) / 1000
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		record.DurationsMS["table_"+name] = float64(elapsed.Microseconds()) / 1000
+		st := allocStat{
+			Allocs:  after.Mallocs - before.Mallocs,
+			AllocMB: float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		}
+		record.AllocStats["table_"+name] = st
+		fmt.Printf("[table %s: %s, %d allocs, %.1f MB allocated]\n\n",
+			name, elapsed.Round(time.Millisecond), st.Allocs, st.AllocMB)
 	}
 
 	run("1", func() error {
@@ -267,12 +312,12 @@ func main() {
 // generation-cache counters. The request mix is the full eval set, visited
 // round-robin, so repeat traffic exercises the cache-hit path exactly the
 // way recurring enterprise questions do.
-func runParallelLoad(seed, modelSeed uint64, workers, totalRequests, genCacheSize int) error {
+func runParallelLoad(seed, modelSeed uint64, workers, totalRequests, genCacheSize int, batchExec bool) error {
 	if totalRequests < 1 {
 		totalRequests = 1
 	}
 	suite := workload.NewSuite(seed)
-	opts := []genedit.Option{genedit.WithModelSeed(modelSeed)}
+	opts := []genedit.Option{genedit.WithModelSeed(modelSeed), genedit.WithBatchExec(batchExec)}
 	if genCacheSize > 0 {
 		opts = append(opts, genedit.WithGenerationCache(genCacheSize))
 	}
@@ -334,8 +379,12 @@ func runParallelLoad(seed, modelSeed uint64, workers, totalRequests, genCacheSiz
 		i := int(p * float64(len(all)-1))
 		return all[i]
 	}
-	fmt.Printf("\nclosed-loop load: %d workers, %d requests over %d cases\n",
-		workers, len(all), len(cases))
+	engine := "columnar batch (morsel size " + fmt.Sprint(sqlexec.DefaultMorselSize) + ")"
+	if !batchExec {
+		engine = "compiled row"
+	}
+	fmt.Printf("\nclosed-loop load: %d workers, %d requests over %d cases, %s sql engine\n",
+		workers, len(all), len(cases), engine)
 	fmt.Printf("  wall clock   %s\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  throughput   %.1f gen/sec\n", float64(len(all))/elapsed.Seconds())
 	fmt.Printf("  latency      p50 %s   p95 %s   p99 %s   max %s\n",

@@ -1,0 +1,58 @@
+// Package parallel provides the bounded worker-pool primitive shared by the
+// evaluation runner (case fan-out), the serving layer (GenerateBatch) and
+// the SQL executor (morsel-driven intra-query parallelism). It is a leaf
+// package with no project dependencies precisely so that sqlexec — which
+// eval itself imports — can schedule morsels over the same pool discipline
+// without an import cycle.
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n), fanned out across at most
+// workers goroutines (clamped to [1, n]). Once ctx is done no further
+// indices are dispatched; indices already handed to a worker run to
+// completion, and ForEach returns only after all dispatched work has
+// finished. Callers detect an early stop via ctx.Err().
+//
+// With workers <= 1 the loop runs strictly sequentially on the calling
+// goroutine, so callers that need deterministic single-threaded execution
+// (e.g. the executor's serial reference path) get it without a scheduling
+// layer in between.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -39,6 +39,11 @@ type Config struct {
 	// 0 means sqlexec.DefaultStatementCacheSize. Serving deployments with
 	// a larger hot set raise it through genedit.WithStatementCacheSize.
 	StatementCacheSize int
+	// DisableBatchExec turns off the executor's columnar batch engine, so
+	// every statement runs through the compiled row path. The batch engine
+	// is bit-identical by contract; the switch exists for debugging and for
+	// apples-to-apples performance comparisons (genedit.WithBatchExec).
+	DisableBatchExec bool
 
 	// Table 2 ablations.
 	DisableSchemaLinking bool
@@ -146,6 +151,9 @@ func New(model llm.Model, kset *knowledge.Set, db *sqldb.Database, cfg Config) *
 	exec := sqlexec.New(db)
 	if cfg.StatementCacheSize > 0 {
 		exec.SetStatementCacheSize(cfg.StatementCacheSize)
+	}
+	if cfg.DisableBatchExec {
+		exec.SetBatchExec(false)
 	}
 	e := &Engine{
 		model: model,

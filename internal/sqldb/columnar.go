@@ -1,0 +1,187 @@
+package sqldb
+
+// Columnar storage: a read-only, column-major snapshot of a table that the
+// vectorized executor scans instead of the row-major Table.Rows. Each column
+// whose non-NULL values share one Kind is decomposed into a dense typed
+// array ([]int64, []float64, ...) plus a null bitmap; columns that mix kinds
+// keep their boxed Values so the batch engine can still evaluate them
+// lane-at-a-time with exactly the row engine's semantics. The snapshot is a
+// pure function of the table contents at build time — tables are append-only
+// under live executors, so callers cache a Columnar per table and rebuild
+// when the row count moves.
+
+// Bitmap is a dense bitset indexed from 0. The zero value (nil) is a valid
+// empty bitmap for Get (reports false everywhere) but must be allocated with
+// NewBitmap before Set.
+type Bitmap []uint64
+
+// NewBitmap returns a bitmap with capacity for n bits, all clear.
+func NewBitmap(n int) Bitmap {
+	return make(Bitmap, (n+63)/64)
+}
+
+// Get reports whether bit i is set. Get on a nil bitmap reports false.
+func (b Bitmap) Get(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i. The bitmap must have been sized to cover i.
+func (b Bitmap) Set(i int) {
+	b[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear resets every bit.
+func (b Bitmap) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// ColumnData is one column of a Columnar snapshot. Exactly one backing array
+// is populated, selected by Kind/Mixed:
+//
+//   - Mixed == false, Kind in {KindInt, KindFloat, KindString, KindBool}:
+//     the matching typed array holds every row's value; rows whose bit is
+//     set in Nulls are NULL and the typed slot holds the zero element.
+//   - Mixed == false, Kind == KindNull: every row is NULL (no data array).
+//   - Mixed == true: Values holds the original boxed values (NULLs
+//     included); Nulls is nil and the typed arrays are empty.
+type ColumnData struct {
+	Kind   Kind
+	Mixed  bool
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Values []Value
+	Nulls  Bitmap
+}
+
+// Null reports whether row i of the column is NULL.
+func (c *ColumnData) Null(i int) bool {
+	if c.Mixed {
+		return c.Values[i].IsNull()
+	}
+	if c.Kind == KindNull {
+		return true
+	}
+	return c.Nulls.Get(i)
+}
+
+// Value re-boxes row i of the column. It is the slow accessor the batch
+// engine's generic lane loops use; typed kernels read the arrays directly.
+func (c *ColumnData) Value(i int) Value {
+	if c.Mixed {
+		return c.Values[i]
+	}
+	if c.Kind == KindNull || c.Nulls.Get(i) {
+		return Null()
+	}
+	switch c.Kind {
+	case KindInt:
+		return Int(c.Ints[i])
+	case KindFloat:
+		return Float(c.Floats[i])
+	case KindString:
+		return Str(c.Strs[i])
+	default:
+		return Bool(c.Bools[i])
+	}
+}
+
+// Columnar is a column-major snapshot of one table.
+type Columnar struct {
+	NRows int
+	Cols  []ColumnData
+}
+
+// Columnarize decomposes a table into columnar form. Rows narrower than the
+// schema (which the loader never produces, but defensive callers may) read
+// as NULL in the missing trailing columns.
+func Columnarize(t *Table) *Columnar {
+	n := len(t.Rows)
+	c := &Columnar{NRows: n, Cols: make([]ColumnData, len(t.Columns))}
+	for ci := range t.Columns {
+		c.Cols[ci] = columnarizeCol(t.Rows, ci, n)
+	}
+	return c
+}
+
+func columnarizeCol(rows []Row, ci, n int) ColumnData {
+	// First pass: find the uniform non-NULL kind, if any.
+	kind := KindNull
+	mixed := false
+	for _, r := range rows {
+		if ci >= len(r) || r[ci].IsNull() {
+			continue
+		}
+		k := r[ci].K
+		if kind == KindNull {
+			kind = k
+		} else if kind != k {
+			mixed = true
+			break
+		}
+	}
+	if mixed {
+		vals := make([]Value, n)
+		for i, r := range rows {
+			if ci < len(r) {
+				vals[i] = r[ci]
+			}
+		}
+		return ColumnData{Kind: KindNull, Mixed: true, Values: vals}
+	}
+	col := ColumnData{Kind: kind}
+	if kind == KindNull {
+		return col // all-NULL column: kind carries everything
+	}
+	var nulls Bitmap
+	setNull := func(i int) {
+		if nulls == nil {
+			nulls = NewBitmap(n)
+		}
+		nulls.Set(i)
+	}
+	switch kind {
+	case KindInt:
+		col.Ints = make([]int64, n)
+		for i, r := range rows {
+			if ci >= len(r) || r[ci].IsNull() {
+				setNull(i)
+			} else {
+				col.Ints[i] = r[ci].I
+			}
+		}
+	case KindFloat:
+		col.Floats = make([]float64, n)
+		for i, r := range rows {
+			if ci >= len(r) || r[ci].IsNull() {
+				setNull(i)
+			} else {
+				col.Floats[i] = r[ci].F
+			}
+		}
+	case KindString:
+		col.Strs = make([]string, n)
+		for i, r := range rows {
+			if ci >= len(r) || r[ci].IsNull() {
+				setNull(i)
+			} else {
+				col.Strs[i] = r[ci].S
+			}
+		}
+	case KindBool:
+		col.Bools = make([]bool, n)
+		for i, r := range rows {
+			if ci >= len(r) || r[ci].IsNull() {
+				setNull(i)
+			} else {
+				col.Bools[i] = r[ci].B
+			}
+		}
+	}
+	col.Nulls = nulls
+	return col
+}

@@ -1,0 +1,97 @@
+package sqldb
+
+import "testing"
+
+func colTable() *Table {
+	t := &Table{
+		Name: "T",
+		Columns: []Column{
+			{Name: "I", Type: "INTEGER"},
+			{Name: "F", Type: "FLOAT"},
+			{Name: "S", Type: "TEXT"},
+			{Name: "M", Type: "TEXT"},
+			{Name: "N", Type: "TEXT"},
+		},
+	}
+	t.Rows = []Row{
+		{Int(1), Float(1.5), Str("a"), Int(7), Null()},
+		{Int(2), Null(), Str("b"), Str("x"), Null()},
+		{Null(), Float(-2.25), Null(), Float(3.5), Null()},
+	}
+	return t
+}
+
+func TestColumnarizeRoundTrips(t *testing.T) {
+	tab := colTable()
+	c := Columnarize(tab)
+	if c.NRows != len(tab.Rows) {
+		t.Fatalf("NRows = %d, want %d", c.NRows, len(tab.Rows))
+	}
+	for ci := range tab.Columns {
+		for ri, row := range tab.Rows {
+			got, want := c.Cols[ci].Value(ri), row[ci]
+			if got.IsNull() != want.IsNull() || (!got.IsNull() && !got.Equal(want)) {
+				t.Fatalf("col %d row %d: got %v, want %v", ci, ri, got, want)
+			}
+			if c.Cols[ci].Null(ri) != want.IsNull() {
+				t.Fatalf("col %d row %d: Null() = %v, want %v", ci, ri, c.Cols[ci].Null(ri), want.IsNull())
+			}
+		}
+	}
+}
+
+func TestColumnarizeKinds(t *testing.T) {
+	c := Columnarize(colTable())
+	if c.Cols[0].Kind != KindInt || c.Cols[0].Mixed {
+		t.Fatalf("I: kind %v mixed %v, want uniform int", c.Cols[0].Kind, c.Cols[0].Mixed)
+	}
+	if c.Cols[1].Kind != KindFloat || c.Cols[1].Nulls == nil {
+		t.Fatalf("F: want uniform float with null bitmap")
+	}
+	if c.Cols[2].Kind != KindString {
+		t.Fatalf("S: kind %v, want string", c.Cols[2].Kind)
+	}
+	if !c.Cols[3].Mixed {
+		t.Fatalf("M: want mixed column fallback")
+	}
+	if c.Cols[4].Kind != KindNull || c.Cols[4].Mixed {
+		t.Fatalf("N: all-NULL column should stay KindNull, got %v mixed=%v", c.Cols[4].Kind, c.Cols[4].Mixed)
+	}
+}
+
+func TestColumnarizeEmptyTable(t *testing.T) {
+	tab := &Table{Name: "E", Columns: []Column{{Name: "A"}, {Name: "B"}}}
+	c := Columnarize(tab)
+	if c.NRows != 0 || len(c.Cols) != 2 {
+		t.Fatalf("empty table: NRows %d cols %d", c.NRows, len(c.Cols))
+	}
+	for ci := range c.Cols {
+		if c.Cols[ci].Kind != KindNull {
+			t.Fatalf("empty col %d: kind %v", ci, c.Cols[ci].Kind)
+		}
+	}
+}
+
+func TestBitmap(t *testing.T) {
+	b := NewBitmap(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh bitmap has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Get(1) || b.Get(65) {
+		t.Fatalf("unrelated bits set")
+	}
+	b.Clear()
+	if b.Get(0) || b.Get(129) {
+		t.Fatalf("Clear left bits set")
+	}
+	var nilB Bitmap
+	if nilB.Get(5) {
+		t.Fatalf("nil bitmap Get should report false")
+	}
+}

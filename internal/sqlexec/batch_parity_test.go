@@ -1,0 +1,246 @@
+package sqlexec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"genedit/internal/sqldb"
+	"genedit/internal/sqlexec"
+)
+
+// Adversarial three-engine parity for the batch executor: hand-built tables
+// and statements aimed at the seams the randomized suite only grazes —
+// empty tables (zero morsels), all-NULL and mixed-kind columns, selections
+// clustered at morsel boundaries, and error selection across morsels and
+// phases. Everything goes through assertExecParity, so the interpreter
+// remains the single source of truth.
+
+// batchParityDB builds a database whose table shapes are aligned against
+// parityMorselSize (7): 40 rows span 6 morsels with a ragged tail.
+func batchParityDB() *sqldb.Database {
+	db := sqldb.NewDatabase("batchparity")
+
+	empty := sqldb.NewTable("EMPTY",
+		sqldb.Column{Name: "A", Type: "INTEGER"}, sqldb.Column{Name: "B", Type: "TEXT"})
+	db.AddTable(empty)
+
+	// T: I dense ints, F floats with NULL holes, S strings, N all-NULL,
+	// M mixed kinds, BAD numeric strings with poisoned rows (see below).
+	tt := sqldb.NewTable("T",
+		sqldb.Column{Name: "I", Type: "INTEGER"},
+		sqldb.Column{Name: "F", Type: "FLOAT"},
+		sqldb.Column{Name: "S", Type: "TEXT"},
+		sqldb.Column{Name: "N", Type: "TEXT"},
+		sqldb.Column{Name: "M", Type: "TEXT"},
+		sqldb.Column{Name: "EARLY", Type: "TEXT"},
+		sqldb.Column{Name: "LATE", Type: "TEXT"},
+	)
+	for i := 0; i < 40; i++ {
+		iv := sqldb.Value(sqldb.Int(int64(i % 9)))
+		fv := sqldb.Value(sqldb.Float(float64(i) * 1.25))
+		if i%5 == 3 {
+			fv = sqldb.Null()
+		}
+		sv := sqldb.Value(sqldb.Str(fmt.Sprintf("v%02d", i%6)))
+		if i%11 == 7 {
+			sv = sqldb.Null()
+		}
+		var mv sqldb.Value
+		switch i % 4 {
+		case 0:
+			mv = sqldb.Int(int64(i))
+		case 1:
+			mv = sqldb.Str("m" + fmt.Sprint(i%3))
+		case 2:
+			mv = sqldb.Float(0.5 * float64(i))
+		default:
+			mv = sqldb.Null()
+		}
+		// EARLY errors (non-numeric under arithmetic) at row 1 only; LATE
+		// errors at row 20 only — morsel 0 vs morsel 2 at size 7.
+		ev := sqldb.Value(sqldb.Str("1"))
+		if i == 1 {
+			ev = sqldb.Str("boom")
+		}
+		lv := sqldb.Value(sqldb.Str("2"))
+		if i == 20 {
+			lv = sqldb.Str("pow")
+		}
+		tt.MustAppend(iv, fv, sv, sqldb.Null(), mv, ev, lv)
+	}
+	db.AddTable(tt)
+
+	// BOOLS: a uniformly bool column plus ints, for kind-seam comparisons.
+	bt := sqldb.NewTable("BOOLS",
+		sqldb.Column{Name: "B", Type: "BOOLEAN"}, sqldb.Column{Name: "I", Type: "INTEGER"})
+	for i := 0; i < 15; i++ {
+		bv := sqldb.Value(sqldb.Bool(i%3 == 0))
+		if i%7 == 5 {
+			bv = sqldb.Null()
+		}
+		bt.MustAppend(bv, sqldb.Int(int64(i)))
+	}
+	db.AddTable(bt)
+	return db
+}
+
+func TestBatchAdversarialParity(t *testing.T) {
+	db := batchParityDB()
+	stmts := []string{
+		// Empty table: zero morsels, scans and aggregates.
+		"SELECT A, B FROM EMPTY",
+		"SELECT A + 1 FROM EMPTY WHERE A > 0",
+		"SELECT COUNT(*), COUNT(A), SUM(A), MIN(B), TOTAL(A) FROM EMPTY",
+		"SELECT A, COUNT(*) FROM EMPTY GROUP BY A",
+		"SELECT DISTINCT A FROM EMPTY ORDER BY 1 LIMIT 3",
+
+		// All-NULL column in every clause position.
+		"SELECT N FROM T",
+		"SELECT I FROM T WHERE N IS NULL",
+		"SELECT I FROM T WHERE N = 1",
+		"SELECT N || 'x', N + 1, -N, NOT N FROM T",
+		"SELECT COUNT(N), SUM(N), MIN(N), MAX(N), AVG(N), TOTAL(N) FROM T",
+		"SELECT N, COUNT(*) FROM T GROUP BY N",
+
+		// Selections clustered at morsel boundaries (size 7): first lane,
+		// last lane, and the ragged final morsel (rows 35..39).
+		"SELECT I, F FROM T WHERE I % 7 = 0",
+		"SELECT I, F FROM T WHERE I % 7 = 6",
+		"SELECT I FROM T WHERE I >= 35",
+		"SELECT I FROM T WHERE I < 1",
+
+		// Kernel coverage over typed, mixed and NULL-holed columns.
+		"SELECT I + 2, I - 2, I * 3, I / 2, I % 3, -I FROM T",
+		"SELECT F + 0.5, F * 2.0, F / 0.0, F % 0.0, -F FROM T",
+		"SELECT I / 0, I % 0 FROM T",
+		"SELECT S || '-' || S, UPPER(S) FROM T",
+		"SELECT I FROM T WHERE S LIKE 'V0%'",
+		"SELECT I FROM T WHERE S LIKE S",
+		"SELECT I FROM T WHERE I BETWEEN 2 AND 5",
+		"SELECT I FROM T WHERE F BETWEEN 1.0 AND 20.0",
+		"SELECT I FROM T WHERE S BETWEEN 'v01' AND 'v04'",
+		"SELECT I FROM T WHERE I IN (1, 3, NULL)",
+		"SELECT I FROM T WHERE S IN ('v00', 'v05')",
+		"SELECT I FROM T WHERE NOT (I > 3 AND F < 30.0) OR S IS NULL",
+		"SELECT CASE WHEN I > 4 THEN 'hi' WHEN F > 10.0 THEN F ELSE M END FROM T",
+		"SELECT CASE I WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM T",
+		"SELECT M, M = 1, M < 'm1', M + 0 IS NULL FROM T WHERE M IS NOT NULL",
+		"SELECT B, NOT B, -B, B = 1, B < TRUE FROM BOOLS",
+		"SELECT I FROM BOOLS WHERE B",
+		"SELECT COUNT(B), MIN(B), MAX(B) FROM BOOLS",
+
+		// Error selection: WHERE errors beat projection errors regardless of
+		// morsel position (LATE poisons row 20, EARLY poisons row 1).
+		"SELECT EARLY + 1 FROM T WHERE LATE + 1 > 0",
+		"SELECT LATE + 1 FROM T WHERE EARLY + 1 > 0",
+		"SELECT EARLY + 1, LATE + 1 FROM T",
+		"SELECT LATE + 1, EARLY + 1 FROM T",
+		"SELECT I FROM T ORDER BY LATE + 1, EARLY + 1",
+		"SELECT I, EARLY + 1 FROM T WHERE I % 7 = 1 ORDER BY LATE + 1",
+
+		// Aggregation: typed and generic accumulators, DISTINCT, HAVING and
+		// error-carrying aggregates (SUM over non-numeric strings errors in
+		// the finish; EARLY + 1 errors per-row inside the accumulator).
+		"SELECT COUNT(*), COUNT(F), SUM(I), SUM(F), AVG(I), AVG(F), MIN(I), MAX(F), MIN(S), MAX(S), TOTAL(I), TOTAL(F) FROM T",
+		"SELECT COUNT(DISTINCT I), SUM(DISTINCT I), COUNT(DISTINCT S) FROM T",
+		"SELECT SUM(S) FROM T",
+		"SELECT AVG(M) FROM T",
+		"SELECT SUM(EARLY + 1) FROM T",
+		"SELECT I, COUNT(*), SUM(F) FROM T GROUP BY I ORDER BY I",
+		"SELECT S, AVG(I) AS A FROM T GROUP BY S HAVING COUNT(*) > 3 ORDER BY A DESC, S",
+		"SELECT M, COUNT(*) FROM T GROUP BY M",
+		"SELECT I % 3, SUM(LATE + 0) FROM T GROUP BY I % 3",
+		"SELECT I, MAX(F) FROM T GROUP BY I HAVING SUM(EARLY + 1) > 0",
+		"SELECT I, COUNT(*) FROM T WHERE F IS NOT NULL GROUP BY I HAVING COUNT(*) >= 2 ORDER BY 2 DESC, 1 LIMIT 3",
+		"SELECT SUM(I) FROM T WHERE I > 100",
+		"SELECT MIN(I) FROM T WHERE I > 100",
+
+		// DISTINCT / ORDER BY / LIMIT tails over batch output.
+		"SELECT DISTINCT I % 4 FROM T ORDER BY 1 DESC",
+		"SELECT DISTINCT S, I FROM T ORDER BY S, I LIMIT 5 OFFSET 2",
+		"SELECT I, F FROM T ORDER BY F DESC, I LIMIT 4",
+		"SELECT I FROM T ORDER BY I LIMIT 100 OFFSET 38",
+	}
+	for _, sql := range stmts {
+		assertExecParity(t, db, sql)
+	}
+}
+
+// TestBatchPlanCacheAndStaleness checks the cached batch plan is reused and
+// recompiled — not silently wrong — when rows are appended after the first
+// execution.
+func TestBatchPlanCacheAndStaleness(t *testing.T) {
+	db := batchParityDB()
+	exec := sqlexec.New(db)
+	exec.SetMorselSize(parityMorselSize)
+	const sql = "SELECT COUNT(*), SUM(I) FROM T"
+
+	res1, err := exec.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := exec.Query(sql) // cached batch plan
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1, _ := res1.Rows[0][0].AsInt(); n1 != 40 {
+		t.Fatalf("COUNT(*) = %d, want 40", n1)
+	}
+	if n2, _ := res2.Rows[0][0].AsInt(); n2 != 40 {
+		t.Fatalf("cached COUNT(*) = %d, want 40", n2)
+	}
+
+	db.Table("T").MustAppend(sqldb.Int(100), sqldb.Float(1), sqldb.Str("new"),
+		sqldb.Null(), sqldb.Null(), sqldb.Str("1"), sqldb.Str("2"))
+	res3, err := exec.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3, _ := res3.Rows[0][0].AsInt(); n3 != 41 {
+		t.Fatalf("post-append COUNT(*) = %d, want 41 (stale snapshot reused)", n3)
+	}
+	assertExecParity(t, db, "SELECT I, COUNT(*) FROM T GROUP BY I ORDER BY I")
+}
+
+// TestMorselParallelConsistency hammers one executor from the batch parity
+// suite with several morsel workers across repeated mixed queries; it exists
+// chiefly to give the race detector a dense interleaving of morsel tasks,
+// arena recycling and snapshot cache hits.
+func TestMorselParallelConsistency(t *testing.T) {
+	db := batchParityDB()
+	exec := sqlexec.New(db)
+	exec.SetMorselSize(3)
+	exec.SetMorselWorkers(8)
+	want := map[string]int{
+		"SELECT I FROM T WHERE I % 2 = 0":                22,
+		"SELECT I, F FROM T WHERE F > 10.0":              25,
+		"SELECT I, COUNT(*) FROM T GROUP BY I":           9,
+		"SELECT S, SUM(I) FROM T GROUP BY S ORDER BY S":  7,
+		"SELECT DISTINCT I % 4 FROM T":                   4,
+		"SELECT COUNT(*), SUM(F), MIN(S), AVG(I) FROM T": 1,
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				for sql, rows := range want {
+					res, err := exec.Query(sql)
+					if err != nil {
+						done <- fmt.Errorf("%s: %v", sql, err)
+						return
+					}
+					if len(res.Rows) != rows {
+						done <- fmt.Errorf("%s: got %d rows, want %d", sql, len(res.Rows), rows)
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,1127 @@
+package sqlexec
+
+import (
+	"strings"
+
+	"genedit/internal/sqldb"
+	"genedit/internal/sqlparse"
+)
+
+// Batch plan compilation: lowering a compiled statement plan onto a columnar
+// table snapshot.
+//
+// The batch engine accepts exactly the statements whose relational core is a
+// single base-table scan with no subqueries anywhere: no CTEs, no compound
+// arms, no derived tables or joins, and no EXISTS / scalar-subquery /
+// IN-SELECT nodes in any clause (their evaluation needs per-row interpreter
+// environments whose group context the batch group-finish phase does not
+// carry). Everything else keeps running through the row-compiled path —
+// support is decided once per statement and cached alongside the row plan.
+//
+// Within a supported statement, each expression position (the WHERE filter,
+// every projection item, ORDER BY key and GROUP BY key) becomes a slot:
+// either a total vector kernel — compiled only when the expression provably
+// cannot error given the snapshot's static column kinds — or the existing
+// row program evaluated lane-at-a-time. Totality is what keeps parity exact
+// without any per-lane error plumbing: a kernel may evaluate lanes (and
+// subexpressions, e.g. both AND branches) the row engine would have skipped,
+// because for a total, pure expression the extra evaluation is unobservable.
+// Every fallible expression — arithmetic over string-kinded or mixed
+// columns, CAST, scalar functions, unbound names — stays on the row program,
+// which reproduces the row engine's values and error selection by
+// construction.
+//
+// A batchPlan binds ordinals against one specific *sqldb.Columnar snapshot
+// (kernels capture its typed arrays), so executors recompile the batch plan
+// — not the row plan — when a table's snapshot moves (rows appended).
+
+// batchPlan is a corePlan lowered onto a columnar snapshot.
+type batchPlan struct {
+	cp       *corePlan
+	table    string // upper-cased base table name (snapshot cache key)
+	snap     *sqldb.Columnar
+	rows     []sqldb.Row // row view the snapshot was built from
+	cols     []*sqldb.ColumnData
+	fromCols []bindCol
+
+	filter *slot   // nil when there is no WHERE clause
+	projs  []*slot // non-aggregated cores only
+	orders []*slot // per ORDER BY item; nil where orderIdx[i] >= 0
+	keys   []*slot // GROUP BY key slots (aggregated cores)
+	aggs   []aggSpec
+}
+
+// hasSubquery reports whether any expression contains a subquery node.
+// WalkExprs visits the EXISTS/SubqueryExpr/InExpr nodes themselves without
+// descending into their select trees, which is exactly the granularity the
+// gate needs.
+func hasSubquery(exprs ...sqlparse.Expr) bool {
+	found := false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		sqlparse.WalkExprs(e, func(x sqlparse.Expr) {
+			switch s := x.(type) {
+			case *sqlparse.ExistsExpr:
+				found = true
+			case *sqlparse.SubqueryExpr:
+				found = true
+			case *sqlparse.InExpr:
+				if s.Select != nil {
+					found = true
+				}
+			}
+		})
+	}
+	return found
+}
+
+// compileBatch lowers a statement plan for batch execution, returning nil
+// when the statement is unsupported. The returned plan is bound to the
+// table's current columnar snapshot.
+func compileBatch(e *Executor, sp *stmtPlan) *batchPlan {
+	if sp == nil || sp.fallback || len(sp.ctes) > 0 || len(sp.compound) > 0 || sp.core == nil {
+		return nil
+	}
+	cp := sp.core
+	if cp.fallback || cp.from == nil || cp.from.leaf == nil {
+		return nil
+	}
+	lp := cp.from.leaf
+	// Single-table cores never receive pushed-down filters (pushdown is
+	// join-only), but check anyway so an invariant change upstream degrades
+	// to the row path instead of silently dropping predicates.
+	if lp.table == "" || len(lp.filters) > 0 || len(cp.where) > 1 {
+		return nil
+	}
+	var clauseExprs []sqlparse.Expr
+	clauseExprs = append(clauseExprs, cp.src.Where, cp.src.Having)
+	for _, item := range cp.items {
+		clauseExprs = append(clauseExprs, item.Expr)
+	}
+	clauseExprs = append(clauseExprs, cp.src.GroupBy...)
+	for _, o := range cp.orderBy {
+		clauseExprs = append(clauseExprs, o.Expr)
+	}
+	if hasSubquery(clauseExprs...) {
+		return nil
+	}
+
+	snap, rows := e.columnarFor(lp.table)
+	if snap == nil {
+		return nil
+	}
+	bp := &batchPlan{
+		cp:       cp,
+		table:    strings.ToUpper(lp.table),
+		snap:     snap,
+		rows:     rows,
+		fromCols: cp.from.cols,
+	}
+	bp.cols = make([]*sqldb.ColumnData, len(snap.Cols))
+	for i := range snap.Cols {
+		bp.cols[i] = &snap.Cols[i]
+	}
+
+	fromCols := cp.from.cols
+	if cp.src.Where != nil {
+		bp.filter = compileSlot(cp.src.Where, cp.where[0], fromCols, bp.cols)
+	}
+	if cp.aggregated {
+		for i, ge := range cp.src.GroupBy {
+			bp.keys = append(bp.keys, compileSlot(ge, cp.groupBy[i], fromCols, bp.cols))
+		}
+		bp.aggs = collectAggSpecs(cp, fromCols, bp.cols)
+		return bp
+	}
+	bp.projs = make([]*slot, len(cp.items))
+	for i := range cp.items {
+		bp.projs[i] = compileSlot(cp.items[i].Expr, cp.projs[i], fromCols, bp.cols)
+	}
+	bp.orders = make([]*slot, len(cp.orderBy))
+	for i := range cp.orderBy {
+		if cp.orderIdx[i] < 0 {
+			bp.orders[i] = compileSlot(cp.orderBy[i].Expr, cp.orderProgs[i], fromCols, bp.cols)
+		}
+	}
+	return bp
+}
+
+// compileSlot lowers one expression position: a total vector kernel when the
+// expression qualifies, otherwise the already-compiled row program.
+func compileSlot(e sqlparse.Expr, rowProg program, cols []bindCol, data []*sqldb.ColumnData) *slot {
+	if vx := compileVec(e, cols, data); vx != nil {
+		return &slot{kernel: vx.run}
+	}
+	return &slot{row: rowProg}
+}
+
+// ---- vector expression compilation ----
+
+// kindAny marks a vexpr whose lane kind is not statically uniform (mixed
+// columns, CASE outputs).
+const kindAny = sqldb.Kind(-1)
+
+// vexpr is a compiled total vector expression: its static lane kind (the
+// kind of every non-NULL lane, or kindAny) and the kernel producing it.
+// constant vexprs additionally carry their folded value so parent kernels
+// can hoist it out of the lane loop.
+type vexpr struct {
+	kind     sqldb.Kind
+	constant bool
+	cv       sqldb.Value
+	run      vprog
+}
+
+func constVexpr(v sqldb.Value) *vexpr {
+	kind := v.K
+	if v.IsNull() {
+		kind = sqldb.KindNull
+	}
+	shared := &vec{constant: true, cv: v}
+	return &vexpr{kind: kind, constant: true, cv: v,
+		run: func(*vctx, []int32) *vec { return shared }}
+}
+
+// nullVexpr is an expression statically known to be NULL at every lane
+// (e.g. arithmetic with a NULL operand).
+func nullVexpr() *vexpr { return constVexpr(sqldb.Null()) }
+
+// allNull reports whether every lane of the expression is statically NULL
+// (a NULL constant or an all-NULL column).
+func (x *vexpr) allNull() bool { return x.kind == sqldb.KindNull }
+
+// vop is a kernel-time operand: either a hoisted constant or an evaluated
+// child vector. It gives lanewise kernels one accessor shape for both.
+type vop struct {
+	cv sqldb.Value
+	v  *vec
+}
+
+func (x *vexpr) operand(vc *vctx, sel []int32) vop {
+	if x.constant {
+		return vop{cv: x.cv}
+	}
+	return vop{v: x.run(vc, sel)}
+}
+
+func (o *vop) at(ln int32) sqldb.Value {
+	if o.v == nil {
+		return o.cv
+	}
+	return o.v.value(ln)
+}
+
+func (o *vop) isNull(ln int32) bool {
+	if o.v == nil {
+		return o.cv.IsNull()
+	}
+	return o.v.null(ln)
+}
+
+func (o *vop) isTruthy(ln int32) bool {
+	if o.v == nil {
+		return truthy(o.cv)
+	}
+	return o.v.truthyAt(ln)
+}
+
+// numericVexpr reports whether every non-NULL lane is KindInt or KindFloat —
+// the precondition for the float-comparison fast paths (sqldb.Compare takes
+// its numeric branch only when both sides are numeric).
+func numericVexpr(x *vexpr) bool {
+	if x.constant {
+		return x.cv.IsNumeric()
+	}
+	return x.kind == sqldb.KindInt || x.kind == sqldb.KindFloat
+}
+
+// stringVexpr reports whether every non-NULL lane is KindString.
+func stringVexpr(x *vexpr) bool {
+	return x.kind == sqldb.KindString
+}
+
+// arithSafe reports whether an operand can never make evalArith error:
+// AsFloat is total on Int/Float/Bool/NULL, while string lanes can fail to
+// parse (and mixed columns may hold strings).
+func arithSafe(x *vexpr) bool {
+	if x.constant {
+		if x.cv.IsNull() {
+			return true
+		}
+		_, ok := x.cv.AsFloat()
+		return ok
+	}
+	switch x.kind {
+	case sqldb.KindNull, sqldb.KindInt, sqldb.KindFloat, sqldb.KindBool:
+		return true
+	}
+	return false
+}
+
+// intVexpr reports whether every non-NULL lane is KindInt (the bothInt
+// branch of evalArith).
+func intVexpr(x *vexpr) bool {
+	if x.constant {
+		return x.cv.K == sqldb.KindInt
+	}
+	return x.kind == sqldb.KindInt
+}
+
+// compileVec lowers an expression to a total vector kernel, or returns nil
+// when the expression is not provably error-free (or simply not worth
+// vectorizing) — the caller then uses the row program for the whole slot.
+// Constant subexpressions fold through compileExpr, whose semantics are the
+// row engine's; a constant that folds to an error is not total and stays on
+// the row path, which raises that error at the right row.
+func compileVec(e sqlparse.Expr, cols []bindCol, data []*sqldb.ColumnData) *vexpr {
+	if p, isConst := compileExpr(e, cols); isConst {
+		v, err := p(nil)
+		if err != nil {
+			return nil
+		}
+		return constVexpr(v)
+	}
+	switch x := e.(type) {
+	case *sqlparse.ColumnRef:
+		return compileColVec(x, cols, data)
+
+	case *sqlparse.Unary:
+		xv := compileVec(x.X, cols, data)
+		if xv == nil {
+			return nil
+		}
+		switch x.Op {
+		case "+":
+			return xv
+		case "NOT":
+			return compileNotVec(xv)
+		case "-":
+			return compileNegVec(xv)
+		}
+		return nil
+
+	case *sqlparse.Binary:
+		l := compileVec(x.L, cols, data)
+		if l == nil {
+			return nil
+		}
+		r := compileVec(x.R, cols, data)
+		if r == nil {
+			return nil
+		}
+		switch x.Op {
+		case "AND":
+			return compileAndOrVec(l, r, true)
+		case "OR":
+			return compileAndOrVec(l, r, false)
+		case "=", "<>", "<", "<=", ">", ">=":
+			return compileCmpVec(x.Op, l, r)
+		case "||":
+			return compileConcatVec(l, r)
+		case "+", "-", "*", "/", "%":
+			return compileArithVec(x.Op, l, r)
+		}
+		return nil
+
+	case *sqlparse.IsNullExpr:
+		xv := compileVec(x.X, cols, data)
+		if xv == nil {
+			return nil
+		}
+		return compileIsNullVec(xv, x.Not)
+
+	case *sqlparse.BetweenExpr:
+		xv := compileVec(x.X, cols, data)
+		lo := compileVec(x.Lo, cols, data)
+		hi := compileVec(x.Hi, cols, data)
+		if xv == nil || lo == nil || hi == nil {
+			return nil
+		}
+		return compileBetweenVec(xv, lo, hi, x.Not)
+
+	case *sqlparse.LikeExpr:
+		xv := compileVec(x.X, cols, data)
+		pv := compileVec(x.Pattern, cols, data)
+		if xv == nil || pv == nil {
+			return nil
+		}
+		return compileLikeVec(xv, pv, x.Not)
+
+	case *sqlparse.InExpr:
+		if x.Select != nil {
+			return nil
+		}
+		xv := compileVec(x.X, cols, data)
+		if xv == nil {
+			return nil
+		}
+		items := make([]*vexpr, len(x.List))
+		for i, item := range x.List {
+			if items[i] = compileVec(item, cols, data); items[i] == nil {
+				return nil
+			}
+		}
+		return compileInVec(xv, items, x.Not)
+
+	case *sqlparse.CaseExpr:
+		return compileCaseVec(x, cols, data)
+	}
+	// CAST, scalar/aggregate/window calls, subqueries: row program.
+	return nil
+}
+
+// compileColVec lowers a column reference to a zero-copy view over the
+// snapshot's column arrays. The view is per-morsel only in its offsets; the
+// arrays themselves are shared and read-only.
+func compileColVec(cr *sqlparse.ColumnRef, cols []bindCol, data []*sqldb.ColumnData) *vexpr {
+	ord := bindColumn(cr, cols)
+	if ord < 0 {
+		return nil // unbound reference errors per row; keep the row program
+	}
+	cd := data[ord]
+	if cd.Mixed {
+		return &vexpr{kind: kindAny, run: func(vc *vctx, sel []int32) *vec {
+			out := vc.arena.vec()
+			out.mixed = true
+			out.vals = cd.Values[vc.base : vc.base+vc.n]
+			return out
+		}}
+	}
+	kind := cd.Kind
+	return &vexpr{kind: kind, run: func(vc *vctx, sel []int32) *vec {
+		out := vc.arena.vec()
+		out.kind = kind
+		out.nulls = cd.Nulls
+		out.nullOff = vc.base
+		switch kind {
+		case sqldb.KindInt:
+			out.ints = cd.Ints[vc.base : vc.base+vc.n]
+		case sqldb.KindFloat:
+			out.floats = cd.Floats[vc.base : vc.base+vc.n]
+		case sqldb.KindString:
+			out.strs = cd.Strs[vc.base : vc.base+vc.n]
+		case sqldb.KindBool:
+			out.bools = cd.Bools[vc.base : vc.base+vc.n]
+		}
+		return out
+	}}
+}
+
+// compileNotVec lowers NOT: NULL stays NULL, everything else negates its
+// truthiness (applyUnary's semantics).
+func compileNotVec(xv *vexpr) *vexpr {
+	if xv.allNull() {
+		return nullVexpr()
+	}
+	return &vexpr{kind: sqldb.KindBool, run: func(vc *vctx, sel []int32) *vec {
+		op := xv.operand(vc, sel)
+		out := newBoolVec(vc)
+		for _, ln := range sel {
+			if op.isNull(ln) {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			out.bools[ln] = !op.isTruthy(ln)
+		}
+		return out
+	}}
+}
+
+// compileNegVec lowers unary minus. Int lanes negate as Int(-I); Float and
+// Bool lanes go through AsFloat (total for those kinds) as Float(-f). String
+// and mixed lanes can fail AsFloat, so they stay on the row program.
+func compileNegVec(xv *vexpr) *vexpr {
+	if xv.allNull() {
+		return nullVexpr()
+	}
+	switch xv.kind {
+	case sqldb.KindInt:
+		return &vexpr{kind: sqldb.KindInt, run: func(vc *vctx, sel []int32) *vec {
+			in := xv.run(vc, sel)
+			out := vc.arena.vec()
+			out.kind = sqldb.KindInt
+			out.ints = vc.arena.int64s(vc.n)
+			out.nulls = vc.arena.bitmap(vc.n)
+			for _, ln := range sel {
+				if in.null(ln) {
+					out.nulls.Set(int(ln))
+					continue
+				}
+				out.ints[ln] = -in.ints[ln]
+			}
+			return out
+		}}
+	case sqldb.KindFloat, sqldb.KindBool:
+		kind := xv.kind
+		return &vexpr{kind: sqldb.KindFloat, run: func(vc *vctx, sel []int32) *vec {
+			in := xv.run(vc, sel)
+			out := newFloatVec(vc)
+			for _, ln := range sel {
+				if in.null(ln) {
+					out.nulls.Set(int(ln))
+					continue
+				}
+				if kind == sqldb.KindFloat {
+					out.floats[ln] = -in.floats[ln]
+				} else if in.bools[ln] {
+					out.floats[ln] = -1
+				} else {
+					out.floats[ln] = 0
+				}
+			}
+			return out
+		}}
+	}
+	return nil
+}
+
+// compileAndOrVec lowers AND/OR three-valued logic. Both sides always
+// evaluate (they are total and pure, so skipping the row engine's
+// short-circuit is unobservable); the lanewise verdict matches evalBinary's.
+func compileAndOrVec(l, r *vexpr, isAnd bool) *vexpr {
+	return &vexpr{kind: sqldb.KindBool, run: func(vc *vctx, sel []int32) *vec {
+		lo := l.operand(vc, sel)
+		ro := r.operand(vc, sel)
+		out := newBoolVec(vc)
+		for _, ln := range sel {
+			ln0, rn0 := lo.isNull(ln), ro.isNull(ln)
+			if isAnd {
+				if (!ln0 && !lo.isTruthy(ln)) || (!rn0 && !ro.isTruthy(ln)) {
+					out.bools[ln] = false
+					continue
+				}
+				if ln0 || rn0 {
+					out.nulls.Set(int(ln))
+					continue
+				}
+				out.bools[ln] = true
+			} else {
+				if (!ln0 && lo.isTruthy(ln)) || (!rn0 && ro.isTruthy(ln)) {
+					out.bools[ln] = true
+					continue
+				}
+				if ln0 || rn0 {
+					out.nulls.Set(int(ln))
+					continue
+				}
+				out.bools[ln] = false
+			}
+		}
+		return out
+	}}
+}
+
+// cmpFloat is sqldb.Compare's numeric branch: strict less/greater with every
+// NaN-involved comparison reading as equal.
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func verdictFor(op string) func(int) bool {
+	switch op {
+	case "=":
+		return func(c int) bool { return c == 0 }
+	case "<>":
+		return func(c int) bool { return c != 0 }
+	case "<":
+		return func(c int) bool { return c < 0 }
+	case "<=":
+		return func(c int) bool { return c <= 0 }
+	case ">":
+		return func(c int) bool { return c > 0 }
+	default:
+		return func(c int) bool { return c >= 0 }
+	}
+}
+
+// compileCmpVec lowers comparisons. Two fast paths — both sides numeric
+// (sqldb.Compare's AsFloat branch, including Int lanes widened to float64 so
+// large-magnitude ties behave identically) and both sides string (the
+// rendered-string branch) — plus a lanewise boxed fallback for everything
+// else (bools, mixed columns).
+func compileCmpVec(op string, l, r *vexpr) *vexpr {
+	if l.allNull() || r.allNull() {
+		return nullVexpr()
+	}
+	verdict := verdictFor(op)
+	if numericVexpr(l) && numericVexpr(r) {
+		return &vexpr{kind: sqldb.KindBool, run: func(vc *vctx, sel []int32) *vec {
+			out := newBoolVec(vc)
+			switch {
+			case !l.constant && r.constant:
+				cf, _ := r.cv.AsFloat()
+				cmpVecConstNum(out, l.run(vc, sel), cf, false, verdict, sel)
+			case l.constant && !r.constant:
+				cf, _ := l.cv.AsFloat()
+				cmpVecConstNum(out, r.run(vc, sel), cf, true, verdict, sel)
+			default:
+				lv, rv := l.run(vc, sel), r.run(vc, sel)
+				for _, ln := range sel {
+					if lv.null(ln) || rv.null(ln) {
+						out.nulls.Set(int(ln))
+						continue
+					}
+					out.bools[ln] = verdict(cmpFloat(lv.floatLane(ln), rv.floatLane(ln)))
+				}
+			}
+			return out
+		}}
+	}
+	if stringVexpr(l) && stringVexpr(r) {
+		return &vexpr{kind: sqldb.KindBool, run: func(vc *vctx, sel []int32) *vec {
+			lo := l.operand(vc, sel)
+			ro := r.operand(vc, sel)
+			out := newBoolVec(vc)
+			for _, ln := range sel {
+				if lo.isNull(ln) || ro.isNull(ln) {
+					out.nulls.Set(int(ln))
+					continue
+				}
+				a, b := lo.strAt(ln), ro.strAt(ln)
+				c := 0
+				if a < b {
+					c = -1
+				} else if a > b {
+					c = 1
+				}
+				out.bools[ln] = verdict(c)
+			}
+			return out
+		}}
+	}
+	return &vexpr{kind: sqldb.KindBool, run: func(vc *vctx, sel []int32) *vec {
+		lo := l.operand(vc, sel)
+		ro := r.operand(vc, sel)
+		out := newBoolVec(vc)
+		for _, ln := range sel {
+			if lo.isNull(ln) || ro.isNull(ln) {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			c, ok := sqldb.Compare(lo.at(ln), ro.at(ln))
+			if !ok {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			out.bools[ln] = verdict(c)
+		}
+		return out
+	}}
+}
+
+// strAt reads a lane known to be a non-NULL string.
+func (o *vop) strAt(ln int32) string {
+	if o.v == nil {
+		return o.cv.S
+	}
+	return o.v.strs[ln]
+}
+
+// cmpVecConstNum is the hot comparison shape: one numeric column vector
+// against a numeric constant (swapped reverses operand order).
+func cmpVecConstNum(out *vec, v *vec, c float64, swapped bool, verdict func(int) bool, sel []int32) {
+	switch v.kind {
+	case sqldb.KindInt:
+		ints := v.ints
+		for _, ln := range sel {
+			if v.nulls.Get(int(ln) + v.nullOff) {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			a, b := float64(ints[ln]), c
+			if swapped {
+				a, b = b, a
+			}
+			out.bools[ln] = verdict(cmpFloat(a, b))
+		}
+	default: // KindFloat: numericVexpr admits only Int and Float vectors
+		floats := v.floats
+		for _, ln := range sel {
+			if v.nulls.Get(int(ln) + v.nullOff) {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			a, b := floats[ln], c
+			if swapped {
+				a, b = b, a
+			}
+			out.bools[ln] = verdict(cmpFloat(a, b))
+		}
+	}
+}
+
+// compileConcatVec lowers || : NULL propagates, otherwise rendered strings
+// concatenate.
+func compileConcatVec(l, r *vexpr) *vexpr {
+	if l.allNull() || r.allNull() {
+		return nullVexpr()
+	}
+	return &vexpr{kind: sqldb.KindString, run: func(vc *vctx, sel []int32) *vec {
+		lo := l.operand(vc, sel)
+		ro := r.operand(vc, sel)
+		out := vc.arena.vec()
+		out.kind = sqldb.KindString
+		out.strs = vc.arena.strings(vc.n)
+		out.nulls = vc.arena.bitmap(vc.n)
+		for _, ln := range sel {
+			if lo.isNull(ln) || ro.isNull(ln) {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			out.strs[ln] = lo.at(ln).String() + ro.at(ln).String()
+		}
+		return out
+	}}
+}
+
+// compileArithVec lowers +,-,*,/,% when both operands are arithmetic-safe
+// kinds (evalArith's AsFloat cannot fail on Int/Float/Bool/NULL). Int×Int
+// runs the integer branch (with /,% by zero yielding NULL); anything with a
+// Float or Bool lane runs the float branch, replicating evalArith exactly —
+// including float % going through int64 conversions.
+func compileArithVec(op string, l, r *vexpr) *vexpr {
+	if !arithSafe(l) || !arithSafe(r) {
+		return nil
+	}
+	if l.allNull() || r.allNull() {
+		return nullVexpr()
+	}
+	if intVexpr(l) && intVexpr(r) {
+		return &vexpr{kind: sqldb.KindInt, run: func(vc *vctx, sel []int32) *vec {
+			lo := l.operand(vc, sel)
+			ro := r.operand(vc, sel)
+			out := vc.arena.vec()
+			out.kind = sqldb.KindInt
+			out.ints = vc.arena.int64s(vc.n)
+			out.nulls = vc.arena.bitmap(vc.n)
+			for _, ln := range sel {
+				if lo.isNull(ln) || ro.isNull(ln) {
+					out.nulls.Set(int(ln))
+					continue
+				}
+				a, b := lo.intAt(ln), ro.intAt(ln)
+				switch op {
+				case "+":
+					out.ints[ln] = a + b
+				case "-":
+					out.ints[ln] = a - b
+				case "*":
+					out.ints[ln] = a * b
+				case "/":
+					if b == 0 {
+						out.nulls.Set(int(ln))
+						continue
+					}
+					out.ints[ln] = a / b
+				case "%":
+					if b == 0 {
+						out.nulls.Set(int(ln))
+						continue
+					}
+					out.ints[ln] = a % b
+				}
+			}
+			return out
+		}}
+	}
+	return &vexpr{kind: sqldb.KindFloat, run: func(vc *vctx, sel []int32) *vec {
+		lo := l.operand(vc, sel)
+		ro := r.operand(vc, sel)
+		out := newFloatVec(vc)
+		for _, ln := range sel {
+			if lo.isNull(ln) || ro.isNull(ln) {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			a, b := lo.floatAt(ln), ro.floatAt(ln)
+			switch op {
+			case "+":
+				out.floats[ln] = a + b
+			case "-":
+				out.floats[ln] = a - b
+			case "*":
+				out.floats[ln] = a * b
+			case "/":
+				if b == 0 {
+					out.nulls.Set(int(ln))
+					continue
+				}
+				out.floats[ln] = a / b
+			case "%":
+				if b == 0 {
+					out.nulls.Set(int(ln))
+					continue
+				}
+				out.floats[ln] = float64(int64(a) % int64(b))
+			}
+		}
+		return out
+	}}
+}
+
+// intAt reads a lane known to be non-NULL KindInt.
+func (o *vop) intAt(ln int32) int64 {
+	if o.v == nil {
+		return o.cv.I
+	}
+	return o.v.ints[ln]
+}
+
+// floatAt reads a non-NULL lane of an arithmetic-safe operand through
+// AsFloat's conversions (Int widens, Bool maps to 1/0).
+func (o *vop) floatAt(ln int32) float64 {
+	if o.v == nil {
+		f, _ := o.cv.AsFloat()
+		return f
+	}
+	switch o.v.kind {
+	case sqldb.KindInt:
+		return float64(o.v.ints[ln])
+	case sqldb.KindFloat:
+		return o.v.floats[ln]
+	default: // KindBool under arithSafe
+		if o.v.bools[ln] {
+			return 1
+		}
+		return 0
+	}
+}
+
+// compileIsNullVec lowers IS [NOT] NULL; the output itself is never NULL.
+func compileIsNullVec(xv *vexpr, not bool) *vexpr {
+	return &vexpr{kind: sqldb.KindBool, run: func(vc *vctx, sel []int32) *vec {
+		op := xv.operand(vc, sel)
+		out := newBoolVec(vc)
+		for _, ln := range sel {
+			out.bools[ln] = op.isNull(ln) != not
+		}
+		return out
+	}}
+}
+
+// compileBetweenVec lowers BETWEEN with a numeric fast path mirroring
+// evalBetween's two Compare calls.
+func compileBetweenVec(xv, lo, hi *vexpr, not bool) *vexpr {
+	if xv.allNull() || lo.allNull() || hi.allNull() {
+		return nullVexpr()
+	}
+	numeric := numericVexpr(xv) && numericVexpr(lo) && numericVexpr(hi)
+	return &vexpr{kind: sqldb.KindBool, run: func(vc *vctx, sel []int32) *vec {
+		xo := xv.operand(vc, sel)
+		loo := lo.operand(vc, sel)
+		hio := hi.operand(vc, sel)
+		out := newBoolVec(vc)
+		for _, ln := range sel {
+			if xo.isNull(ln) || loo.isNull(ln) || hio.isNull(ln) {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			if numeric {
+				xf := xo.floatAt(ln)
+				in := cmpFloat(xf, loo.floatAt(ln)) >= 0 && cmpFloat(xf, hio.floatAt(ln)) <= 0
+				out.bools[ln] = in != not
+				continue
+			}
+			x := xo.at(ln)
+			c1, ok1 := sqldb.Compare(x, loo.at(ln))
+			c2, ok2 := sqldb.Compare(x, hio.at(ln))
+			if !ok1 || !ok2 {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			in := c1 >= 0 && c2 <= 0
+			out.bools[ln] = in != not
+		}
+		return out
+	}}
+}
+
+// compileLikeVec lowers LIKE. A constant pattern hoists the specialized
+// matcher out of the lane loop (the same compileLikeMatcher the row path
+// uses); variable patterns run the shared DP per lane.
+func compileLikeVec(xv, pv *vexpr, not bool) *vexpr {
+	if xv.allNull() || pv.allNull() {
+		return nullVexpr()
+	}
+	var matcher func(string) bool
+	if pv.constant {
+		matcher = compileLikeMatcher(strings.ToLower(pv.cv.String()))
+	}
+	return &vexpr{kind: sqldb.KindBool, run: func(vc *vctx, sel []int32) *vec {
+		xo := xv.operand(vc, sel)
+		po := pv.operand(vc, sel)
+		out := newBoolVec(vc)
+		for _, ln := range sel {
+			if xo.isNull(ln) || po.isNull(ln) {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			s := strings.ToLower(xo.at(ln).String())
+			if matcher != nil {
+				out.bools[ln] = matcher(s) != not
+				continue
+			}
+			out.bools[ln] = likeMatch(s, strings.ToLower(po.at(ln).String())) != not
+		}
+		return out
+	}}
+}
+
+// compileInVec lowers IN over a literal list: every item evaluates (total,
+// so order is unobservable), then membership with NULL-poisoning.
+func compileInVec(xv *vexpr, items []*vexpr, not bool) *vexpr {
+	if xv.allNull() {
+		return nullVexpr()
+	}
+	return &vexpr{kind: sqldb.KindBool, run: func(vc *vctx, sel []int32) *vec {
+		xo := xv.operand(vc, sel)
+		ops := make([]vop, len(items))
+		for i, item := range items {
+			ops[i] = item.operand(vc, sel)
+		}
+		out := newBoolVec(vc)
+		for _, ln := range sel {
+			if xo.isNull(ln) {
+				out.nulls.Set(int(ln))
+				continue
+			}
+			x := xo.at(ln)
+			matched, sawNull := false, false
+			for i := range ops {
+				c := ops[i].at(ln)
+				if c.IsNull() {
+					sawNull = true
+					continue
+				}
+				if x.Equal(c) {
+					matched = true
+					break
+				}
+			}
+			switch {
+			case matched:
+				out.bools[ln] = !not
+			case sawNull:
+				out.nulls.Set(int(ln))
+			default:
+				out.bools[ln] = not
+			}
+		}
+		return out
+	}}
+}
+
+// compileCaseVec lowers CASE lanewise over boxed values. All branches
+// evaluate for all lanes (total + pure makes that unobservable); the
+// per-lane selection replicates evalCase.
+func compileCaseVec(ce *sqlparse.CaseExpr, cols []bindCol, data []*sqldb.ColumnData) *vexpr {
+	var operand *vexpr
+	if ce.Operand != nil {
+		if operand = compileVec(ce.Operand, cols, data); operand == nil {
+			return nil
+		}
+	}
+	conds := make([]*vexpr, len(ce.Whens))
+	thens := make([]*vexpr, len(ce.Whens))
+	for i, w := range ce.Whens {
+		if conds[i] = compileVec(w.Cond, cols, data); conds[i] == nil {
+			return nil
+		}
+		if thens[i] = compileVec(w.Then, cols, data); thens[i] == nil {
+			return nil
+		}
+	}
+	var elseV *vexpr
+	if ce.Else != nil {
+		if elseV = compileVec(ce.Else, cols, data); elseV == nil {
+			return nil
+		}
+	}
+	return &vexpr{kind: kindAny, run: func(vc *vctx, sel []int32) *vec {
+		var opo vop
+		if operand != nil {
+			opo = operand.operand(vc, sel)
+		}
+		condOps := make([]vop, len(conds))
+		thenOps := make([]vop, len(thens))
+		for i := range conds {
+			condOps[i] = conds[i].operand(vc, sel)
+			thenOps[i] = thens[i].operand(vc, sel)
+		}
+		var elseOp vop
+		if elseV != nil {
+			elseOp = elseV.operand(vc, sel)
+		}
+		out := vc.arena.vec()
+		out.mixed = true
+		out.vals = vc.arena.values(vc.n)
+		for _, ln := range sel {
+			v := sqldb.Null()
+			matched := false
+			if operand != nil {
+				op := opo.at(ln)
+				for i := range condOps {
+					cv := condOps[i].at(ln)
+					if !op.IsNull() && !cv.IsNull() && op.Equal(cv) {
+						v = thenOps[i].at(ln)
+						matched = true
+						break
+					}
+				}
+			} else {
+				for i := range condOps {
+					if truthy(condOps[i].at(ln)) {
+						v = thenOps[i].at(ln)
+						matched = true
+						break
+					}
+				}
+			}
+			if !matched && elseV != nil {
+				v = elseOp.at(ln)
+			}
+			out.vals[ln] = v
+		}
+		return out
+	}}
+}
+
+// newBoolVec allocates a boolean output vector with a cleared null bitmap.
+func newBoolVec(vc *vctx) *vec {
+	out := vc.arena.vec()
+	out.kind = sqldb.KindBool
+	out.bools = vc.arena.booleans(vc.n)
+	out.nulls = vc.arena.bitmap(vc.n)
+	return out
+}
+
+// newFloatVec allocates a float output vector with a cleared null bitmap.
+func newFloatVec(vc *vctx) *vec {
+	out := vc.arena.vec()
+	out.kind = sqldb.KindFloat
+	out.floats = vc.arena.float64s(vc.n)
+	out.nulls = vc.arena.bitmap(vc.n)
+	return out
+}
+
+// ---- aggregate specs ----
+
+type aggMode int
+
+const (
+	// aggStarCount is COUNT(*): the group's row count, no evaluation.
+	aggStarCount aggMode = iota
+	// aggStaticErr is a call whose shape is statically invalid (non-COUNT
+	// star, wrong arity); the row engine raises the same error per group.
+	aggStaticErr
+	// aggTypedCol accumulates a uniformly-typed column directly from its
+	// snapshot array (no boxing, no per-row program).
+	aggTypedCol
+	// aggGeneric collects boxed values via the compiled argument program and
+	// reduces with finishAggregate — the row engine's own code.
+	aggGeneric
+)
+
+// aggSpec is one distinct aggregate call of an aggregated core, with the
+// accumulation strategy decided at batch-compile time (typed eligibility
+// depends on the snapshot's column kinds).
+type aggSpec struct {
+	fc        *sqlparse.FuncCall
+	mode      aggMode
+	staticErr error
+	name      string
+	distinct  bool
+	arg       program    // aggGeneric
+	ord       int        // aggTypedCol: from-layout ordinal
+	kind      sqldb.Kind // aggTypedCol: column kind (KindNull = all-NULL)
+}
+
+// typedAggOK reports whether a (aggregate, column kind) pair can accumulate
+// directly from the typed array with results identical to
+// collectAggregateArgs + finishAggregate. All-NULL columns accumulate
+// nothing, so every aggregate's empty-input rule applies; SUM/AVG/TOTAL over
+// strings can error lane-by-lane (AsFloat) and bools order under Compare's
+// bool branch, so those stay generic.
+func typedAggOK(name string, kind sqldb.Kind) bool {
+	switch kind {
+	case sqldb.KindNull:
+		return true
+	case sqldb.KindInt, sqldb.KindFloat:
+		return true
+	case sqldb.KindString:
+		return name == "COUNT" || name == "MIN" || name == "MAX"
+	}
+	return name == "COUNT" // KindBool
+}
+
+// collectAggSpecs gathers every aggregate call the compiled group-finish
+// programs can evaluate — SELECT items, HAVING, and ORDER BY expressions
+// that compiled to programs (position/alias targets read projected values
+// instead). WalkExprs does not descend into subquery select trees, but batch
+// plans exclude subqueries entirely.
+func collectAggSpecs(cp *corePlan, cols []bindCol, data []*sqldb.ColumnData) []aggSpec {
+	var calls []*sqlparse.FuncCall
+	seen := make(map[*sqlparse.FuncCall]bool)
+	add := func(e sqlparse.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparse.WalkExprs(e, func(x sqlparse.Expr) {
+			if fc, ok := x.(*sqlparse.FuncCall); ok && fc.Over == nil && isAggregateName(fc.Name) && !seen[fc] {
+				seen[fc] = true
+				calls = append(calls, fc)
+			}
+		})
+	}
+	for _, item := range cp.items {
+		add(item.Expr)
+	}
+	add(cp.src.Having)
+	for i, o := range cp.orderBy {
+		if cp.orderIdx[i] < 0 {
+			add(o.Expr)
+		}
+	}
+
+	specs := make([]aggSpec, 0, len(calls))
+	for _, fc := range calls {
+		spec := aggSpec{fc: fc, name: fc.Name, distinct: fc.Distinct}
+		switch {
+		case fc.Star:
+			if fc.Name != "COUNT" {
+				spec.mode = aggStaticErr
+				spec.staticErr = execErrf("%s(*) is not a valid aggregate", fc.Name)
+			} else {
+				spec.mode = aggStarCount
+			}
+		case len(fc.Args) != 1:
+			spec.mode = aggStaticErr
+			spec.staticErr = execErrf("aggregate %s expects exactly 1 argument", fc.Name)
+		default:
+			spec.mode = aggGeneric
+			if cr, ok := fc.Args[0].(*sqlparse.ColumnRef); ok && !fc.Distinct {
+				if ord := bindColumn(cr, cols); ord >= 0 {
+					cd := data[ord]
+					if !cd.Mixed && typedAggOK(fc.Name, cd.Kind) {
+						spec.mode = aggTypedCol
+						spec.ord = ord
+						spec.kind = cd.Kind
+					}
+				}
+			}
+			if spec.mode == aggGeneric {
+				spec.arg, _ = compileExpr(fc.Args[0], cols)
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}

@@ -1,0 +1,753 @@
+package sqlexec
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"strings"
+
+	"genedit/internal/parallel"
+	"genedit/internal/sqldb"
+	"genedit/internal/sqlparse"
+)
+
+// Batch (morsel-driven) execution of compiled batch plans.
+//
+// A supported statement's scanned table is split into fixed-size morsels.
+// The WHERE filter — and, for non-aggregated cores, projection and ORDER BY
+// key evaluation — runs over morsels in parallel; results and errors merge
+// in morsel order, which together with the slot-level restriction discipline
+// (see slot.eval) makes output rows AND the selected error bit-identical to
+// the serial compiled path. Aggregation accumulates strictly sequentially in
+// morsel order so float summation associates exactly as the row engine's,
+// and the group-finish phase reuses the compiled HAVING/projection programs
+// with pre-accumulated aggregate results injected through rowEnv.aggs.
+
+// DefaultMorselSize is the number of rows per morsel: large enough to
+// amortize per-morsel overhead (arena checkout, task dispatch), small enough
+// that per-morsel vectors stay cache-resident.
+const DefaultMorselSize = 1024
+
+// SetBatchExec enables or disables the vectorized batch engine (on by
+// default). Statements the batch engine does not support always fall back to
+// the compiled row path per statement, so disabling only removes the fast
+// path. Like the other knobs, not synchronized — configure before sharing
+// the executor.
+func (e *Executor) SetBatchExec(enabled bool) { e.noBatch = !enabled }
+
+// BatchExecEnabled reports whether the batch engine is enabled.
+func (e *Executor) BatchExecEnabled() bool { return !e.noBatch }
+
+// SetMorselSize sets the rows-per-morsel granularity. Non-positive values
+// reset to DefaultMorselSize.
+func (e *Executor) SetMorselSize(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	e.morselSize = n
+}
+
+// MorselSize reports the effective morsel size.
+func (e *Executor) MorselSize() int {
+	if e.morselSize <= 0 {
+		return DefaultMorselSize
+	}
+	return e.morselSize
+}
+
+// SetMorselWorkers bounds intra-query parallelism (morsels in flight).
+// Non-positive values reset to the default, GOMAXPROCS at query time.
+func (e *Executor) SetMorselWorkers(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	e.morselWorkers = n
+}
+
+// MorselWorkers reports the effective morsel worker bound.
+func (e *Executor) MorselWorkers() int {
+	if e.morselWorkers > 0 {
+		return e.morselWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// colSnap caches one table's columnar snapshot. Tables are append-only under
+// live executors (schemas never change), so a snapshot is current while the
+// table pointer and row count both match.
+type colSnap struct {
+	src   *sqldb.Table
+	nrows int
+	rows  []sqldb.Row
+	data  *sqldb.Columnar
+}
+
+// columnarFor returns the current columnar snapshot for a base table plus
+// the row view it was built from, building and caching it on first use and
+// rebuilding when rows were appended. Returns nil for unknown tables (the
+// row path owns that error).
+func (e *Executor) columnarFor(table string) (*sqldb.Columnar, []sqldb.Row) {
+	tbl := e.db.Table(table)
+	if tbl == nil {
+		return nil, nil
+	}
+	key := strings.ToUpper(table)
+	e.colMu.RLock()
+	cs := e.colSnaps[key]
+	e.colMu.RUnlock()
+	if cs != nil && cs.src == tbl && cs.nrows == len(tbl.Rows) {
+		return cs.data, cs.rows
+	}
+	rows := tbl.Rows[:len(tbl.Rows):len(tbl.Rows)]
+	view := &sqldb.Table{Name: tbl.Name, Columns: tbl.Columns, Rows: rows}
+	cs = &colSnap{src: tbl, nrows: len(rows), rows: rows, data: sqldb.Columnarize(view)}
+	e.colMu.Lock()
+	if e.colSnaps == nil {
+		e.colSnaps = make(map[string]*colSnap)
+	}
+	e.colSnaps[key] = cs
+	e.colMu.Unlock()
+	return cs.data, cs.rows
+}
+
+// batchFor resolves the batch plan for a cached statement: reuse the cached
+// plan while its snapshot is current, recompile when the table grew, and
+// remember unsupported statements so the gate runs once per statement, not
+// once per execution.
+func (e *Executor) batchFor(sql string, cs cachedStmt, plan *stmtPlan) *batchPlan {
+	if cs.batchTried && cs.batch == nil {
+		return nil // unsupported: plan shape is per-statement, stable
+	}
+	if bp := cs.batch; bp != nil {
+		if snap, _ := e.columnarFor(bp.cp.from.leaf.table); snap == bp.snap {
+			return bp
+		}
+	}
+	bp := compileBatch(e, plan)
+	e.stmts.setBatch(sql, bp)
+	return bp
+}
+
+// aggRes is one aggregate call's pre-accumulated per-group result — the
+// value or error the row engine's closure would have produced by scanning
+// the group. Compiled aggregate closures return it via rowEnv.aggs.
+type aggRes struct {
+	v   sqldb.Value
+	err error
+}
+
+// runBatch executes a compiled batch plan.
+func (e *Executor) runBatch(bp *batchPlan) (*Result, error) {
+	if bp.cp.aggregated {
+		return e.runBatchAgg(bp)
+	}
+	return e.runBatchScan(bp)
+}
+
+// morselCount splits nrows into morsels of the configured size.
+func (e *Executor) morselCount(nrows, size int) int {
+	return (nrows + size - 1) / size
+}
+
+// runBatchScan executes a non-aggregated core: filter, project and compute
+// ORDER BY keys per morsel in parallel, then merge in morsel order and
+// finish through the shared DISTINCT/ORDER BY/LIMIT tail.
+func (e *Executor) runBatchScan(bp *batchPlan) (*Result, error) {
+	cp := bp.cp
+	size := e.MorselSize()
+	nrows := bp.snap.NRows
+	nm := e.morselCount(nrows, size)
+
+	type scanOut struct {
+		outs      []projRow
+		projected int
+		whereErr  error
+		projErr   error
+	}
+	results := make([]scanOut, nm)
+	sc := &scope{}
+	parallel.ForEach(context.Background(), e.MorselWorkers(), nm, func(m int) {
+		out := &results[m]
+		base := m * size
+		n := min(size, nrows-base)
+		arena := getVecArena(size)
+		defer putVecArena(arena)
+		vc := &vctx{exec: e, rows: bp.rows, cols: bp.cols, base: base, n: n, arena: arena}
+		vc.env = rowEnv{exec: e, sc: sc, cols: bp.fromCols}
+		sel := iotaSel(n)
+		if bp.filter != nil {
+			fv, _, err := bp.filter.eval(vc, sel)
+			if err != nil {
+				out.whereErr = err
+				return
+			}
+			keep := arena.selection()
+			for _, ln := range sel {
+				if fv.truthyAt(ln) {
+					keep = append(keep, ln)
+				}
+			}
+			sel = keep
+		}
+
+		// Projection items then ORDER BY keys, clause order. After a slot
+		// errors, later slots evaluate only lanes before the error lane, so
+		// the surviving (lane, error) pair is the row-major-first one — the
+		// row the serial engine would have died on.
+		errLane := int32(math.MaxInt32)
+		var slotErr error
+		projVecs := make([]*vec, len(bp.projs))
+		orderVecs := make([]*vec, len(bp.orders))
+		cur := sel
+		for i, s := range bp.projs {
+			cur = truncSel(cur, errLane)
+			v, ln, err := s.eval(vc, cur)
+			if err != nil && ln < errLane {
+				errLane, slotErr = ln, err
+			}
+			projVecs[i] = v
+		}
+		for i, s := range bp.orders {
+			if s == nil {
+				continue
+			}
+			cur = truncSel(cur, errLane)
+			v, ln, err := s.eval(vc, cur)
+			if err != nil && ln < errLane {
+				errLane, slotErr = ln, err
+			}
+			orderVecs[i] = v
+		}
+		if slotErr != nil {
+			out.projErr = slotErr
+			return
+		}
+
+		// Materialize the morsel's surviving rows off the arena into
+		// slab-backed rows: these escape into the Result (pool.go's rule),
+		// while every vector dies with the arena at the deferred release.
+		var slab rowSlab
+		outs := make([]projRow, 0, len(sel))
+		for _, ln := range sel {
+			row := slab.take(len(projVecs))
+			for i, v := range projVecs {
+				row[i] = v.value(ln)
+			}
+			keys := slab.take(len(cp.orderBy))
+			for i := range cp.orderBy {
+				if cp.orderIdx[i] >= 0 {
+					keys[i] = row[cp.orderIdx[i]]
+					continue
+				}
+				keys[i] = orderVecs[i].value(ln)
+			}
+			outs = append(outs, projRow{row: row, keys: keys})
+		}
+		out.outs = outs
+		out.projected = len(sel)
+	})
+
+	// Phase-major merge: the serial engine completes its entire WHERE pass
+	// before projecting anything, so any morsel's WHERE error (earliest
+	// morsel first) beats any projection error.
+	for i := range results {
+		if results[i].whereErr != nil {
+			return nil, results[i].whereErr
+		}
+	}
+	for i := range results {
+		if results[i].projErr != nil {
+			return nil, results[i].projErr
+		}
+	}
+	total := 0
+	for i := range results {
+		total += len(results[i].outs)
+	}
+	outs := make([]projRow, 0, total)
+	projected := 0
+	for i := range results {
+		outs = append(outs, results[i].outs...)
+		projected += results[i].projected
+	}
+	return finishCore(cp, outs, projected)
+}
+
+// batchGroup is one GROUP BY partition under accumulation.
+type batchGroup struct {
+	first int // global row index of the group's first row (-1 until seen)
+	count int
+	accs  []aggAcc
+	aggs  map[*sqlparse.FuncCall]aggRes
+}
+
+func newBatchGroup(bp *batchPlan) *batchGroup {
+	return &batchGroup{first: -1, accs: make([]aggAcc, len(bp.aggs))}
+}
+
+// aggAcc is one (group, aggregate call) accumulator. Typed modes fold into
+// the scalar fields; generic mode collects boxed values exactly as
+// collectAggregateArgs would (first evaluation error sticks and stops
+// further evaluation for this pair).
+type aggAcc struct {
+	n     int
+	isum  int64
+	fsum  float64
+	ibest int64
+	fbest float64
+	sbest string
+	vals  []sqldb.Value
+	seen  map[string]bool
+	err   error
+}
+
+// runBatchAgg executes an aggregated core: parallel WHERE filtering, then a
+// strictly sequential (morsel-order = row-order) grouping and accumulation
+// pass, then group finish through the compiled HAVING/projection programs.
+func (e *Executor) runBatchAgg(bp *batchPlan) (*Result, error) {
+	cp := bp.cp
+	size := e.MorselSize()
+	nrows := bp.snap.NRows
+	nm := e.morselCount(nrows, size)
+	sc := &scope{}
+
+	// Phase 1 (parallel): filter each morsel. Arenas and selections survive
+	// into the sequential phase, which consumes morsels in order and
+	// releases each arena as it finishes with it.
+	type filtOut struct {
+		arena    *vecArena
+		vc       *vctx
+		sel      []int32
+		whereErr error
+	}
+	filt := make([]filtOut, nm)
+	parallel.ForEach(context.Background(), e.MorselWorkers(), nm, func(m int) {
+		f := &filt[m]
+		base := m * size
+		n := min(size, nrows-base)
+		arena := getVecArena(size)
+		vc := &vctx{exec: e, rows: bp.rows, cols: bp.cols, base: base, n: n, arena: arena}
+		vc.env = rowEnv{exec: e, sc: sc, cols: bp.fromCols}
+		sel := iotaSel(n)
+		if bp.filter != nil {
+			fv, _, err := bp.filter.eval(vc, sel)
+			if err != nil {
+				f.whereErr = err
+				putVecArena(arena)
+				return
+			}
+			keep := arena.selection()
+			for _, ln := range sel {
+				if fv.truthyAt(ln) {
+					keep = append(keep, ln)
+				}
+			}
+			sel = keep
+		}
+		f.arena, f.vc, f.sel = arena, vc, sel
+	})
+	releaseFrom := func(i int) {
+		for ; i < nm; i++ {
+			if filt[i].arena != nil {
+				putVecArena(filt[i].arena)
+				filt[i].arena = nil
+			}
+		}
+	}
+	for i := range filt {
+		if filt[i].whereErr != nil {
+			releaseFrom(0)
+			return nil, filt[i].whereErr
+		}
+	}
+
+	// Phase 2 (sequential): group and accumulate in morsel order, which is
+	// global row order — float sums associate exactly as the row engine's.
+	var order []*batchGroup
+	var gmap map[string]*batchGroup
+	var single *batchGroup
+	if len(cp.groupBy) == 0 {
+		// No GROUP BY: always exactly one group, even over zero rows.
+		single = newBatchGroup(bp)
+		order = append(order, single)
+	} else {
+		gmap = make(map[string]*batchGroup)
+	}
+	genv := &rowEnv{exec: e, sc: sc, cols: bp.fromCols} // agg-arg env: no group, no aggs
+	kbp := getKeyBuf()
+	kb := *kbp
+	var keyErr error
+	for m := 0; m < nm && keyErr == nil; m++ {
+		f := &filt[m]
+		if single != nil {
+			e.accumulateMorsel(bp, single, genv, f.vc, f.sel)
+		} else {
+			// GROUP BY key slots under the restriction discipline, then
+			// per-row group assignment with the row engine's composite keys.
+			errLane := int32(math.MaxInt32)
+			var slotErr error
+			keyVecs := make([]*vec, len(bp.keys))
+			cur := f.sel
+			for i, s := range bp.keys {
+				cur = truncSel(cur, errLane)
+				v, ln, err := s.eval(f.vc, cur)
+				if err != nil && ln < errLane {
+					errLane, slotErr = ln, err
+				}
+				keyVecs[i] = v
+			}
+			if slotErr != nil {
+				keyErr = slotErr
+			} else {
+				for _, ln := range f.sel {
+					kb = kb[:0]
+					for _, kv := range keyVecs {
+						kb = sqldb.AppendValueKey(kb, kv.value(ln))
+					}
+					key := string(kb)
+					g := gmap[key]
+					if g == nil {
+						g = newBatchGroup(bp)
+						gmap[key] = g
+						order = append(order, g)
+					}
+					e.accumulateRow(bp, g, genv, f.vc.base+int(ln))
+				}
+			}
+		}
+		putVecArena(f.arena)
+		f.arena = nil
+	}
+	*kbp = kb
+	putKeyBuf(kbp)
+	if keyErr != nil {
+		releaseFrom(0)
+		return nil, keyErr
+	}
+
+	// Phase 3: group finish — the compiled HAVING and projection programs
+	// run per group with the accumulated aggregate results injected through
+	// env.aggs, preserving the serial order: HAVING over every group first,
+	// projection over the kept groups second.
+	for _, g := range order {
+		g.finish(bp)
+	}
+	env := &rowEnv{exec: e, sc: sc, cols: bp.fromCols}
+	groupMarker := []sqldb.Row{}
+	var emptyRow sqldb.Row
+	setGroup := func(g *batchGroup) {
+		env.group = groupMarker
+		env.aggs = g.aggs
+		if g.first >= 0 {
+			env.row = bp.rows[g.first]
+		} else {
+			if emptyRow == nil {
+				emptyRow = make(sqldb.Row, len(bp.fromCols))
+			}
+			env.row = emptyRow
+		}
+	}
+	var kept []*batchGroup
+	for _, g := range order {
+		setGroup(g)
+		if cp.having != nil {
+			v, err := cp.having(env)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		kept = append(kept, g)
+	}
+	var slab rowSlab
+	outs := make([]projRow, 0, len(kept))
+	projected := 0
+	for _, g := range kept {
+		setGroup(g)
+		projected++
+		row := slab.take(len(cp.projs))
+		for i, p := range cp.projs {
+			v, err := p(env)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		keys := slab.take(len(cp.orderBy))
+		for i := range cp.orderBy {
+			if cp.orderIdx[i] >= 0 {
+				keys[i] = row[cp.orderIdx[i]]
+				continue
+			}
+			v, err := cp.orderProgs[i](env)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		outs = append(outs, projRow{row: row, keys: keys})
+	}
+	return finishCore(cp, outs, projected)
+}
+
+// accumulateRow folds one selected row into its group's accumulators.
+func (e *Executor) accumulateRow(bp *batchPlan, g *batchGroup, genv *rowEnv, row int) {
+	if g.count == 0 {
+		g.first = row
+	}
+	g.count++
+	for i := range bp.aggs {
+		s := &bp.aggs[i]
+		switch s.mode {
+		case aggTypedCol:
+			accTyped(s, &g.accs[i], bp.cols[s.ord], row)
+		case aggGeneric:
+			accGeneric(s, &g.accs[i], genv, bp.rows[row])
+		}
+	}
+}
+
+// accumulateMorsel folds a whole morsel's selection into the single
+// (no-GROUP-BY) group, column-at-a-time per aggregate.
+func (e *Executor) accumulateMorsel(bp *batchPlan, g *batchGroup, genv *rowEnv, vc *vctx, sel []int32) {
+	if len(sel) == 0 {
+		return
+	}
+	if g.count == 0 {
+		g.first = vc.base + int(sel[0])
+	}
+	g.count += len(sel)
+	for i := range bp.aggs {
+		s := &bp.aggs[i]
+		acc := &g.accs[i]
+		switch s.mode {
+		case aggTypedCol:
+			cd := bp.cols[s.ord]
+			if fastTypedAcc(s, acc, cd, vc.base, sel) {
+				continue
+			}
+			for _, ln := range sel {
+				accTyped(s, acc, cd, vc.base+int(ln))
+			}
+		case aggGeneric:
+			for _, ln := range sel {
+				accGeneric(s, acc, genv, bp.rows[vc.base+int(ln)])
+			}
+		}
+	}
+}
+
+// fastTypedAcc handles the hot COUNT/SUM/TOTAL/AVG column loops without
+// per-row dispatch. Float sums still accumulate lane-at-a-time into the
+// running total — no per-morsel subtotals — so association order matches the
+// serial engine bit-for-bit.
+func fastTypedAcc(s *aggSpec, acc *aggAcc, cd *sqldb.ColumnData, base int, sel []int32) bool {
+	if s.kind == sqldb.KindNull {
+		return true // every lane NULL: nothing accumulates
+	}
+	switch s.name {
+	case "COUNT":
+		if cd.Nulls == nil {
+			acc.n += len(sel)
+			return true
+		}
+		for _, ln := range sel {
+			if !cd.Nulls.Get(base + int(ln)) {
+				acc.n++
+			}
+		}
+		return true
+	case "SUM", "TOTAL", "AVG":
+		switch s.kind {
+		case sqldb.KindInt:
+			ints := cd.Ints
+			if cd.Nulls == nil {
+				for _, ln := range sel {
+					acc.isum += ints[base+int(ln)]
+				}
+				acc.n += len(sel)
+				return true
+			}
+			for _, ln := range sel {
+				if r := base + int(ln); !cd.Nulls.Get(r) {
+					acc.isum += ints[r]
+					acc.n++
+				}
+			}
+			return true
+		case sqldb.KindFloat:
+			floats := cd.Floats
+			if cd.Nulls == nil {
+				for _, ln := range sel {
+					acc.fsum += floats[base+int(ln)]
+				}
+				acc.n += len(sel)
+				return true
+			}
+			for _, ln := range sel {
+				if r := base + int(ln); !cd.Nulls.Get(r) {
+					acc.fsum += floats[r]
+					acc.n++
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// accTyped folds one row of a uniformly-typed column into an accumulator.
+func accTyped(s *aggSpec, acc *aggAcc, cd *sqldb.ColumnData, row int) {
+	if cd.Null(row) {
+		return
+	}
+	switch s.kind {
+	case sqldb.KindInt:
+		v := cd.Ints[row]
+		switch s.name {
+		case "SUM", "TOTAL", "AVG":
+			acc.isum += v
+		case "MIN":
+			// Compare widens both Int sides to float64, so the extremum
+			// test must too (large ints can tie as floats; first wins).
+			if acc.n == 0 || float64(v) < float64(acc.ibest) {
+				acc.ibest = v
+			}
+		case "MAX":
+			if acc.n == 0 || float64(v) > float64(acc.ibest) {
+				acc.ibest = v
+			}
+		}
+	case sqldb.KindFloat:
+		v := cd.Floats[row]
+		switch s.name {
+		case "SUM", "TOTAL", "AVG":
+			acc.fsum += v
+		case "MIN":
+			// cmpFloat treats NaN-involved comparisons as ties, so a NaN
+			// never displaces the incumbent — extremum's behavior.
+			if acc.n == 0 || cmpFloat(v, acc.fbest) < 0 {
+				acc.fbest = v
+			}
+		case "MAX":
+			if acc.n == 0 || cmpFloat(v, acc.fbest) > 0 {
+				acc.fbest = v
+			}
+		}
+	case sqldb.KindString:
+		v := cd.Strs[row]
+		switch s.name {
+		case "MIN":
+			if acc.n == 0 || v < acc.sbest {
+				acc.sbest = v
+			}
+		case "MAX":
+			if acc.n == 0 || v > acc.sbest {
+				acc.sbest = v
+			}
+		}
+	}
+	acc.n++
+}
+
+// accGeneric folds one row through the compiled argument program, with
+// collectAggregateArgs' exact skip/dedup/error rules.
+func accGeneric(s *aggSpec, acc *aggAcc, genv *rowEnv, row sqldb.Row) {
+	if acc.err != nil {
+		return // collection aborted at its first error
+	}
+	genv.row = row
+	v, err := s.arg(genv)
+	if err != nil {
+		acc.err = err
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	if s.distinct {
+		k := v.Key()
+		if acc.seen == nil {
+			acc.seen = make(map[string]bool)
+		}
+		if acc.seen[k] {
+			return
+		}
+		acc.seen[k] = true
+	}
+	acc.vals = append(acc.vals, v)
+}
+
+// finish reduces the group's accumulators into the aggRes map the compiled
+// programs consume via rowEnv.aggs.
+func (g *batchGroup) finish(bp *batchPlan) {
+	if len(bp.aggs) == 0 {
+		return
+	}
+	g.aggs = make(map[*sqlparse.FuncCall]aggRes, len(bp.aggs))
+	for i := range bp.aggs {
+		s := &bp.aggs[i]
+		var r aggRes
+		switch s.mode {
+		case aggStarCount:
+			r.v = sqldb.Int(int64(g.count))
+		case aggStaticErr:
+			r.v, r.err = sqldb.Null(), s.staticErr
+		case aggTypedCol:
+			r.v, r.err = s.finishTyped(&g.accs[i])
+		case aggGeneric:
+			acc := &g.accs[i]
+			if acc.err != nil {
+				r.v, r.err = sqldb.Null(), acc.err
+			} else {
+				r.v, r.err = finishAggregate(s.name, acc.vals)
+			}
+		}
+		g.aggs[s.fc] = r
+	}
+}
+
+// finishTyped applies finishAggregate's reduction rules to a typed
+// accumulator: COUNT counts, SUM of nothing is NULL while TOTAL of nothing
+// is 0.0, int sums stay Int (wrap-adding like sumValues), AVG divides the
+// float image of the sum, MIN/MAX return the incumbent.
+func (s *aggSpec) finishTyped(acc *aggAcc) (sqldb.Value, error) {
+	switch s.name {
+	case "COUNT":
+		return sqldb.Int(int64(acc.n)), nil
+	case "SUM", "TOTAL":
+		if acc.n == 0 {
+			if s.name == "TOTAL" {
+				return sqldb.Float(0), nil
+			}
+			return sqldb.Null(), nil
+		}
+		if s.kind == sqldb.KindInt {
+			return sqldb.Int(acc.isum), nil
+		}
+		return sqldb.Float(acc.fsum), nil
+	case "AVG":
+		if acc.n == 0 {
+			return sqldb.Null(), nil
+		}
+		if s.kind == sqldb.KindInt {
+			return sqldb.Float(float64(acc.isum) / float64(acc.n)), nil
+		}
+		return sqldb.Float(acc.fsum / float64(acc.n)), nil
+	case "MIN", "MAX":
+		if acc.n == 0 {
+			return sqldb.Null(), nil
+		}
+		switch s.kind {
+		case sqldb.KindInt:
+			return sqldb.Int(acc.ibest), nil
+		case sqldb.KindFloat:
+			return sqldb.Float(acc.fbest), nil
+		default:
+			return sqldb.Str(acc.sbest), nil
+		}
+	}
+	return sqldb.Null(), execErrf("unknown aggregate %s", s.name)
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"genedit/internal/sqldb"
 	"genedit/internal/sqlparse"
@@ -29,6 +30,16 @@ type Executor struct {
 	noHashJoin bool
 	// noCompiled forces the tree-walking interpreter; see SetCompiledExec.
 	noCompiled bool
+	// noBatch disables the vectorized batch engine; see SetBatchExec.
+	noBatch bool
+	// morselSize/morselWorkers configure batch execution; zero means the
+	// defaults (DefaultMorselSize, GOMAXPROCS at query time).
+	morselSize    int
+	morselWorkers int
+	// colMu guards colSnaps, the per-table columnar snapshot cache the batch
+	// engine scans (see columnarFor).
+	colMu    sync.RWMutex
+	colSnaps map[string]*colSnap
 }
 
 // New returns an executor over db with statement caching, compiled
@@ -66,15 +77,20 @@ func execErrf(format string, args ...any) error {
 // re-lexing, re-parsing or re-compiling it.
 func (e *Executor) Query(sql string) (*Result, error) {
 	if e.stmts != nil {
-		if stmt, plan, ok := e.stmts.get(sql); ok {
+		if cs, ok := e.stmts.get(sql); ok {
 			if e.noCompiled {
-				return e.evalStmt(stmt, &scope{}, nil)
+				return e.evalStmt(cs.stmt, &scope{}, nil)
 			}
-			if plan == nil {
-				plan = compileStmt(e.db, stmt)
-				e.stmts.setPlan(sql, plan)
+			if cs.plan == nil {
+				cs.plan = compileStmt(e.db, cs.stmt)
+				e.stmts.setPlan(sql, cs.plan)
 			}
-			return e.runStmt(plan, &scope{})
+			if !e.noBatch {
+				if bp := e.batchFor(sql, cs, cs.plan); bp != nil {
+					return e.runBatch(bp)
+				}
+			}
+			return e.runStmt(cs.plan, &scope{})
 		}
 	}
 	stmt, err := sqlparse.Parse(sql)
@@ -91,6 +107,15 @@ func (e *Executor) Query(sql string) (*Result, error) {
 	if e.stmts != nil {
 		e.stmts.put(sql, stmt, plan)
 	}
+	if !e.noBatch {
+		bp := compileBatch(e, plan)
+		if e.stmts != nil {
+			e.stmts.setBatch(sql, bp)
+		}
+		if bp != nil {
+			return e.runBatch(bp)
+		}
+	}
 	return e.runStmt(plan, &scope{})
 }
 
@@ -100,7 +125,13 @@ func (e *Executor) Exec(stmt *sqlparse.SelectStmt) (*Result, error) {
 	if e.noCompiled {
 		return e.evalStmt(stmt, &scope{}, nil)
 	}
-	return e.runStmt(compileStmt(e.db, stmt), &scope{})
+	plan := compileStmt(e.db, stmt)
+	if !e.noBatch {
+		if bp := compileBatch(e, plan); bp != nil {
+			return e.runBatch(bp)
+		}
+	}
+	return e.runStmt(plan, &scope{})
 }
 
 // scope carries CTE visibility; scopes chain lexically.
@@ -149,6 +180,10 @@ type rowEnv struct {
 	outer   *rowEnv     // enclosing query's row for correlated subqueries
 	windows map[*sqlparse.FuncCall][]sqldb.Value
 	idx     int // this row's index into window value slices
+	// aggs holds pre-accumulated aggregate results for the batch engine's
+	// group-finish phase: when set, compiled aggregate closures return the
+	// stored result (value or error) instead of re-scanning env.group.
+	aggs map[*sqlparse.FuncCall]aggRes
 }
 
 func (e *Executor) evalStmt(stmt *sqlparse.SelectStmt, sc *scope, outer *rowEnv) (*Result, error) {

@@ -206,17 +206,17 @@ func TestStatementCacheLRUEviction(t *testing.T) {
 	put := func(sql string) { c.put(sql, nil, nil) }
 	put("a")
 	put("b")
-	if _, _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
 		t.Fatal("a should be cached")
 	}
 	put("c") // evicts b
-	if _, _, ok := c.get("b"); ok {
+	if _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, _, ok := c.get("a"); !ok {
+	if _, ok := c.get("a"); !ok {
 		t.Error("a should survive eviction")
 	}
-	if _, _, ok := c.get("c"); !ok {
+	if _, ok := c.get("c"); !ok {
 		t.Error("c should be cached")
 	}
 }

@@ -677,6 +677,14 @@ func (e *Executor) runCore(cp *corePlan, sc *scope) (*Result, error) {
 		}
 	}
 
+	return finishCore(cp, outs, projected)
+}
+
+// finishCore applies a core's post-projection stages — DISTINCT, ORDER BY
+// (top-N when the limit folded), LIMIT/OFFSET, slab compaction — to the
+// projected rows. It is shared by runCore and the batch executor, which
+// produce outs differently but finish identically.
+func finishCore(cp *corePlan, outs []projRow, projected int) (*Result, error) {
 	if cp.distinct {
 		seen := make(map[string]bool, len(outs))
 		dedup := outs[:0:0]
@@ -708,7 +716,7 @@ func (e *Executor) runCore(cp *corePlan, sc *scope) (*Result, error) {
 	for _, o := range outs {
 		res.Rows = append(res.Rows, o.row)
 	}
-	res, err = applyFolded(res, cp.limit, cp.offset)
+	res, err := applyFolded(res, cp.limit, cp.offset)
 	if err != nil {
 		return nil, err
 	}

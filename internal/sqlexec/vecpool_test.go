@@ -1,0 +1,146 @@
+package sqlexec
+
+import (
+	"fmt"
+	"testing"
+
+	"genedit/internal/sqldb"
+)
+
+func TestVecArenaResetClearsReferences(t *testing.T) {
+	a := getVecArena(8)
+	v := a.vec()
+	v.kind = sqldb.KindString
+	v.strs = a.strings(8)
+	for i := range v.strs {
+		v.strs[i] = fmt.Sprintf("pinned-%d", i)
+	}
+	vals := a.values(8)
+	for i := range vals {
+		vals[i] = sqldb.Str("boxed")
+	}
+	a.reset()
+
+	if v.kind != sqldb.KindNull || v.strs != nil || v.mixed || v.constant {
+		t.Fatalf("vec header not zeroed on reset: %+v", v)
+	}
+	// The recycled buffers must hand back the same backing arrays with every
+	// reference slot cleared, so a pooled arena cannot pin result strings or
+	// boxed values from a previous query.
+	s2 := a.strings(8)
+	if &s2[0] != &a.strs[0][0] {
+		t.Fatal("strings buffer not recycled after reset")
+	}
+	for i, s := range s2 {
+		if s != "" {
+			t.Fatalf("strings[%d] = %q after reset, want cleared", i, s)
+		}
+	}
+	v2 := a.values(8)
+	for i, val := range v2 {
+		if !val.IsNull() {
+			t.Fatalf("values[%d] = %v after reset, want zero Value", i, val)
+		}
+	}
+}
+
+func TestVecArenaCapacityMismatchDiscarded(t *testing.T) {
+	// Unusual capacities so arenas pooled by other tests cannot satisfy the
+	// lookups by accident.
+	a := getVecArena(937)
+	a.int64s(937)
+	putVecArena(a)
+	b := getVecArena(941)
+	if b.cap != 941 {
+		t.Fatalf("getVecArena(941) returned arena with cap %d", b.cap)
+	}
+	if got := b.int64s(941); len(got) != 941 {
+		t.Fatalf("int64s(941) len = %d", len(got))
+	}
+	putVecArena(b)
+}
+
+func TestVecArenaBitmapClearedOnReuse(t *testing.T) {
+	a := getVecArena(128)
+	bm := a.bitmap(70)
+	for i := 0; i < 70; i += 3 {
+		bm.Set(i)
+	}
+	a.reset()
+	bm2 := a.bitmap(70)
+	for i := 0; i < 70; i++ {
+		if bm2.Get(i) {
+			t.Fatalf("recycled bitmap has stale bit %d set", i)
+		}
+	}
+	putVecArena(a)
+}
+
+func TestVecArenaSelectionReuse(t *testing.T) {
+	a := getVecArena(16)
+	sel := a.selection()
+	sel = append(sel, 1, 2, 3)
+	a.reset()
+	sel2 := a.selection()
+	if len(sel2) != 0 || cap(sel2) != 16 {
+		t.Fatalf("recycled selection len=%d cap=%d, want 0/16", len(sel2), cap(sel2))
+	}
+	if &sel[0] != &sel2[:1][0] {
+		t.Fatal("selection buffer not recycled after reset")
+	}
+	putVecArena(a)
+}
+
+func TestIotaSelSharedAndAscending(t *testing.T) {
+	s := iotaSel(100)
+	for i, v := range s {
+		if v != int32(i) {
+			t.Fatalf("iotaSel(100)[%d] = %d", i, v)
+		}
+	}
+	short := iotaSel(40)
+	if len(short) != 40 || &short[0] != &s[0] {
+		t.Fatal("shorter iotaSel should reslice the cached array")
+	}
+	long := iotaSel(250)
+	if long[249] != 249 {
+		t.Fatalf("iotaSel(250)[249] = %d", long[249])
+	}
+}
+
+// TestBatchAllocsDoNotScale pins the batch engine's allocation profile: a
+// cache-hit aggregate over tens of thousands of rows must cost a bounded
+// number of allocations (arena-pooled vectors, one group, one result row) —
+// not one-or-more per row like the boxed row paths. The bound is loose; the
+// point is the asymptotic class.
+func TestBatchAllocsDoNotScale(t *testing.T) {
+	db := sqldb.NewDatabase("allocbench")
+	tbl := sqldb.NewTable("T", sqldb.Column{Name: "V"}, sqldb.Column{Name: "W"})
+	const rows = 40000
+	for i := 0; i < rows; i++ {
+		tbl.MustAppend(sqldb.Int(int64(i%1000)), sqldb.Float(float64(i)*0.25))
+	}
+	db.AddTable(tbl)
+	exec := New(db)
+
+	for _, tc := range []struct {
+		sql   string
+		limit float64
+	}{
+		{"SELECT COUNT(*), SUM(V), MIN(V), AVG(W) FROM T WHERE V >= 0", 500},
+		{"SELECT V, W FROM T WHERE V = 17 AND W > 1000.0", 1500},
+	} {
+		if _, err := exec.Query(tc.sql); err != nil { // warm plan + arenas
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := exec.Query(tc.sql); err != nil {
+				t.Error(err)
+			}
+		})
+		if allocs > tc.limit {
+			t.Errorf("%s: %.0f allocs over %d rows, want <= %.0f (per-row boxing would be >= %d)",
+				tc.sql, allocs, rows, tc.limit, rows)
+		}
+	}
+}

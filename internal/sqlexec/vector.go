@@ -1,0 +1,364 @@
+package sqlexec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"genedit/internal/sqldb"
+)
+
+// Columnar batch execution: value vectors and their pooled allocation.
+//
+// The batch engine (batchcompile.go, batchexec.go) executes supported
+// statements morsel-at-a-time: the scanned table is split into fixed-size
+// runs of rows, and expressions evaluate over typed vectors — one value slot
+// per lane (morsel-local row) — instead of dispatching a closure per row.
+// A vec is one such vector. Base-table columns become zero-copy views into
+// the sqldb.Columnar snapshot (typed array reslice + the table's global null
+// bitmap at an offset); computed vectors are carved out of a per-morsel
+// vecArena, which recycles whole buffers across morsels and queries under
+// pool.go's rule: vectors are scratch that dies inside one Query, while
+// anything reachable from a Result is materialized into rowSlab rows before
+// the arena is released.
+
+// vec is a vector of SQL values over one morsel. Exactly one representation
+// is active:
+//
+//   - constant: every lane is cv (literals and folded expressions);
+//   - mixed: vals boxes each lane (mixed-kind columns, CASE outputs and the
+//     generic row-program fallback);
+//   - typed: kind selects the one populated array; lanes whose bit is set in
+//     nulls (at lane+nullOff) are NULL; kind == KindNull means every lane is
+//     NULL with no array at all.
+//
+// Typed and mixed vectors are defined only at the lanes the producing kernel
+// was asked to evaluate (its selection); other lanes hold stale buffer
+// contents and must not be read.
+type vec struct {
+	kind     sqldb.Kind
+	mixed    bool
+	constant bool
+	cv       sqldb.Value
+	ints     []int64
+	floats   []float64
+	strs     []string
+	bools    []bool
+	vals     []sqldb.Value
+	nulls    sqldb.Bitmap
+	nullOff  int
+}
+
+// null reports whether a lane is NULL.
+func (v *vec) null(ln int32) bool {
+	if v.constant {
+		return v.cv.IsNull()
+	}
+	if v.mixed {
+		return v.vals[ln].IsNull()
+	}
+	if v.kind == sqldb.KindNull {
+		return true
+	}
+	return v.nulls.Get(int(ln) + v.nullOff)
+}
+
+// value re-boxes one lane. Kernels with typed fast paths read the arrays
+// directly; this is the generic accessor materialization and lanewise
+// kernels use.
+func (v *vec) value(ln int32) sqldb.Value {
+	if v.constant {
+		return v.cv
+	}
+	if v.mixed {
+		return v.vals[ln]
+	}
+	if v.kind == sqldb.KindNull || v.nulls.Get(int(ln)+v.nullOff) {
+		return sqldb.Null()
+	}
+	switch v.kind {
+	case sqldb.KindInt:
+		return sqldb.Int(v.ints[ln])
+	case sqldb.KindFloat:
+		return sqldb.Float(v.floats[ln])
+	case sqldb.KindString:
+		return sqldb.Str(v.strs[ln])
+	default:
+		return sqldb.Bool(v.bools[ln])
+	}
+}
+
+// truthyAt reports filter acceptance for one lane, mirroring truthy()
+// without boxing.
+func (v *vec) truthyAt(ln int32) bool {
+	if v.constant {
+		return truthy(v.cv)
+	}
+	if v.mixed {
+		return truthy(v.vals[ln])
+	}
+	if v.kind == sqldb.KindNull || v.nulls.Get(int(ln)+v.nullOff) {
+		return false
+	}
+	switch v.kind {
+	case sqldb.KindInt:
+		return v.ints[ln] != 0
+	case sqldb.KindFloat:
+		return v.floats[ln] != 0
+	case sqldb.KindString:
+		return v.strs[ln] != ""
+	default:
+		return v.bools[ln]
+	}
+}
+
+// floatLane reads a numeric lane as float64; valid only for non-null lanes
+// of KindInt/KindFloat vectors (the numeric kernels' operand contract).
+func (v *vec) floatLane(ln int32) float64 {
+	if v.kind == sqldb.KindInt {
+		return float64(v.ints[ln])
+	}
+	return v.floats[ln]
+}
+
+// vecArena hands out vector buffers for one morsel's evaluation. Buffers are
+// capacity-sized (the configured morsel size) and recycled wholesale: an
+// arena is taken from a process-wide pool per morsel, its buffers are carved
+// out by bumping counters, and the whole set is reset and returned when the
+// morsel's outputs have been materialized. String/Value buffers are cleared
+// on reset so recycled arenas cannot pin result data; int/float/bool buffers
+// hold stale lanes by design (kernels define only selected lanes).
+type vecArena struct {
+	cap int
+
+	vecs []*vec
+	nv   int
+	ints [][]int64
+	ni   int
+	flts [][]float64
+	nf   int
+	strs [][]string
+	ns   int
+	bls  [][]bool
+	nb   int
+	vals [][]sqldb.Value
+	nvl  int
+	bits [][]uint64
+	nbt  int
+	sels [][]int32
+	nsl  int
+}
+
+var vecArenaPool sync.Pool
+
+// getVecArena returns an arena whose buffers hold capacity lanes. Pooled
+// arenas sized for a different morsel capacity are discarded rather than
+// resized, so changing the morsel size mid-process cannot hand out short
+// buffers.
+func getVecArena(capacity int) *vecArena {
+	if a, _ := vecArenaPool.Get().(*vecArena); a != nil && a.cap == capacity {
+		return a
+	}
+	return &vecArena{cap: capacity}
+}
+
+// putVecArena resets an arena and returns it to the pool.
+func putVecArena(a *vecArena) {
+	a.reset()
+	vecArenaPool.Put(a)
+}
+
+// reset rewinds every counter and clears reference-holding buffers.
+func (a *vecArena) reset() {
+	for i := 0; i < a.nv; i++ {
+		*a.vecs[i] = vec{}
+	}
+	for i := 0; i < a.ns; i++ {
+		b := a.strs[i]
+		clear(b[:cap(b)])
+	}
+	for i := 0; i < a.nvl; i++ {
+		b := a.vals[i]
+		clear(b[:cap(b)])
+	}
+	a.nv, a.ni, a.nf, a.ns, a.nb, a.nvl, a.nbt, a.nsl = 0, 0, 0, 0, 0, 0, 0, 0
+}
+
+// vec returns a fresh vector header.
+func (a *vecArena) vec() *vec {
+	if a.nv < len(a.vecs) {
+		v := a.vecs[a.nv]
+		a.nv++
+		return v
+	}
+	v := &vec{}
+	a.vecs = append(a.vecs, v)
+	a.nv++
+	return v
+}
+
+func (a *vecArena) int64s(n int) []int64 {
+	if a.ni < len(a.ints) {
+		b := a.ints[a.ni][:n]
+		a.ni++
+		return b
+	}
+	b := make([]int64, a.cap)
+	a.ints = append(a.ints, b)
+	a.ni++
+	return b[:n]
+}
+
+func (a *vecArena) float64s(n int) []float64 {
+	if a.nf < len(a.flts) {
+		b := a.flts[a.nf][:n]
+		a.nf++
+		return b
+	}
+	b := make([]float64, a.cap)
+	a.flts = append(a.flts, b)
+	a.nf++
+	return b[:n]
+}
+
+func (a *vecArena) strings(n int) []string {
+	if a.ns < len(a.strs) {
+		b := a.strs[a.ns][:n]
+		a.ns++
+		return b
+	}
+	b := make([]string, a.cap)
+	a.strs = append(a.strs, b)
+	a.ns++
+	return b[:n]
+}
+
+func (a *vecArena) booleans(n int) []bool {
+	if a.nb < len(a.bls) {
+		b := a.bls[a.nb][:n]
+		a.nb++
+		return b
+	}
+	b := make([]bool, a.cap)
+	a.bls = append(a.bls, b)
+	a.nb++
+	return b[:n]
+}
+
+func (a *vecArena) values(n int) []sqldb.Value {
+	if a.nvl < len(a.vals) {
+		b := a.vals[a.nvl][:n]
+		a.nvl++
+		return b
+	}
+	b := make([]sqldb.Value, a.cap)
+	a.vals = append(a.vals, b)
+	a.nvl++
+	return b[:n]
+}
+
+// bitmap returns a cleared null bitmap covering n lanes.
+func (a *vecArena) bitmap(n int) sqldb.Bitmap {
+	w := (n + 63) / 64
+	if a.nbt < len(a.bits) {
+		b := a.bits[a.nbt][:w]
+		a.nbt++
+		clear(b)
+		return sqldb.Bitmap(b)
+	}
+	b := make([]uint64, (a.cap+63)/64)
+	a.bits = append(a.bits, b)
+	a.nbt++
+	return sqldb.Bitmap(b[:w])
+}
+
+// selection returns an empty selection buffer with capacity for a full
+// morsel, for filters to append surviving lanes into.
+func (a *vecArena) selection() []int32 {
+	if a.nsl < len(a.sels) {
+		b := a.sels[a.nsl][:0]
+		a.nsl++
+		return b
+	}
+	b := make([]int32, 0, a.cap)
+	a.sels = append(a.sels, b)
+	a.nsl++
+	return b
+}
+
+// iotaSel returns the shared ascending identity selection [0, n). The backing
+// array only ever grows and published slices are immutable, so concurrent
+// morsels share one allocation.
+var iotaCache atomic.Pointer[[]int32]
+
+func iotaSel(n int) []int32 {
+	if p := iotaCache.Load(); p != nil && len(*p) >= n {
+		return (*p)[:n]
+	}
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	iotaCache.Store(&s)
+	return s
+}
+
+// vctx is the evaluation context for one morsel: the base-table snapshot
+// (column views plus the row view the generic fallback indexes), the
+// morsel's position, its arena, and a reusable row environment for
+// row-program fallbacks.
+type vctx struct {
+	exec  *Executor
+	rows  []sqldb.Row
+	cols  []*sqldb.ColumnData
+	base  int
+	n     int
+	arena *vecArena
+	env   rowEnv
+}
+
+// vprog is a compiled total vector kernel: it evaluates its expression over
+// the selected lanes and can never raise an error (only provably error-free
+// expressions compile to kernels; everything else runs through a slot's row
+// program).
+type vprog func(vc *vctx, sel []int32) *vec
+
+// slot is one expression position of a batch plan (filter, projection item,
+// ORDER BY key or GROUP BY key): either a total vector kernel or the
+// already-compiled row program evaluated lane-at-a-time.
+type slot struct {
+	kernel vprog
+	row    program
+}
+
+// eval runs the slot over a selection. Kernels cannot error; the row-program
+// fallback evaluates lanes in ascending order and stops at the first error,
+// which — because morsels merge in order and callers restrict later slots to
+// lanes before an earlier slot's error — reproduces the row engine's
+// row-major, then clause-order, error selection exactly.
+func (s *slot) eval(vc *vctx, sel []int32) (*vec, int32, error) {
+	if s.kernel != nil {
+		return s.kernel(vc, sel), -1, nil
+	}
+	out := vc.arena.vec()
+	out.mixed = true
+	out.vals = vc.arena.values(vc.n)
+	env := &vc.env
+	for _, ln := range sel {
+		env.row = vc.rows[vc.base+int(ln)]
+		v, err := s.row(env)
+		if err != nil {
+			return nil, ln, err
+		}
+		out.vals[ln] = v
+	}
+	return out, -1, nil
+}
+
+// truncSel shortens an ascending selection to the lanes strictly before
+// bound (the restriction applied after an earlier slot errored at bound).
+func truncSel(sel []int32, bound int32) []int32 {
+	for len(sel) > 0 && sel[len(sel)-1] >= bound {
+		sel = sel[:len(sel)-1]
+	}
+	return sel
+}

@@ -12,46 +12,62 @@ import (
 	"genedit/internal/workload"
 )
 
-// Randomized compiled-vs-interpreted parity over the real workload
-// databases (seeded, deterministic), in the style of join_parity_test.go:
-// every generated statement — including deliberately error-prone ones —
-// must produce identical columns, rows and error text on both paths. The
-// suite's gold SQL is replayed the same way, so the EX tables cannot drift
-// between engines.
+// Randomized three-engine parity over the real workload databases (seeded,
+// deterministic), in the style of join_parity_test.go: every generated
+// statement — including deliberately error-prone ones — must produce
+// identical columns, rows and error text on the interpreter, the serial
+// compiled path, and the vectorized batch path. The batch engine runs with
+// a deliberately tiny morsel size plus several workers, so morsel
+// boundaries, selection hand-off and the cross-morsel error merge are
+// exercised by every multi-row statement. The suite's gold SQL is replayed
+// the same way, so the EX tables cannot drift between engines.
 
 var paritySuite = workload.NewSuite(1)
 
-// assertExecParity runs sql compiled and interpreted and asserts full
-// output and error-text equality.
+// parityMorselSize is intentionally tiny so even small tables span several
+// morsels in the parity suites.
+const parityMorselSize = 7
+
+// assertExecParity runs sql on all three engines and asserts full output and
+// error-text equality, with the interpreter as the reference.
 func assertExecParity(t *testing.T, db *sqldb.Database, sql string) {
 	t.Helper()
-	compiled := sqlexec.New(db)
 	interp := sqlexec.New(db)
 	interp.SetCompiledExec(false)
+	compiled := sqlexec.New(db)
+	compiled.SetBatchExec(false)
+	batch := sqlexec.New(db)
+	batch.SetMorselSize(parityMorselSize)
+	batch.SetMorselWorkers(4)
 
-	cres, cerr := compiled.Query(sql)
 	ires, ierr := interp.Query(sql)
-	if (cerr == nil) != (ierr == nil) {
-		t.Fatalf("error parity broken for %q:\n  compiled:    %v\n  interpreted: %v", sql, cerr, ierr)
-	}
-	if cerr != nil {
-		if cerr.Error() != ierr.Error() {
-			t.Fatalf("error text drift for %q:\n  compiled:    %q\n  interpreted: %q", sql, cerr, ierr)
+	for _, eng := range []struct {
+		name string
+		exec *sqlexec.Executor
+	}{{"compiled", compiled}, {"batch", batch}} {
+		res, err := eng.exec.Query(sql)
+		if (err == nil) != (ierr == nil) {
+			t.Fatalf("error parity broken for %q:\n  %s: %v\n  interpreted: %v", sql, eng.name, err, ierr)
 		}
-		return
-	}
-	if fmt.Sprint(cres.Columns) != fmt.Sprint(ires.Columns) {
-		t.Fatalf("column drift for %q: compiled %v, interpreted %v", sql, cres.Columns, ires.Columns)
-	}
-	if len(cres.Rows) != len(ires.Rows) {
-		t.Fatalf("row count drift for %q: compiled %d, interpreted %d", sql, len(cres.Rows), len(ires.Rows))
-	}
-	for i := range cres.Rows {
-		for j := range cres.Rows[i] {
-			cv, iv := cres.Rows[i][j], ires.Rows[i][j]
-			if cv.IsNull() != iv.IsNull() || (!cv.IsNull() && !cv.Equal(iv)) {
-				t.Fatalf("row %d col %d drift for %q: compiled %v, interpreted %v",
-					i, j, sql, cv.String(), iv.String())
+		if err != nil {
+			if err.Error() != ierr.Error() {
+				t.Fatalf("error text drift for %q:\n  %s: %q\n  interpreted: %q", sql, eng.name, err, ierr)
+			}
+			continue
+		}
+		if fmt.Sprint(res.Columns) != fmt.Sprint(ires.Columns) {
+			t.Fatalf("column drift for %q: %s %v, interpreted %v", sql, eng.name, res.Columns, ires.Columns)
+		}
+		if len(res.Rows) != len(ires.Rows) {
+			t.Fatalf("row count drift for %q: %s %d, interpreted %d", sql, eng.name, len(res.Rows), len(ires.Rows))
+		}
+		for i := range res.Rows {
+			for j := range res.Rows[i] {
+				cv, iv := res.Rows[i][j], ires.Rows[i][j]
+				if cv.IsNull() != iv.IsNull() || (!cv.IsNull() && !cv.Equal(iv)) {
+					t.Fatalf("row %d col %d drift for %q: %s %v, interpreted %v",
+						i, j, sql, eng.name, cv.String(), iv.String())
+				}
 			}
 		}
 	}

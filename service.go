@@ -122,6 +122,24 @@ func WithStatementCacheSize(n int) Option {
 	return func(s *Service) { s.stmtCacheSize = n }
 }
 
+// WithBatchExec enables or disables the columnar batch executor in every
+// engine the service builds (enabled by default). The batch engine is
+// bit-identical to the row path by contract, so the switch never changes
+// results — it exists for debugging and for apples-to-apples performance
+// comparisons against the compiled row engine.
+//
+// Concurrency: batch plans are immutable once compiled (stateless kernels
+// over a point-in-time columnar snapshot) and are shared across concurrent
+// Generate / GenerateBatch workers exactly like compiled row plans; the
+// statement cache synchronizes plan installation internally. Each query
+// fans its morsels out over up to runtime.GOMAXPROCS workers.
+func WithBatchExec(enabled bool) Option {
+	return func(s *Service) {
+		s.batchExecSet = true
+		s.batchExec = enabled
+	}
+}
+
 // WithGenerationCache enables the versioned generation cache: a bounded LRU
 // of completed Records keyed by (database, knowledge version, normalized
 // question, evidence), with singleflight coalescing so concurrent identical
@@ -186,6 +204,8 @@ type Service struct {
 	modelSeed     uint64
 	workers       int
 	stmtCacheSize int
+	batchExecSet  bool
+	batchExec     bool
 	genCacheSize  int
 	trace         TraceFunc
 	storePath     string
@@ -298,6 +318,9 @@ func (s *Service) build(db string) (*Engine, error) {
 	cfg := s.cfg
 	if s.stmtCacheSize > 0 {
 		cfg.StatementCacheSize = s.stmtCacheSize
+	}
+	if s.batchExecSet {
+		cfg.DisableBatchExec = !s.batchExec
 	}
 	model := simllm.New(simllm.GenEditProfile(), s.suite.Registry, s.modelSeed)
 	return pipeline.New(model, kset, s.suite.Databases[db], cfg), nil
