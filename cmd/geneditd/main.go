@@ -17,7 +17,9 @@
 //	POST /v1/feedback/{id}/submit       regression-test the staged edits
 //	POST /v1/feedback/{id}/approve      merge (persist + hot-swap the engine)
 //	GET  /v1/knowledge/{db}             knowledge version, counts, change history
-//	GET  /v1/stats                      serving counters (generation cache hit/miss/coalesce)
+//	GET  /v1/miner/{db}                 failure counters + miner stats for one database
+//	POST /v1/miner/{db}/mine            run one mining round now (requires -miner)
+//	GET  /v1/stats                      serving counters (generation cache, per-db failures, miner)
 //	GET  /healthz                       liveness probe
 //
 // Engines are built lazily per database (coalesced across concurrent
@@ -31,6 +33,14 @@
 // this way carry "cached": true. Approved feedback merges bump the
 // knowledge version, which invalidates by key — no flush. Note -trace
 // effectively bypasses the cache: traced requests must run the pipeline.
+//
+// -miner enables the background failure miner: recurring failed generations
+// are clustered, distilled into candidate instructions, and pushed through
+// the same regression gate -> approve -> persist -> hot-swap path SME edits
+// take. The flag's duration is the mining interval (e.g. -miner 5m); mining
+// can also be triggered per database via POST /v1/miner/{db}/mine. Without
+// the flag the serving path is byte-identical to a miner-less daemon — only
+// the always-on failure counters on /v1/stats remain.
 //
 // -store makes the continuous-improvement loop durable: each database's
 // knowledge set is backed by a WAL + snapshot store under <dir>/<database>.
@@ -91,11 +101,30 @@ type batchResponse struct {
 	Responses []generateResponse `json:"responses"`
 }
 
-// statsResponse is the GET /v1/stats body: serving-path counters, starting
-// with the generation cache's hit/miss/coalesce numbers.
+// statsResponse is the GET /v1/stats body: serving-path counters — the
+// generation cache's hit/miss/coalesce numbers, per-database failure-type
+// counters (always on), and per-database miner counters (when -miner is set
+// and a database has been mined at least once).
 type statsResponse struct {
-	GenerationCacheEnabled bool                         `json:"generation_cache_enabled"`
-	GenerationCache        genedit.GenerationCacheStats `json:"generation_cache"`
+	GenerationCacheEnabled bool                            `json:"generation_cache_enabled"`
+	GenerationCache        genedit.GenerationCacheStats    `json:"generation_cache"`
+	MinerEnabled           bool                            `json:"miner_enabled"`
+	Failures               map[string]genedit.FailureStats `json:"failures,omitempty"`
+	Miner                  map[string]genedit.MinerStats   `json:"miner,omitempty"`
+}
+
+// minerStatusResponse is the GET /v1/miner/{db} body.
+type minerStatusResponse struct {
+	Database string               `json:"database"`
+	Enabled  bool                 `json:"enabled"`
+	Failures genedit.FailureStats `json:"failures"`
+	Stats    genedit.MinerStats   `json:"stats"`
+}
+
+// mineResponse is the POST /v1/miner/{db}/mine body.
+type mineResponse struct {
+	Database string                   `json:"database"`
+	Report   genedit.MinerRoundReport `json:"report"`
 }
 
 func toWire(req genedit.Request, resp *genedit.Response) generateResponse {
@@ -174,7 +203,53 @@ func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration
 		writeJSON(w, http.StatusOK, statsResponse{
 			GenerationCacheEnabled: svc.GenerationCacheEnabled(),
 			GenerationCache:        svc.GenerationCacheStats(),
+			MinerEnabled:           svc.MinerEnabled(),
+			Failures:               svc.FailureStats(),
+			Miner:                  svc.MinerStats(),
 		})
+	})
+
+	knownDB := func(db string) bool {
+		for _, d := range svc.Databases() {
+			if d == db {
+				return true
+			}
+		}
+		return false
+	}
+
+	mux.HandleFunc("GET /v1/miner/{db}", func(w http.ResponseWriter, r *http.Request) {
+		db := r.PathValue("db")
+		if !knownDB(db) {
+			writeError(w, http.StatusNotFound, "unknown database "+db)
+			return
+		}
+		writeJSON(w, http.StatusOK, minerStatusResponse{
+			Database: db,
+			Enabled:  svc.MinerEnabled(),
+			Failures: svc.FailureStats()[db],
+			Stats:    svc.MinerStats()[db],
+		})
+	})
+
+	mux.HandleFunc("POST /v1/miner/{db}/mine", func(w http.ResponseWriter, r *http.Request) {
+		db := r.PathValue("db")
+		if !knownDB(db) {
+			writeError(w, http.StatusNotFound, "unknown database "+db)
+			return
+		}
+		if !svc.MinerEnabled() {
+			writeError(w, http.StatusConflict, "miner is not enabled; start the daemon with -miner")
+			return
+		}
+		ctx, cancel := withTimeout(r.Context())
+		defer cancel()
+		rep, err := svc.MineRound(ctx, db)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, mineResponse{Database: db, Report: rep})
 	})
 
 	mux.HandleFunc("GET /v1/databases", func(w http.ResponseWriter, r *http.Request) {
@@ -247,9 +322,13 @@ func main() {
 	prewarm := flag.Bool("prewarm", false, "build all engines at startup instead of lazily")
 	trace := flag.Bool("trace", false, "log per-operator timings for every request")
 	store := flag.String("store", "", "directory for durable per-database knowledge stores (empty = in-memory)")
+	minerIvl := flag.Duration("miner", 0, "background failure-mining interval (0 = miner disabled)")
 	flag.Parse()
 
 	opts := []genedit.Option{genedit.WithModelSeed(*modelSeed)}
+	if *minerIvl > 0 {
+		opts = append(opts, genedit.WithMiner(genedit.MinerConfig{}))
+	}
 	if *store != "" {
 		opts = append(opts, genedit.WithStorePath(*store))
 	}
@@ -281,6 +360,13 @@ func main() {
 
 	server := &http.Server{Addr: *addr, Handler: newMux(svc, suite, *timeout)}
 
+	minerCtx, stopMiner := context.WithCancel(context.Background())
+	defer stopMiner()
+	if *minerIvl > 0 {
+		go runMinerLoop(minerCtx, svc, *minerIvl)
+		log.Printf("failure miner enabled, interval %s", *minerIvl)
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	drained := make(chan struct{})
@@ -301,10 +387,44 @@ func main() {
 	// ListenAndServe returns as soon as Shutdown begins; wait for the drain
 	// so in-flight requests finish before the process exits.
 	<-drained
-	// Release the durable stores only after every in-flight approval has
-	// committed.
+	// Stop background mining before releasing the stores, and release the
+	// durable stores only after every in-flight approval has committed.
+	stopMiner()
 	if err := svc.Close(); err != nil {
 		log.Printf("closing stores: %v", err)
+	}
+}
+
+// runMinerLoop periodically mines every database that has accumulated
+// failures. A round's merges go through the regression gate, so a quiet
+// system (no recurring failures, or nothing that passes the gate) simply
+// reports empty rounds.
+func runMinerLoop(ctx context.Context, svc *genedit.Service, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		for db, fs := range svc.FailureStats() {
+			if fs.Syntax+fs.Exec == 0 {
+				continue
+			}
+			rep, err := svc.MineRound(ctx, db)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				log.Printf("miner %s: %v", db, err)
+				continue
+			}
+			if rep.Submitted > 0 {
+				log.Printf("miner %s: scanned=%d clusters=%d submitted=%d merged=%d rejected=%d",
+					db, rep.Scanned, rep.Clusters, rep.Submitted, rep.Merged, rep.Rejected)
+			}
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"genedit"
+	"genedit/internal/workload"
 )
 
 func newTestServer(t *testing.T, timeout time.Duration) *httptest.Server {
@@ -154,6 +155,104 @@ func TestDatabasesAndHealth(t *testing.T) {
 	hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d, want 200", hresp.StatusCode)
+	}
+}
+
+// TestMinerEndpoints drives the self-improving loop over HTTP: serve the
+// miner workload's injected recurring-failure cases, check the failure
+// counters surface on /v1/miner/{db} and /v1/stats, trigger a mining round
+// via POST /v1/miner/{db}/mine, and check it reports gated merges.
+func TestMinerEndpoints(t *testing.T) {
+	suite, injected := workload.NewMinerSuite(1)
+	svc := genedit.NewService(suite,
+		genedit.WithModelSeed(42),
+		genedit.WithGenerationCache(256),
+		genedit.WithMiner(genedit.MinerConfig{}))
+	t.Cleanup(func() { svc.Close() })
+	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second))
+	t.Cleanup(srv.Close)
+
+	db := injected[0].DB
+	for _, c := range injected {
+		if c.DB != db {
+			continue
+		}
+		body, _ := json.Marshal(generateRequest{Database: c.DB, Question: c.Question, Evidence: c.Evidence})
+		resp, raw := postJSON(t, srv.URL+"/v1/generate", string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("generate %s: status %d, body %s", c.ID, resp.StatusCode, raw)
+		}
+	}
+
+	var status minerStatusResponse
+	getJSON(t, srv.URL+"/v1/miner/"+db, &status)
+	if !status.Enabled {
+		t.Error("miner should report enabled")
+	}
+	if status.Failures.Exec == 0 {
+		t.Errorf("failures = %+v, want exec failures recorded", status.Failures)
+	}
+
+	resp, raw := postJSON(t, srv.URL+"/v1/miner/"+db+"/mine", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine: status %d, body %s", resp.StatusCode, raw)
+	}
+	var mined mineResponse
+	if err := json.Unmarshal(raw, &mined); err != nil {
+		t.Fatal(err)
+	}
+	if mined.Report.Merged == 0 {
+		t.Fatalf("mining round merged nothing: %s", raw)
+	}
+
+	var stats statsResponse
+	getJSON(t, srv.URL+"/v1/stats", &stats)
+	if !stats.MinerEnabled {
+		t.Error("stats should report the miner enabled")
+	}
+	if stats.Miner[db].Merged != mined.Report.Merged {
+		t.Errorf("stats miner counters = %+v, want merged %d", stats.Miner[db], mined.Report.Merged)
+	}
+	if stats.Failures[db].Exec == 0 {
+		t.Error("stats should carry the per-db failure counters")
+	}
+
+	if resp, _ := postJSON(t, srv.URL+"/v1/miner/nope/mine", `{}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown db mine: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMinerDisabledEndpoints checks the default daemon: status reports the
+// miner off, and a manual mining trigger is refused.
+func TestMinerDisabledEndpoints(t *testing.T) {
+	srv := newTestServer(t, time.Second)
+
+	var status minerStatusResponse
+	getJSON(t, srv.URL+"/v1/miner/retail_chain", &status)
+	if status.Enabled {
+		t.Error("miner should report disabled by default")
+	}
+	resp, _ := postJSON(t, srv.URL+"/v1/miner/retail_chain/mine", `{}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("mine without -miner: status %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := http.Get(srv.URL + "/v1/miner/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown db status: %d, want 404", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -5,7 +5,13 @@
 //	kbctl -db sports_holdings -show stats
 //	kbctl -db sports_holdings -show examples | instructions | intents | terms
 //	kbctl -db sports_holdings -show history
+//	kbctl -db sports_holdings -show mined      auto-mined knowledge + audit trail
 //	kbctl -db sports_holdings -demo-revert     scripted edit → checkpoint → revert
+//	kbctl -db sports_holdings -demo-mine       scripted failures → mine → audit
+//
+// -store points kbctl at a daemon's durable knowledge directory, so -show
+// mined audits exactly what a restarted geneditd would serve (mined merges
+// are fsynced to the WAL like SME merges).
 package main
 
 import (
@@ -16,19 +22,36 @@ import (
 
 	"genedit"
 	"genedit/internal/knowledge"
+	"genedit/internal/workload"
 )
 
 func main() {
 	db := flag.String("db", "sports_holdings", "target database")
-	show := flag.String("show", "stats", "what to display: stats, examples, instructions, intents, terms, history, checkpoints")
+	show := flag.String("show", "stats", "what to display: stats, examples, instructions, intents, terms, history, checkpoints, mined")
 	limit := flag.Int("n", 12, "max items to list")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	store := flag.String("store", "", "durable knowledge directory (as passed to geneditd -store)")
 	demoRevert := flag.Bool("demo-revert", false, "demonstrate checkpoint/revert on the set")
+	demoMine := flag.Bool("demo-mine", false, "demonstrate the failure miner: serve recurring failures, mine, audit")
 	flag.Parse()
 
+	if *demoMine {
+		if err := runMineDemo(*db, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// The service owns engine (and knowledge-set) construction, so kbctl
-	// inspects exactly the set a served engine would use.
-	svc := genedit.NewService(genedit.NewBenchmark(*seed))
+	// inspects exactly the set a served engine would use — including, with
+	// -store, anything recovered from a daemon's WAL.
+	opts := []genedit.Option{}
+	if *store != "" {
+		opts = append(opts, genedit.WithStorePath(*store))
+	}
+	svc := genedit.NewService(genedit.NewBenchmark(*seed), opts...)
+	defer svc.Close()
 	engine, err := svc.Engine(context.Background(), *db)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -88,6 +111,8 @@ func main() {
 			fmt.Printf("#%03d v%03d %-10s %-12s %-10s %s\n",
 				ev.Seq, ev.Version, ev.Op, ev.Kind, ev.EntityID, ev.Summary)
 		}
+	case "mined":
+		printMinedAudit(set)
 	case "checkpoints":
 		cps := set.Checkpoints()
 		if len(cps) == 0 {
@@ -100,6 +125,90 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -show %q\n", *show)
 		os.Exit(2)
 	}
+}
+
+// printMinedAudit lists auto-mined knowledge with its audit trail: each
+// live miner-authored instruction with its candidate ID and merge version,
+// then the change events the miner committed. The gate verdict is implicit
+// in presence — only candidates that passed the regression gate ever reach
+// the set or its history; rejected candidates are discarded unmerged.
+func printMinedAudit(set *knowledge.Set) {
+	live := 0
+	for _, ins := range set.Instructions() {
+		if ins.Provenance.Editor != genedit.MinerEditor {
+			continue
+		}
+		live++
+		fmt.Printf("%-18s %s\n", ins.ID, ins.Text)
+		if len(ins.Terms) > 0 {
+			fmt.Printf("%18s defines: %v\n", "", ins.Terms)
+		}
+		fmt.Printf("%18s candidate %s, merged at version %d (passed regression gate)\n",
+			"", ins.Provenance.FeedbackID, ins.Provenance.Version)
+	}
+	if live == 0 {
+		fmt.Println("no mined knowledge in the live set")
+	}
+	fmt.Println()
+	events := 0
+	for _, ev := range set.History() {
+		if ev.Editor != genedit.MinerEditor {
+			continue
+		}
+		events++
+		fmt.Printf("#%03d v%03d %-10s %-12s %-18s %s (candidate %s)\n",
+			ev.Seq, ev.Version, ev.Op, ev.Kind, ev.EntityID, ev.Summary, ev.FeedbackID)
+	}
+	if events == 0 {
+		fmt.Println("no mined merges in the audit history")
+	}
+}
+
+// runMineDemo walks the self-improving loop end to end: a service over the
+// miner workload serves the database's injected recurring exec failures,
+// mines them, and prints the resulting audit — the same flow geneditd runs
+// in the background under -miner.
+func runMineDemo(db string, seed uint64) error {
+	suite, injected := workload.NewMinerSuite(seed)
+	svc := genedit.NewService(suite,
+		genedit.WithModelSeed(42),
+		genedit.WithGenerationCache(256),
+		genedit.WithMiner(genedit.MinerConfig{}))
+	defer svc.Close()
+	ctx := context.Background()
+
+	served, failed := 0, 0
+	for _, c := range injected {
+		if c.DB != db {
+			continue
+		}
+		resp, err := svc.Generate(ctx, genedit.Request{Database: c.DB, Question: c.Question, Evidence: c.Evidence})
+		if err != nil {
+			return err
+		}
+		served++
+		if !resp.OK {
+			failed++
+		}
+	}
+	if served == 0 {
+		return fmt.Errorf("database %q has no injected miner cases (try sports_holdings or retail_chain)", db)
+	}
+	fmt.Printf("served %d recurring questions, %d failed\n", served, failed)
+
+	rep, err := svc.MineRound(ctx, db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mining round: scanned=%d clusters=%d submitted=%d merged=%d rejected=%d unactionable=%d\n\n",
+		rep.Scanned, rep.Clusters, rep.Submitted, rep.Merged, rep.Rejected, rep.Unactionable)
+
+	engine, err := svc.Engine(ctx, db)
+	if err != nil {
+		return err
+	}
+	printMinedAudit(engine.KnowledgeSet())
+	return nil
 }
 
 // runRevertDemo walks the library's edit → checkpoint → revert flow.

@@ -162,7 +162,11 @@ func (sess *Session) RegenerateContext(ctx context.Context) (*pipeline.Record, e
 // human approval after passing regression testing").
 type PendingChange struct {
 	FeedbackID string
-	Edits      []knowledge.Edit
+	// Editor identifies the submitting actor ("sme" for interactive
+	// sessions, "miner" for auto-mined candidates); it becomes the staged
+	// provenance tag during regression testing.
+	Editor string
+	Edits  []knowledge.Edit
 	// RegressionPassed and RegressionDetail record the gate outcome.
 	RegressionPassed bool
 	RegressionDetail string
@@ -188,21 +192,41 @@ func (sess *Session) SubmitContext(ctx context.Context) (*SubmitResult, error) {
 	if len(sess.Staged) == 0 {
 		return nil, fmt.Errorf("nothing staged to submit")
 	}
-	passed, detail, err := sess.solver.regressionTest(ctx, sess.Staged, sess.FeedbackID)
+	return sess.solver.submitEdits(ctx, sess.FeedbackID, "sme", sess.Staged)
+}
+
+// SubmitCandidate runs programmatically assembled edits — auto-mined
+// candidates from the failure miner — through the same regression gate as
+// interactive SME sessions. The editor string tags the staged provenance
+// (and, via Approve, the merged events), so the audit trail distinguishes
+// mined knowledge from human edits while holding both to the same replay
+// bar. On pass the change is queued as pending under feedbackID.
+func (s *Solver) SubmitCandidate(ctx context.Context, feedbackID, editor string, edits []knowledge.Edit) (*SubmitResult, error) {
+	if len(edits) == 0 {
+		return nil, fmt.Errorf("no edits to submit")
+	}
+	return s.submitEdits(ctx, feedbackID, editor, edits)
+}
+
+// submitEdits is the shared submission path: regression-gate the edits and
+// queue a pending change when they pass.
+func (s *Solver) submitEdits(ctx context.Context, feedbackID, editor string, edits []knowledge.Edit) (*SubmitResult, error) {
+	passed, detail, err := s.regressionTest(ctx, edits, feedbackID, editor)
 	if err != nil {
 		return nil, err
 	}
 	res := &SubmitResult{Passed: passed, Detail: detail}
 	if passed {
 		p := &PendingChange{
-			FeedbackID:       sess.FeedbackID,
-			Edits:            append([]knowledge.Edit(nil), sess.Staged...),
+			FeedbackID:       feedbackID,
+			Editor:           editor,
+			Edits:            append([]knowledge.Edit(nil), edits...),
 			RegressionPassed: true,
 			RegressionDetail: detail,
 		}
-		sess.solver.mu.Lock()
-		sess.solver.pending = append(sess.solver.pending, p)
-		sess.solver.mu.Unlock()
+		s.mu.Lock()
+		s.pending = append(s.pending, p)
+		s.mu.Unlock()
 		res.Pending = p
 	}
 	return res, nil
@@ -211,9 +235,9 @@ func (sess *Session) SubmitContext(ctx context.Context) (*SubmitResult, error) {
 // regressionTest replays the golden suite on the live engine and on a
 // staged engine; edits pass when no golden case regresses from correct to
 // incorrect.
-func (s *Solver) regressionTest(ctx context.Context, edits []knowledge.Edit, feedbackID string) (bool, string, error) {
+func (s *Solver) regressionTest(ctx context.Context, edits []knowledge.Edit, feedbackID, editor string) (bool, string, error) {
 	live := s.Engine()
-	staged, err := live.KnowledgeSet().Stage(edits, "sme", feedbackID)
+	staged, err := live.KnowledgeSet().Stage(edits, editor, feedbackID)
 	if err != nil {
 		return false, "", err
 	}

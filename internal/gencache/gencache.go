@@ -210,6 +210,36 @@ func (c *Cache) insertLocked(key string, rec *pipeline.Record) {
 	}
 }
 
+// FailedRecords returns the cached records whose final SQL failed, newest
+// (most recently used) first. The background failure miner scans these as
+// its live-traffic signal: failed records are cached by contract (see the
+// package comment), so the cache doubles as a bounded log of what live
+// questions the current knowledge version cannot answer. The returned
+// records are the shared cached values and must be treated as read-only.
+func (c *Cache) FailedRecords() []*pipeline.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*pipeline.Record
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if rec := el.Value.(*entry).rec; rec != nil && !rec.OK {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Peek returns the completed record cached under key without joining or
+// starting a flight and without promoting the entry in the LRU — a pure
+// read for inspection paths (the failure miner's staleness check).
+func (c *Cache) Peek(key string) (*pipeline.Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry).rec, true
+	}
+	return nil, false
+}
+
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
 	// Hits counts requests served straight from the LRU.

@@ -1,0 +1,123 @@
+package kstore
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"genedit/internal/knowledge"
+)
+
+// editAs applies one instruction insert under the given editor/feedback
+// provenance (the miner commits as "miner", SMEs as "sme").
+func editAs(t *testing.T, s *knowledge.Set, editor, feedbackID, text string) {
+	t.Helper()
+	if err := s.InsertInstruction(&knowledge.Instruction{Text: text}, editor, feedbackID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLineageGuardInterleavedMinerSME drives the scenario the background
+// miner introduces: two writers — an SME approval and an auto-mined merge —
+// each branch from the same committed state. The WAL's lineage anchor must
+// let the first committer win and refuse the second outright (fork-refusal),
+// never splice the two histories; the loser rebuilds from the winning
+// lineage and then commits cleanly. Sequential interleaving of the two
+// editors on one lineage always works.
+func TestLineageGuardInterleavedMinerSME(t *testing.T) {
+	st := mustOpen(t, t.TempDir())
+	base := seedSet(t)
+	if err := st.Commit(base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both writers branch from the same committed state.
+	smeBranch := base.CloneFull()
+	editAs(t, smeBranch, "sme", "fb-001", "SME clarification")
+	minerBranch := base.CloneFull()
+	editAs(t, minerBranch, "miner", "miner-aaaa", "mined clarification")
+
+	// SME lands first; the mined branch must be refused, not spliced.
+	if err := st.Commit(smeBranch); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(minerBranch); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("mined fork commit = %v, want diverged refusal", err)
+	}
+
+	// The miner rebuilds its candidate on the winning lineage (what
+	// Solver.Approve does by cloning the live set) and commits cleanly.
+	rebuilt := smeBranch.CloneFull()
+	editAs(t, rebuilt, "miner", "miner-aaaa", "mined clarification")
+	if err := st.Commit(rebuilt); err != nil {
+		t.Fatalf("rebuilt mined merge refused: %v", err)
+	}
+
+	// Sequential interleaving on one lineage: sme, miner, sme, miner.
+	live := rebuilt
+	for i, editor := range []string{"sme", "miner", "sme", "miner"} {
+		next := live.CloneFull()
+		editAs(t, next, editor, "it-"+editor, "interleaved edit "+strings.Repeat("i", i+1))
+		if err := st.Commit(next); err != nil {
+			t.Fatalf("interleaved %s commit %d: %v", editor, i, err)
+		}
+		live = next
+	}
+
+	// Recovery preserves the interleaved provenance exactly.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := mustOpen(t, st.Dir())
+	recovered := st2.Recovered()
+	assertSame(t, recovered, live, "recovered interleaved lineage")
+	editors := map[string]int{}
+	for _, ev := range recovered.History() {
+		editors[ev.Editor]++
+	}
+	if editors["miner"] < 3 || editors["sme"] < 3 {
+		t.Errorf("recovered editor mix = %v, want both miner and sme merges", editors)
+	}
+}
+
+// TestLineageGuardConcurrentMinerSME races a mined merge against an SME
+// merge branched from the same state: exactly one must win the WAL append,
+// the other must get the divergence refusal.
+func TestLineageGuardConcurrentMinerSME(t *testing.T) {
+	st := mustOpen(t, t.TempDir())
+	base := seedSet(t)
+	if err := st.Commit(base); err != nil {
+		t.Fatal(err)
+	}
+
+	smeBranch := base.CloneFull()
+	editAs(t, smeBranch, "sme", "fb-009", "concurrent SME edit")
+	minerBranch := base.CloneFull()
+	editAs(t, minerBranch, "miner", "miner-bbbb", "concurrent mined edit")
+
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i, set := range []*knowledge.Set{smeBranch, minerBranch} {
+		wg.Add(1)
+		go func(i int, set *knowledge.Set) {
+			defer wg.Done()
+			errs[i] = st.Commit(set)
+		}(i, set)
+	}
+	wg.Wait()
+
+	wins, forks := 0, 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			wins++
+		case strings.Contains(err.Error(), "diverged"):
+			forks++
+		default:
+			t.Fatalf("unexpected commit error: %v", err)
+		}
+	}
+	if wins != 1 || forks != 1 {
+		t.Fatalf("wins=%d forks=%d, want exactly one winner and one refusal", wins, forks)
+	}
+}

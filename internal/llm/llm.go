@@ -120,6 +120,48 @@ type Model interface {
 	RepairSQL(ctx *Context, plan Plan, priorSQL, execError string) (string, error)
 }
 
+// ClauseFragment is one decomposed clause of a failing query, handed to the
+// clause-level correction operator. It mirrors internal/decompose.Fragment
+// without importing it, keeping this package dependency-light.
+type ClauseFragment struct {
+	// Unit is the CTE/statement name the clause belongs to ("" for the
+	// final statement).
+	Unit string
+	// Clause is the clause kind (projection, from, where, group_by,
+	// having, order_by, limit, offset, whole).
+	Clause string
+	// SQL is the clause content.
+	SQL string
+	// Distinct propagates SELECT DISTINCT for projection fragments.
+	Distinct bool
+}
+
+// ClauseEdit is one clause-level repair proposed by the correction operator:
+// replace (or insert) the clause's content, or delete the clause entirely.
+type ClauseEdit struct {
+	Unit   string
+	Clause string
+	// SQL is the replacement clause content (ignored when Delete is set).
+	SQL string
+	// Distinct sets SELECT DISTINCT on a projection clause.
+	Distinct bool
+	// Delete removes the clause from the unit.
+	Delete bool
+}
+
+// ClauseEditor is an optional capability of a Model: instead of regenerating
+// a failing query from scratch (RepairSQL), propose targeted edits against
+// the decomposed clause fragments of the prior attempt. The pipeline probes
+// for this interface when clause-level correction is enabled and falls back
+// to RepairSQL when absent or when the prior SQL cannot be decomposed
+// (e.g. a syntax failure).
+type ClauseEditor interface {
+	// EditClauses returns clause-level edits repairing the failing query.
+	// An empty slice means the model has no targeted fix; the caller falls
+	// back to full regeneration.
+	EditClauses(ctx *Context, plan Plan, fragments []ClauseFragment, execError string) ([]ClauseEdit, error)
+}
+
 // FeedbackModel is the operator contract of the edits-recommendation module
 // (§4.1, feedback operators 1-4).
 type FeedbackModel interface {

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"genedit/internal/decompose"
 	"genedit/internal/embed"
 	"genedit/internal/generr"
 	"genedit/internal/knowledge"
@@ -44,6 +45,15 @@ type Config struct {
 	// is bit-identical by contract; the switch exists for debugging and for
 	// apples-to-apples performance comparisons (genedit.WithBatchExec).
 	DisableBatchExec bool
+	// ClauseEditCorrection switches the self-correction operator (8-9) from
+	// full regeneration to clause-level editing: the failing SQL is
+	// decomposed into fragments and the model proposes targeted clause
+	// edits (llm.ClauseEditor), falling back to RepairSQL when the model
+	// lacks the capability, the SQL does not parse (syntax failures), or no
+	// edit is proposed. Off by default: the edit path changes the SQL the
+	// correction loop produces, so it is opt-in to keep the baseline EX
+	// tables bit-identical.
+	ClauseEditCorrection bool
 
 	// Table 2 ablations.
 	DisableSchemaLinking bool
@@ -483,9 +493,19 @@ func (e *Engine) generateWithCorrection(genctx context.Context, rec *Record, ctx
 		if err := generr.FromContext(genctx); err != nil {
 			return err
 		}
-		repaired, rerr := e.model.RepairSQL(ctx, plan, sql, feedback)
-		if rerr != nil || repaired == "" {
-			break
+		repaired := ""
+		if e.cfg.ClauseEditCorrection && att.Kind != "syntax" {
+			// Targeted clause-level correction: cheaper than a full
+			// regeneration and bounded to the clauses that are wrong.
+			// Syntax failures skip it — unparsable SQL has no fragments.
+			repaired = e.clauseEditRepair(ctx, plan, sql, feedback)
+		}
+		if repaired == "" {
+			var rerr error
+			repaired, rerr = e.model.RepairSQL(ctx, plan, sql, feedback)
+			if rerr != nil || repaired == "" {
+				break
+			}
 		}
 		sql = repaired
 	}
@@ -496,6 +516,79 @@ func (e *Engine) generateWithCorrection(genctx context.Context, rec *Record, ctx
 		rec.Result = best.res
 	}
 	return nil
+}
+
+// clauseEditRepair implements the clause-level correction path: decompose
+// the failing SQL, ask the model (if it is a ClauseEditor) for targeted
+// clause edits, apply them to the fragments and recompose. Returns "" when
+// the path does not apply — caller falls back to full regeneration.
+func (e *Engine) clauseEditRepair(ctx *llm.Context, plan llm.Plan, sql, execError string) string {
+	editor, ok := e.model.(llm.ClauseEditor)
+	if !ok {
+		return ""
+	}
+	frags, err := decompose.DecomposeSQL(sql)
+	if err != nil || len(frags) == 0 {
+		return ""
+	}
+	clauseFrags := make([]llm.ClauseFragment, len(frags))
+	for i, f := range frags {
+		clauseFrags[i] = llm.ClauseFragment{
+			Unit: f.Unit, Clause: string(f.Clause), SQL: f.SQL, Distinct: f.Distinct,
+		}
+	}
+	edits, err := editor.EditClauses(ctx, plan, clauseFrags, execError)
+	if err != nil || len(edits) == 0 {
+		return ""
+	}
+	out, err := decompose.ComposeSQL(applyClauseEdits(frags, edits))
+	if err != nil {
+		return ""
+	}
+	return out
+}
+
+// applyClauseEdits replaces, deletes or inserts fragments per the edits.
+// Inserted clauses for an existing unit land next to that unit's fragments,
+// preserving CTE first-occurrence order on recomposition.
+func applyClauseEdits(frags []decompose.Fragment, edits []llm.ClauseEdit) []decompose.Fragment {
+	out := append([]decompose.Fragment(nil), frags...)
+	for _, ed := range edits {
+		idx := -1
+		for i, f := range out {
+			if f.Unit == ed.Unit && string(f.Clause) == ed.Clause {
+				idx = i
+				break
+			}
+		}
+		switch {
+		case ed.Delete:
+			if idx >= 0 {
+				out = append(out[:idx], out[idx+1:]...)
+			}
+		case idx >= 0:
+			out[idx].SQL = ed.SQL
+			out[idx].Distinct = ed.Distinct
+		default:
+			frag := decompose.Fragment{
+				Unit: ed.Unit, Clause: decompose.Clause(ed.Clause),
+				SQL: ed.SQL, Distinct: ed.Distinct,
+			}
+			// Insert after the unit's last existing fragment so a brand-new
+			// clause never reorders the unit sequence.
+			at := len(out)
+			for i := len(out) - 1; i >= 0; i-- {
+				if out[i].Unit == ed.Unit {
+					at = i + 1
+					break
+				}
+			}
+			out = append(out, decompose.Fragment{})
+			copy(out[at+1:], out[at:])
+			out[at] = frag
+		}
+	}
+	return out
 }
 
 func isSyntaxError(err error) bool {

@@ -285,6 +285,64 @@ func (m *Model) RepairSQL(ctx *llm.Context, plan llm.Plan, priorSQL, execError s
 	return m.GenerateSQL(ctx, plan)
 }
 
+// EditClauses implements the clause-level correction operator
+// (llm.ClauseEditor): diff the failing query's fragments against the latent
+// gold structure and propose targeted per-clause repairs. The operator is
+// knowledge-gated exactly like generation — a misunderstanding rooted in a
+// missing domain-term definition cannot be repaired by staring at the
+// execution error, so such cases yield no edits (the pipeline falls back to
+// full regeneration, which fails the same way until knowledge lands). Each
+// wrong clause is repaired independently with probability EditSkill; the
+// draws are keyed per (case, attempt, clause) so retries genuinely re-roll.
+func (m *Model) EditClauses(ctx *llm.Context, plan llm.Plan, fragments []llm.ClauseFragment, execError string) ([]llm.ClauseEdit, error) {
+	c := m.lookup(ctx.Question)
+	if c == nil {
+		return nil, nil
+	}
+	if !m.clarifiedBy(c, ctx) {
+		for _, tr := range c.Terms {
+			if !m.termSatisfied(c, ctx, tr.Term) {
+				return nil, nil
+			}
+		}
+	}
+	goldFrags, err := decompose.DecomposeSQL(c.GoldSQL)
+	if err != nil {
+		return nil, nil
+	}
+	attempt := strconv.Itoa(ctx.Attempt)
+	cur := make(map[string]llm.ClauseFragment, len(fragments))
+	for _, f := range fragments {
+		cur[f.Unit+"/"+f.Clause] = f
+	}
+	goldKeys := make(map[string]bool, len(goldFrags))
+	var edits []llm.ClauseEdit
+	for _, gf := range goldFrags {
+		key := gf.Key()
+		goldKeys[key] = true
+		if cf, ok := cur[key]; ok && cf.SQL == gf.SQL && cf.Distinct == gf.Distinct {
+			continue
+		}
+		if m.draw(c.ID, "clause-edit", attempt, key) >= m.profile.EditSkill {
+			continue // this clause's fix missed; a later attempt re-rolls
+		}
+		edits = append(edits, llm.ClauseEdit{
+			Unit: gf.Unit, Clause: string(gf.Clause), SQL: gf.SQL, Distinct: gf.Distinct,
+		})
+	}
+	for _, f := range fragments { // slice order keeps the diff deterministic
+		key := f.Unit + "/" + f.Clause
+		if goldKeys[key] {
+			continue
+		}
+		if m.draw(c.ID, "clause-edit-del", attempt, key) >= m.profile.EditSkill {
+			continue
+		}
+		edits = append(edits, llm.ClauseEdit{Unit: f.Unit, Clause: f.Clause, Delete: true})
+	}
+	return edits, nil
+}
+
 // deriveProb is the whole-query derivation success probability given the
 // number of unanchored steps.
 func (m *Model) deriveProb(unanchored int, hasPlan bool) float64 {

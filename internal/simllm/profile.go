@@ -58,6 +58,12 @@ type Profile struct {
 	// RepairSkill is the probability that a self-correction attempt fixes
 	// a syntax slip.
 	RepairSkill float64
+	// EditSkill is the per-clause probability that the clause-level
+	// correction operator (llm.ClauseEditor) repairs one wrong clause of a
+	// failing query. Targeted edits are more reliable than whole-query
+	// regeneration (Chen et al.): each wrong clause is fixed independently
+	// instead of re-rolling every failure mode at once.
+	EditSkill float64
 
 	// Residual is the irreducible per-case misunderstanding rate by
 	// difficulty — ambiguous questions, subtle semantics.
@@ -103,6 +109,7 @@ func GenEditProfile() Profile {
 		EvidenceUse:               0.15,
 		SyntaxSlipRate:            0.05,
 		RepairSkill:               0.9,
+		EditSkill:                 0.85,
 		Residual:                  map[task.Difficulty]float64{task.Simple: 0.16, task.Moderate: 0.64, task.Challenging: 0.02},
 		AnchorThreshold:           0.35,
 		WholeQueryAnchorThreshold: 0.90,

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+
+	"genedit/internal/task"
+)
+
+// NewMinerSuite builds the standard suite plus injected recurring-failure
+// families for the background failure miner's convergence experiments. The
+// injected cases hinge on company jargon ("NBR", "PML") that no knowledge
+// document defines, and their wrong variants reference columns that do not
+// exist — so every generation attempt exec-fails, the failed record lands in
+// the generation cache, and the same failure recurs across the family. That
+// recurrence is exactly the signal the miner clusters on.
+//
+// The injected cases are returned separately and are NOT part of
+// Suite.Cases: ValidateGold requires every wrong variant to execute (a
+// knowledge gap must surface as wrong results, not errors), while a miner
+// family needs the opposite — a hard, observable failure that repeats until
+// knowledge fills the gap. They are registered with the suite's Registry so
+// the simulated model resolves their questions.
+func NewMinerSuite(seed uint64) (*Suite, []*task.Case) {
+	s := NewSuite(seed)
+	var injected []*task.Case
+	for i := range domains {
+		if i >= 2 {
+			break // two databases exercise the per-db miner without bloating rounds
+		}
+		d := &domains[i]
+		fam := append(d.minerBaselineFamily(), d.minerPeakMonthFamily()...)
+		for _, c := range fam {
+			s.finalizeCase(c)
+			s.Registry.Add(c)
+		}
+		injected = append(injected, fam...)
+	}
+	return s, injected
+}
+
+// minerBaselineFamily is one recurring-failure family: three questions using
+// the undefined "NBR" (net baseline <metric>) jargon over the same statement
+// shape, differing only in the region literal. Without a defining
+// instruction the model emits the wrong variant, whose baseline column does
+// not exist — an exec failure on every attempt.
+func (d *domainSpec) minerBaselineFamily() []*task.Case {
+	fa := d.FactA
+	var out []*task.Case
+	for i, region := range d.Regions {
+		gold := fmt.Sprintf(
+			"SELECT %s, SUM(%s * 0.8) AS NBR FROM %s WHERE %s = '%s' AND %s GROUP BY %s ORDER BY %s",
+			d.EntityCol, fa.Metric, fa.Table, d.RegionCol, region,
+			yearIs(fa.DateCol, 2023), d.EntityCol, d.EntityCol)
+		wrong := replaceColumn(gold, fa.Metric, fa.Metric+"_BASE")
+		out = append(out, &task.Case{
+			ID:         fmt.Sprintf("%s-mine-nbr-%d", d.DB, i+1),
+			DB:         d.DB,
+			Difficulty: task.Simple,
+			Intent:     d.IntentPerformance,
+			Question:   fmt.Sprintf("NBR per %s in %s for 2023", d.EntityNoun, region),
+			GoldSQL:    gold,
+			Terms:      []task.TermRequirement{{Term: "NBR", WrongSQL: wrong}},
+		})
+	}
+	return out
+}
+
+// minerPeakMonthFamily is the second family: "PML" (peak month level)
+// questions sharing a top-1-month shape, again exec-failing through a
+// nonexistent source column until the term is defined.
+func (d *domainSpec) minerPeakMonthFamily() []*task.Case {
+	fa := d.FactA
+	var out []*task.Case
+	for i, region := range d.Regions {
+		gold := fmt.Sprintf(
+			"SELECT %s AS MONTH, SUM(%s) AS PML FROM %s WHERE %s = '%s' AND %s GROUP BY %s ORDER BY PML DESC LIMIT 1",
+			monthExpr(fa.DateCol), fa.Metric, fa.Table, d.RegionCol, region,
+			yearIs(fa.DateCol, 2023), monthExpr(fa.DateCol))
+		wrong := replaceColumn(gold, fa.Metric, fa.Metric+"_PML_SRC")
+		out = append(out, &task.Case{
+			ID:         fmt.Sprintf("%s-mine-pml-%d", d.DB, i+1),
+			DB:         d.DB,
+			Difficulty: task.Simple,
+			Intent:     d.IntentPerformance,
+			Question:   fmt.Sprintf("PML for %ss in %s during 2023", d.EntityNoun, region),
+			GoldSQL:    gold,
+			Terms:      []task.TermRequirement{{Term: "PML", WrongSQL: wrong}},
+		})
+	}
+	return out
+}

@@ -218,6 +218,15 @@ type Service struct {
 	// stores holds the open kstore per database when WithStorePath is set.
 	stores map[string]*kstore.Store
 	closed bool
+
+	// Background failure mining (see miner.go). minerCfg is nil unless
+	// WithMiner enabled it; failures accumulates per-db failure counters
+	// (always) and retained failed records (miner only); miners holds the
+	// lazily built per-db miner.
+	minerCfg *MinerConfig
+	failMu   sync.Mutex
+	failures map[string]*dbFailures
+	miners   map[string]*minerState
 }
 
 // enginePromise coalesces concurrent builds of one database's engine: the
@@ -470,6 +479,9 @@ func (s *Service) Prewarm(ctx context.Context, dbs ...string) error {
 func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	if err := generr.FromContext(ctx); err != nil {
+		if _, ok := s.suite.Databases[req.Database]; ok {
+			s.noteCanceled(req.Database)
+		}
 		return nil, err
 	}
 	engine, err := s.Engine(ctx, req.Database)
@@ -493,7 +505,13 @@ func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) 
 		})
 	}
 	if err != nil {
+		if errCanceled(err) {
+			s.noteCanceled(req.Database)
+		}
 		return nil, err
+	}
+	if !rec.OK {
+		s.noteFailure(req.Database, rec)
 	}
 	return &Response{
 		Database: req.Database,
