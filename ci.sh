@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI smoke pass: formatting, static checks, build, tests, race detection on
-# the concurrent packages, and a 1-iteration benchmark sweep so every
-# benchmark (and the EX metrics it reports) stays runnable.
+# the concurrent packages, a 1-iteration benchmark sweep so every benchmark
+# (and the EX metrics it reports) stays runnable, a race-covered overload
+# smoke, and a bounded kstore crash-fuzz run.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,8 +23,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (concurrent packages: service facade incl. generation-cache stress, daemon incl. feedback + miner endpoints, generation cache, parallel runner, shared executors, knowledge store, solver, failure miner) =="
-go test -race . ./cmd/geneditd ./internal/eval ./internal/gencache ./internal/sqlexec ./internal/pipeline ./internal/kstore ./internal/feedback ./internal/miner
+echo "== go test -race (concurrent packages: service facade incl. generation-cache stress, daemon incl. feedback + miner endpoints, admission control, generation cache, parallel runner, shared executors, knowledge store, solver, failure miner) =="
+go test -race . ./cmd/geneditd ./internal/admission ./internal/eval ./internal/gencache ./internal/sqlexec ./internal/pipeline ./internal/kstore ./internal/feedback ./internal/miner
 
 echo "== miner round smoke (serve recurring failures, mine, audit the merges) =="
 go run ./cmd/kbctl -db sports_holdings -demo-mine > /dev/null
@@ -37,6 +38,23 @@ go test -race -bench 'GenerationCache|GenerationCoalescing|StatementCacheParalle
 
 echo "== closed-loop load smoke (benchrunner -parallel) =="
 go run ./cmd/benchrunner -parallel 4 -requests 200 > /dev/null
+
+# The parity half of the overload contract — every admitted response
+# bit-identical to an unthrottled reference — is asserted by
+# TestAdmissionOverloadParity; the daemon's drain-or-shed shutdown is
+# TestDaemonGracefulShutdownUnderLoad. Both rerun here under -race next to
+# the load smoke so the overload gate reads as one unit.
+echo "== overload smoke under -race (adversarial load vs tiny token budget) =="
+go test -race -count=1 -run 'TestAdmissionOverloadParity|TestDaemonGracefulShutdownUnderLoad' . ./cmd/geneditd
+overload_out=$(go run -race ./cmd/benchrunner -parallel 8 -requests 300 -adversarial -admitrate 40 -admitburst 10 -maxinflight 4 -maxqueue 16)
+if ! echo "$overload_out" | grep -qE '[1-9][0-9]* rate-limited \(429\)'; then
+    echo "overload smoke: the token budget was never exhausted (no 429s)" >&2
+    echo "$overload_out" >&2
+    exit 1
+fi
+
+echo "== kstore crash-fuzz (1000 injected-fault iterations, event-loss + lineage checks) =="
+KSTORE_FUZZ_ITERS=1000 go test -count=1 -run 'TestCrashFuzz|TestFaultSweepExhaustive' ./internal/kstore
 
 # BENCH_5.json (failure miner, PR 7) carries the current wall-clock and
 # allocation trajectory; its pre-existing EX tables are bit-identical to

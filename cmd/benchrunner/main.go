@@ -21,11 +21,22 @@
 //
 //	benchrunner -parallel 8 -requests 4000
 //	benchrunner -parallel 8 -requests 4000 -gencache 0     # uncached baseline
+//
+// Load mode can also exercise the overload defenses: -adversarial swaps in
+// the hostile request mix (hot-key skew on one tenant + cache-busting
+// unique questions), -admitrate/-admitburst enable per-tenant token-bucket
+// rate limiting, -maxinflight/-maxqueue bound concurrency with a
+// deadline-aware queue, and -reqtimeout attaches a per-request deadline.
+// The report then includes the outcome breakdown (ok / stale-served /
+// rate-limited / overloaded / deadline-exceeded) and admission counters:
+//
+//	benchrunner -parallel 16 -requests 4000 -adversarial -admitrate 200 -maxinflight 8 -reqtimeout 2s
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -131,6 +142,14 @@ func main() {
 	requests := flag.Int("requests", 2000, "total requests to issue in -parallel load mode")
 	genCache := flag.Int("gencache", 4096, "generation-cache size in -parallel load mode (0 = disabled)")
 	noBatch := flag.Bool("nobatch", false, "serve -parallel load mode through the compiled row engine instead of the columnar batch engine")
+	adversarial := flag.Bool("adversarial", false, "load mode: replace the round-robin eval mix with the adversarial overload mix (hot-key skew + cache-busting uniques)")
+	hotFrac := flag.Float64("hotfrac", 0.4, "adversarial mix: fraction of requests hammering the hot key set")
+	uniqueFrac := flag.Float64("uniquefrac", 0.2, "adversarial mix: fraction of cache-busting unique requests")
+	admitRate := flag.Float64("admitrate", 0, "load mode: per-tenant token-bucket refill rate in requests/sec (0 = admission control off)")
+	admitBurst := flag.Float64("admitburst", 0, "load mode: per-tenant token-bucket burst capacity (0 = defaults to -admitrate)")
+	maxInflight := flag.Int("maxinflight", 0, "load mode: service-wide concurrent-generation cap (0 = unlimited)")
+	maxQueue := flag.Int("maxqueue", 64, "load mode: bounded admission-queue depth once -maxinflight is reached")
+	reqTimeout := flag.Duration("reqtimeout", 0, "load mode: per-request deadline (0 = none); deadline-aware shedding rejects requests that cannot start in time")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -163,7 +182,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-json records the EX tables; it cannot be combined with -parallel load mode")
 			os.Exit(1)
 		}
-		if err := runParallelLoad(*seed, *modelSeed, *parallel, *requests, *genCache, !*noBatch); err != nil {
+		cfg := loadConfig{
+			workers:       *parallel,
+			totalRequests: *requests,
+			genCacheSize:  *genCache,
+			batchExec:     !*noBatch,
+			adversarial:   *adversarial,
+			hotFrac:       *hotFrac,
+			uniqueFrac:    *uniqueFrac,
+			admitRate:     *admitRate,
+			admitBurst:    *admitBurst,
+			maxInflight:   *maxInflight,
+			maxQueue:      *maxQueue,
+			reqTimeout:    *reqTimeout,
+		}
+		if err := runParallelLoad(*seed, *modelSeed, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "load mode failed:", err)
 			os.Exit(1)
 		}
@@ -328,22 +361,61 @@ func main() {
 	}
 }
 
+// loadConfig bundles the load-mode knobs.
+type loadConfig struct {
+	workers       int
+	totalRequests int
+	genCacheSize  int
+	batchExec     bool
+	adversarial   bool
+	hotFrac       float64
+	uniqueFrac    float64
+	admitRate     float64
+	admitBurst    float64
+	maxInflight   int
+	maxQueue      int
+	reqTimeout    time.Duration
+}
+
+// loadCounters aggregates per-request outcomes across workers.
+type loadCounters struct {
+	ok          atomic.Int64 // err == nil, live answer
+	stale       atomic.Int64 // err == nil, degraded onto a stale cached answer
+	failedRec   atomic.Int64 // err == nil but the record's SQL failed (pipeline failure, not overload)
+	rateLimited atomic.Int64 // 429-class: tenant over budget
+	overloaded  atomic.Int64 // 503-class: queue full / deadline unmeetable
+	timeout     atomic.Int64 // canceled by the per-request deadline mid-flight
+}
+
 // runParallelLoad drives a serving Service with workers concurrent
 // closed-loop clients (each issues its next request as soon as the previous
-// one completes) and reports throughput, latency percentiles and the
-// generation-cache counters. The request mix is the full eval set, visited
+// one completes) and reports throughput, latency percentiles, an outcome
+// breakdown (ok/stale/shed/timeout) and the generation-cache and admission
+// counters. The default request mix is the full eval set visited
 // round-robin, so repeat traffic exercises the cache-hit path exactly the
-// way recurring enterprise questions do.
-func runParallelLoad(seed, modelSeed uint64, workers, totalRequests, genCacheSize int, batchExec bool) error {
-	if totalRequests < 1 {
-		totalRequests = 1
+// way recurring enterprise questions do; -adversarial swaps in the overload
+// mix (hot-key skew + cache-busting uniques) and -admitrate/-maxinflight
+// enable the admission-control defenses under test.
+func runParallelLoad(seed, modelSeed uint64, cfg loadConfig) error {
+	if cfg.totalRequests < 1 {
+		cfg.totalRequests = 1
 	}
 	suite := workload.NewSuite(seed)
-	opts := []genedit.Option{genedit.WithModelSeed(modelSeed), genedit.WithBatchExec(batchExec)}
-	if genCacheSize > 0 {
-		opts = append(opts, genedit.WithGenerationCache(genCacheSize))
+	opts := []genedit.Option{genedit.WithModelSeed(modelSeed), genedit.WithBatchExec(cfg.batchExec)}
+	if cfg.genCacheSize > 0 {
+		opts = append(opts, genedit.WithGenerationCache(cfg.genCacheSize))
+	}
+	admissionOn := cfg.admitRate > 0 || cfg.maxInflight > 0
+	if admissionOn {
+		opts = append(opts, genedit.WithAdmission(genedit.AdmissionConfig{
+			RatePerSec:    cfg.admitRate,
+			Burst:         cfg.admitBurst,
+			MaxConcurrent: cfg.maxInflight,
+			MaxQueue:      cfg.maxQueue,
+		}))
 	}
 	svc := genedit.NewService(suite, opts...)
+	defer svc.Close()
 	ctx := context.Background()
 
 	fmt.Printf("prewarming %d engines...\n", len(svc.Databases()))
@@ -353,30 +425,69 @@ func runParallelLoad(seed, modelSeed uint64, workers, totalRequests, genCacheSiz
 	}
 	fmt.Printf("prewarmed in %s\n", time.Since(warmStart).Round(time.Millisecond))
 
-	cases := suite.Cases
-	var next atomic.Int64
-	latencies := make([][]time.Duration, workers)
-	errs := make([]error, workers)
+	var mix *workload.OverloadMix
+	if cfg.adversarial {
+		mix = workload.NewOverloadMix(suite, seed, cfg.hotFrac, cfg.uniqueFrac)
+	}
+	requestAt := func(i int64) genedit.Request {
+		if mix != nil {
+			r := mix.Request(int(i))
+			return genedit.Request{Database: r.Database, Question: r.Question, Evidence: r.Evidence}
+		}
+		c := suite.Cases[int(i)%len(suite.Cases)]
+		return genedit.Request{Database: c.DB, Question: c.Question, Evidence: c.Evidence}
+	}
+
+	var (
+		next     atomic.Int64
+		counters loadCounters
+	)
+	latencies := make([][]time.Duration, cfg.workers)
+	errs := make([]error, cfg.workers)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lats := make([]time.Duration, 0, totalRequests/workers+1)
+			lats := make([]time.Duration, 0, cfg.totalRequests/cfg.workers+1)
 			for {
 				i := next.Add(1) - 1
-				if i >= int64(totalRequests) {
+				if i >= int64(cfg.totalRequests) {
 					break
 				}
-				c := cases[int(i)%len(cases)]
+				req := requestAt(i)
+				reqCtx, cancel := ctx, context.CancelFunc(nil)
+				if cfg.reqTimeout > 0 {
+					reqCtx, cancel = context.WithTimeout(ctx, cfg.reqTimeout)
+				}
 				reqStart := time.Now()
-				_, err := svc.Generate(ctx, genedit.Request{Database: c.DB, Question: c.Question, Evidence: c.Evidence})
-				if err != nil {
-					errs[w] = err
-					break
+				resp, err := svc.Generate(reqCtx, req)
+				if cancel != nil {
+					cancel()
 				}
-				lats = append(lats, time.Since(reqStart))
+				switch {
+				case err == nil:
+					lats = append(lats, time.Since(reqStart))
+					switch {
+					case resp.Stale:
+						counters.stale.Add(1)
+					case !resp.OK:
+						counters.failedRec.Add(1)
+					default:
+						counters.ok.Add(1)
+					}
+				case errors.Is(err, genedit.ErrRateLimited):
+					counters.rateLimited.Add(1)
+				case errors.Is(err, genedit.ErrOverloaded):
+					counters.overloaded.Add(1)
+				case errors.Is(err, genedit.ErrCanceled):
+					counters.timeout.Add(1)
+				default:
+					errs[w] = err
+					latencies[w] = lats
+					return
+				}
 			}
 			latencies[w] = lats
 		}(w)
@@ -402,25 +513,57 @@ func runParallelLoad(seed, modelSeed uint64, workers, totalRequests, genCacheSiz
 		return all[i]
 	}
 	engine := "columnar batch (morsel size " + fmt.Sprint(sqlexec.DefaultMorselSize) + ")"
-	if !batchExec {
+	if !cfg.batchExec {
 		engine = "compiled row"
 	}
-	fmt.Printf("\nclosed-loop load: %d workers, %d requests over %d cases, %s sql engine\n",
-		workers, len(all), len(cases), engine)
+	mixName := fmt.Sprintf("%d cases round-robin", len(suite.Cases))
+	if mix != nil {
+		mixName = fmt.Sprintf("adversarial (%.0f%% hot on %s, %.0f%% cache-busting)",
+			100*cfg.hotFrac, mix.HotDatabase(), 100*cfg.uniqueFrac)
+	}
+	fmt.Printf("\nclosed-loop load: %d workers, %d requests, mix %s, %s sql engine\n",
+		cfg.workers, cfg.totalRequests, mixName, engine)
 	fmt.Printf("  wall clock   %s\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("  throughput   %.1f gen/sec\n", float64(len(all))/elapsed.Seconds())
+	fmt.Printf("  throughput   %.1f gen/sec (completed requests)\n", float64(len(all))/elapsed.Seconds())
 	fmt.Printf("  latency      p50 %s   p95 %s   p99 %s   max %s\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+
+	shed := counters.rateLimited.Load() + counters.overloaded.Load() + counters.timeout.Load()
+	fmt.Printf("  outcomes     %d ok / %d stale-served / %d failed-sql / %d rate-limited (429) / %d overloaded (503) / %d deadline-exceeded\n",
+		counters.ok.Load(), counters.stale.Load(), counters.failedRec.Load(),
+		counters.rateLimited.Load(), counters.overloaded.Load(), counters.timeout.Load())
+	fmt.Printf("  error rate   %.1f%% shed or timed out (%d of %d)\n",
+		100*float64(shed)/float64(cfg.totalRequests), shed, cfg.totalRequests)
+
 	st := svc.GenerationCacheStats()
 	if svc.GenerationCacheEnabled() {
 		served := st.Hits + st.Misses + st.Coalesced
-		fmt.Printf("  gen cache    %d hits / %d misses / %d coalesced (%.1f%% served without a pipeline run), %d/%d entries\n",
+		fmt.Printf("  gen cache    %d hits / %d misses / %d coalesced (%.1f%% served without a pipeline run), %d stale serves, %d/%d entries\n",
 			st.Hits, st.Misses, st.Coalesced,
 			100*float64(st.Hits+st.Coalesced)/float64(max(served, 1)),
-			st.Entries, st.Capacity)
+			st.StaleServed, st.Entries, st.Capacity)
 	} else {
 		fmt.Printf("  gen cache    disabled (every request ran the full pipeline)\n")
+	}
+	if admissionOn {
+		ast := svc.AdmissionStats()
+		fmt.Printf("  admission    %d admitted, peak queue %d; shed: %d rate-limited, %d queue-full, %d deadline, %d canceled-in-queue\n",
+			ast.Admitted, ast.MaxQueueDepth, ast.RateLimited, ast.ShedQueueFull, ast.ShedDeadline, ast.CanceledInQueue)
+		tenants := make([]string, 0, len(ast.Tenants))
+		for db := range ast.Tenants {
+			tenants = append(tenants, db)
+		}
+		sort.Strings(tenants)
+		for _, db := range tenants {
+			ts := ast.Tenants[db]
+			if ts.RateLimited == 0 && ts.Admitted == 0 {
+				continue
+			}
+			fmt.Printf("    tenant %-24s %6d admitted %6d rate-limited\n", db, ts.Admitted, ts.RateLimited)
+		}
+	} else {
+		fmt.Printf("  admission    disabled (-admitrate / -maxinflight to enable)\n")
 	}
 	return nil
 }

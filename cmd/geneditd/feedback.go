@@ -29,6 +29,10 @@ const goldenPerDB = 4
 type feedbackHub struct {
 	svc   *genedit.Service
 	suite *genedit.Benchmark
+	// maxSessions bounds the abandoned-session leak: clients that open
+	// sessions and walk away hold a generation record and staged edits
+	// each. Set from the -maxsessions flag.
+	maxSessions int
 
 	mu       sync.Mutex
 	solvers  map[string]*genedit.Solver
@@ -47,12 +51,16 @@ type fbSession struct {
 	done    bool
 }
 
-func newFeedbackHub(svc *genedit.Service, suite *genedit.Benchmark) *feedbackHub {
+func newFeedbackHub(svc *genedit.Service, suite *genedit.Benchmark, maxSessions int) *feedbackHub {
+	if maxSessions <= 0 {
+		maxSessions = defaultMaxOpenSessions
+	}
 	return &feedbackHub{
-		svc:      svc,
-		suite:    suite,
-		solvers:  make(map[string]*genedit.Solver),
-		sessions: make(map[string]*fbSession),
+		svc:         svc,
+		suite:       suite,
+		maxSessions: maxSessions,
+		solvers:     make(map[string]*genedit.Solver),
+		sessions:    make(map[string]*fbSession),
 	}
 }
 
@@ -92,7 +100,7 @@ func (h *feedbackHub) solverFor(ctx context.Context, db string) (*genedit.Solver
 func (h *feedbackHub) register(db string, sess *feedback.Session) (*fbSession, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.sessions) >= maxOpenSessions {
+	if len(h.sessions) >= h.maxSessions {
 		return nil, fmt.Errorf("too many open feedback sessions (%d); submit, approve or abandon some first", len(h.sessions))
 	}
 	// The API session ID embeds the solver's per-database FeedbackID (the
@@ -117,9 +125,9 @@ func (h *feedbackHub) evict(id string) {
 	delete(h.sessions, id)
 }
 
-// maxOpenSessions bounds the abandoned-session leak: clients that open
-// sessions and walk away hold a generation record and staged edits each.
-const maxOpenSessions = 1024
+// defaultMaxOpenSessions is the open-session cap when -maxsessions is not
+// given (or is <= 0).
+const defaultMaxOpenSessions = 1024
 
 // wire types
 
@@ -215,12 +223,12 @@ func (h *feedbackHub) registerRoutes(mux *http.ServeMux, withTimeout func(contex
 		defer cancel()
 		solver, err := h.solverFor(ctx, req.Database)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		sess, err := solver.OpenContext(ctx, req.Question, req.Evidence)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		fs, err := h.register(req.Database, sess)
@@ -259,7 +267,7 @@ func (h *feedbackHub) registerRoutes(mux *http.ServeMux, withTimeout func(contex
 		}
 		rec, err := fs.sess.Feedback(req.Feedback)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		fs.sess.Stage(rec.Edits...)
@@ -269,7 +277,7 @@ func (h *feedbackHub) registerRoutes(mux *http.ServeMux, withTimeout func(contex
 			// is deterministic) does not stage a duplicate copy and wedge
 			// the session on "already exists".
 			fs.sess.Staged = fs.sess.Staged[:len(fs.sess.Staged)-len(rec.Edits)]
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		out := regenerateResponse{ID: fs.id, SQL: regen.FinalSQL, OK: regen.OK, Iterations: fs.sess.Iterations}
@@ -295,7 +303,7 @@ func (h *feedbackHub) registerRoutes(mux *http.ServeMux, withTimeout func(contex
 		}
 		res, err := fs.sess.SubmitContext(ctx)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		if res.Pending != nil {
@@ -334,7 +342,7 @@ func (h *feedbackHub) registerRoutes(mux *http.ServeMux, withTimeout func(contex
 		}
 		solver, err := h.solverFor(ctx, fs.db)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		if err := solver.Approve(fs.pending, req.Approver); err != nil {
@@ -345,7 +353,7 @@ func (h *feedbackHub) registerRoutes(mux *http.ServeMux, withTimeout func(contex
 		h.evict(fs.id)
 		info, err := h.svc.Knowledge(ctx, fs.db, 0)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, approveResponse{
@@ -370,7 +378,7 @@ func (h *feedbackHub) registerRoutes(mux *http.ServeMux, withTimeout func(contex
 		defer cancel()
 		info, err := h.svc.Knowledge(ctx, r.PathValue("db"), lastN)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		out := knowledgeResponse{

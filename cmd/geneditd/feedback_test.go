@@ -36,7 +36,7 @@ func newStoreServer(t *testing.T, dir string) (*httptest.Server, func()) {
 	t.Helper()
 	suite := genedit.NewBenchmark(1)
 	svc := genedit.NewService(suite, genedit.WithModelSeed(42), genedit.WithStorePath(dir))
-	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second))
+	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second, 0))
 	closed := false
 	closer := func() {
 		if closed {

@@ -27,6 +27,16 @@
 // a deadline that expires mid-pipeline returns 504 with the cancellation
 // error. -trace logs per-operator timings for every request.
 //
+// Overload behavior: -admitrate / -admitburst put a per-database token
+// bucket in front of generation (shed requests get 429 + Retry-After);
+// -maxinflight / -maxqueue bound concurrently executing and queued
+// generations (a full queue or an unmeetable deadline sheds with 503 +
+// Retry-After). When the generation cache holds an answer for a shed
+// request's question from a previous knowledge version, the daemon serves
+// it instead, marked "stale": true with its "stale_version". -maxsessions
+// (default 1024) caps concurrently open feedback sessions; opens beyond
+// the cap get 429. Admission counters are reported on /v1/stats.
+//
 // -gencache (default 1024, 0 disables) caches completed generations per
 // (database, knowledge version, normalized question, evidence) with
 // concurrent duplicates coalesced onto one pipeline run; responses served
@@ -56,13 +66,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"genedit"
+	"genedit/internal/generr"
 )
 
 // wire types: the JSON surface is decoupled from the Go API so the Go types
@@ -88,6 +101,8 @@ type generateResponse struct {
 	SQL          string       `json:"sql"`
 	OK           bool         `json:"ok"`
 	Cached       bool         `json:"cached,omitempty"`
+	Stale        bool         `json:"stale,omitempty"`
+	StaleVersion int          `json:"stale_version,omitempty"`
 	Reformulated string       `json:"reformulated,omitempty"`
 	Intents      []string     `json:"intents,omitempty"`
 	Attempts     int          `json:"attempts"`
@@ -108,6 +123,8 @@ type batchResponse struct {
 type statsResponse struct {
 	GenerationCacheEnabled bool                            `json:"generation_cache_enabled"`
 	GenerationCache        genedit.GenerationCacheStats    `json:"generation_cache"`
+	AdmissionEnabled       bool                            `json:"admission_enabled"`
+	Admission              genedit.AdmissionStats          `json:"admission"`
 	MinerEnabled           bool                            `json:"miner_enabled"`
 	Failures               map[string]genedit.FailureStats `json:"failures,omitempty"`
 	Miner                  map[string]genedit.MinerStats   `json:"miner,omitempty"`
@@ -135,6 +152,8 @@ func toWire(req genedit.Request, resp *genedit.Response) generateResponse {
 	out.SQL = resp.SQL
 	out.OK = resp.OK
 	out.Cached = resp.Cached
+	out.Stale = resp.Stale
+	out.StaleVersion = resp.StaleVersion
 	out.DurationMS = float64(resp.Duration.Microseconds()) / 1000
 	if resp.Record != nil {
 		out.Reformulated = resp.Record.Reformulated
@@ -158,6 +177,10 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, genedit.ErrUnknownDatabase):
 		return http.StatusNotFound
+	case errors.Is(err, genedit.ErrRateLimited):
+		return http.StatusTooManyRequests
+	case errors.Is(err, genedit.ErrOverloaded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, genedit.ErrCanceled):
@@ -180,11 +203,26 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// writeServiceError maps a service error to its HTTP status and, for shed
+// requests (429/503), attaches the admission controller's Retry-After hint
+// so well-behaved clients back off for exactly as long as the token bucket
+// or queue needs.
+func writeServiceError(w http.ResponseWriter, err error) {
+	if hint, ok := generr.RetryAfterHint(err); ok && hint > 0 {
+		// Retry-After is whole seconds; round up so a 50ms hint does not
+		// become "retry immediately".
+		secs := int64(math.Ceil(hint.Seconds()))
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeError(w, statusFor(err), err.Error())
+}
+
 // newMux wires the service behind the daemon's routes. perReq bounds each
-// request's wall-clock time (0 = unbounded); it is split out from main so
-// tests can drive the daemon end-to-end with httptest. suite is the tenant
-// registry the feedback hub picks golden regression cases from.
-func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration) *http.ServeMux {
+// request's wall-clock time (0 = unbounded); maxSessions caps concurrently
+// open feedback sessions (<= 0 = default 1024). It is split out from main
+// so tests can drive the daemon end-to-end with httptest. suite is the
+// tenant registry the feedback hub picks golden regression cases from.
+func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration, maxSessions int) *http.ServeMux {
 	withTimeout := func(ctx context.Context) (context.Context, context.CancelFunc) {
 		if perReq <= 0 {
 			return ctx, func() {}
@@ -193,7 +231,7 @@ func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration
 	}
 
 	mux := http.NewServeMux()
-	newFeedbackHub(svc, suite).registerRoutes(mux, withTimeout)
+	newFeedbackHub(svc, suite, maxSessions).registerRoutes(mux, withTimeout)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -203,6 +241,8 @@ func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration
 		writeJSON(w, http.StatusOK, statsResponse{
 			GenerationCacheEnabled: svc.GenerationCacheEnabled(),
 			GenerationCache:        svc.GenerationCacheStats(),
+			AdmissionEnabled:       svc.AdmissionEnabled(),
+			Admission:              svc.AdmissionStats(),
 			MinerEnabled:           svc.MinerEnabled(),
 			Failures:               svc.FailureStats(),
 			Miner:                  svc.MinerStats(),
@@ -246,7 +286,7 @@ func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration
 		defer cancel()
 		rep, err := svc.MineRound(ctx, db)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, mineResponse{Database: db, Report: rep})
@@ -271,7 +311,7 @@ func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration
 		greq := genedit.Request{Database: req.Database, Question: req.Question, Evidence: req.Evidence}
 		resp, err := svc.Generate(ctx, greq)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			writeServiceError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, toWire(greq, resp))
@@ -323,9 +363,22 @@ func main() {
 	trace := flag.Bool("trace", false, "log per-operator timings for every request")
 	store := flag.String("store", "", "directory for durable per-database knowledge stores (empty = in-memory)")
 	minerIvl := flag.Duration("miner", 0, "background failure-mining interval (0 = miner disabled)")
+	maxSessions := flag.Int("maxsessions", defaultMaxOpenSessions, "max concurrently open feedback sessions; opens beyond it get 429")
+	admitRate := flag.Float64("admitrate", 0, "per-database token-bucket refill rate in requests/sec (0 = no rate limit)")
+	admitBurst := flag.Float64("admitburst", 0, "per-database token-bucket burst capacity (0 = max(1, admitrate))")
+	maxInflight := flag.Int("maxinflight", 0, "max concurrently executing generations (0 = unbounded)")
+	maxQueue := flag.Int("maxqueue", 64, "max requests queued for an execution slot before shedding with 503")
 	flag.Parse()
 
 	opts := []genedit.Option{genedit.WithModelSeed(*modelSeed)}
+	if *admitRate > 0 || *maxInflight > 0 {
+		opts = append(opts, genedit.WithAdmission(genedit.AdmissionConfig{
+			RatePerSec:    *admitRate,
+			Burst:         *admitBurst,
+			MaxConcurrent: *maxInflight,
+			MaxQueue:      *maxQueue,
+		}))
+	}
 	if *minerIvl > 0 {
 		opts = append(opts, genedit.WithMiner(genedit.MinerConfig{}))
 	}
@@ -358,7 +411,12 @@ func main() {
 		log.Printf("prewarmed %d engines in %s", len(svc.Databases()), time.Since(start).Round(time.Millisecond))
 	}
 
-	server := &http.Server{Addr: *addr, Handler: newMux(svc, suite, *timeout)}
+	if svc.AdmissionEnabled() {
+		log.Printf("admission control enabled: rate=%g/s burst=%g inflight=%d queue=%d",
+			*admitRate, *admitBurst, *maxInflight, *maxQueue)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: newMux(svc, suite, *timeout, *maxSessions)}
 
 	minerCtx, stopMiner := context.WithCancel(context.Background())
 	defer stopMiner()

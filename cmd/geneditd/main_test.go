@@ -17,7 +17,7 @@ func newTestServer(t *testing.T, timeout time.Duration) *httptest.Server {
 	t.Helper()
 	suite := genedit.NewBenchmark(1)
 	svc := genedit.NewService(suite, genedit.WithModelSeed(42))
-	srv := httptest.NewServer(newMux(svc, suite, timeout))
+	srv := httptest.NewServer(newMux(svc, suite, timeout, 0))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -169,7 +169,7 @@ func TestMinerEndpoints(t *testing.T) {
 		genedit.WithGenerationCache(256),
 		genedit.WithMiner(genedit.MinerConfig{}))
 	t.Cleanup(func() { svc.Close() })
-	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second))
+	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second, 0))
 	t.Cleanup(srv.Close)
 
 	db := injected[0].DB
@@ -263,7 +263,7 @@ func getJSON(t *testing.T, url string, out any) {
 func TestGenerationCacheAndStats(t *testing.T) {
 	suite := genedit.NewBenchmark(1)
 	svc := genedit.NewService(suite, genedit.WithModelSeed(42), genedit.WithGenerationCache(64))
-	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second))
+	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second, 0))
 	t.Cleanup(srv.Close)
 
 	var q, db string

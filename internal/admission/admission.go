@@ -1,0 +1,350 @@
+// Package admission is the serving layer's overload defense: per-tenant
+// token-bucket rate limiting in front of a bounded, deadline-aware request
+// queue. It decides, for every request, one of three fates *before* any
+// expensive work runs:
+//
+//   - admit: a concurrency slot is held until the caller's release func runs;
+//   - rate-limit: the tenant is over its token budget — shed immediately
+//     with generr.ErrRateLimited and a Retry-After hint (never queued, so
+//     one hot tenant cannot fill the queue and starve the rest);
+//   - overload: the service is out of capacity — queue full, the request
+//     provably cannot start before its deadline, or the controller is
+//     shutting down — shed with generr.ErrOverloaded.
+//
+// Deadline awareness is the load-shedding refinement: a queued request that
+// will miss its deadline anyway is pure waste (it occupies a queue slot,
+// then dies at dispatch). The controller keeps an EWMA of recent service
+// times and sheds a request at arrival when its estimated queue wait already
+// overruns the context deadline — failing in microseconds instead of
+// timing out in seconds, and leaving the queue for requests that can still
+// make it.
+//
+// Concurrency contract: all methods are safe for concurrent use. Admit
+// blocks only while queued (bounded by MaxQueue) and honors ctx
+// cancellation; Close wakes every queued waiter with an overload error.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"genedit/internal/generr"
+)
+
+// Config bounds one Controller.
+type Config struct {
+	// RatePerSec is each tenant's token-bucket refill rate (tokens per
+	// second, one token per request). <= 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is each tenant's bucket capacity — the largest instantaneous
+	// spike a tenant can spend. Defaults to max(1, RatePerSec) when unset.
+	Burst float64
+	// MaxConcurrent bounds requests past admission at once. <= 0 disables
+	// the concurrency gate (rate limiting may still apply).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a concurrency slot; arrivals
+	// beyond it are shed immediately. Only meaningful with MaxConcurrent;
+	// <= 0 means no waiting — a full house sheds instantly.
+	MaxQueue int
+}
+
+// Stats is a point-in-time snapshot of the controller's counters.
+type Stats struct {
+	// Admitted counts requests granted a slot (including after queueing).
+	Admitted uint64 `json:"admitted"`
+	// RateLimited counts sheds by a tenant's token bucket.
+	RateLimited uint64 `json:"rate_limited"`
+	// ShedQueueFull counts sheds because the wait queue was at MaxQueue.
+	ShedQueueFull uint64 `json:"shed_queue_full"`
+	// ShedDeadline counts arrivals shed because their estimated queue wait
+	// overran the request deadline.
+	ShedDeadline uint64 `json:"shed_deadline"`
+	// CanceledInQueue counts waiters whose context died while queued.
+	CanceledInQueue uint64 `json:"canceled_in_queue"`
+	// ShedShutdown counts requests refused because the controller closed.
+	ShedShutdown uint64 `json:"shed_shutdown"`
+	// InFlight and Queued are current gauges; MaxQueueDepth is the
+	// high-water mark of Queued over the controller's lifetime.
+	InFlight      int `json:"in_flight"`
+	Queued        int `json:"queued"`
+	MaxQueueDepth int `json:"max_queue_depth"`
+	// AvgServiceMS is the EWMA of recent admitted-request service times
+	// (the deadline-shedding estimate), 0 until the first completion.
+	AvgServiceMS float64 `json:"avg_service_ms"`
+	// Tenants holds per-tenant admission counters.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's admission record.
+type TenantStats struct {
+	Admitted    uint64 `json:"admitted"`
+	RateLimited uint64 `json:"rate_limited"`
+}
+
+// ewmaAlpha weights the newest service-time sample; ~20 samples of memory.
+const ewmaAlpha = 0.1
+
+// bucket is one tenant's token bucket, refilled lazily on access.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	stats  TenantStats
+}
+
+// waiter is one queued request. Its outcome (granted slot vs. shutdown) is
+// decided exactly once under the controller mutex — resolved flips first,
+// then done is closed — so the slow queue path, ctx cancellation and Close
+// can race without double-granting or leaking a slot.
+type waiter struct {
+	done     chan struct{}
+	resolved bool // outcome decided; entry no longer counts as queued
+	granted  bool // valid once resolved: true = owns a concurrency slot
+}
+
+// Controller enforces one Config. The zero value is not usable; use New.
+type Controller struct {
+	cfg Config
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	inflight int
+	queue    []*waiter // FIFO; resolved entries are skipped at dispatch
+	queued   int       // unresolved queue entries
+	avgSvc   float64   // EWMA of service seconds; 0 = no estimate yet
+	closed   bool
+	stats    Stats
+}
+
+// New builds a Controller for cfg, normalizing defaults (Burst defaults to
+// max(1, RatePerSec) so a configured rate always admits single requests).
+func New(cfg Config) *Controller {
+	if cfg.RatePerSec > 0 && cfg.Burst <= 0 {
+		cfg.Burst = math.Max(1, cfg.RatePerSec)
+	}
+	return &Controller{
+		cfg:     cfg,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// SetClock replaces the controller's time source (tests only; not safe
+// concurrently with Admit).
+func (c *Controller) SetClock(now func() time.Time) { c.now = now }
+
+// Admit runs the full admission decision for one request of tenant. On
+// success it returns a release func that MUST be called exactly once when
+// the request finishes — it frees the concurrency slot (handing it to the
+// oldest live waiter) and feeds the service-time estimate. On shed it
+// returns a typed overload error (generr.ErrRateLimited /
+// generr.ErrOverloaded); if ctx dies while queued, a generr.Canceled error.
+func (c *Controller) Admit(ctx context.Context, tenant string) (release func(), err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.stats.ShedShutdown++
+		c.mu.Unlock()
+		return nil, generr.Overloaded(tenant, "service is shutting down", 0)
+	}
+
+	// Stage 1: per-tenant token bucket. Over-budget tenants are shed here,
+	// before they can occupy queue capacity shared with everyone else.
+	if c.cfg.RatePerSec > 0 {
+		b := c.bucketLocked(tenant)
+		if b.tokens < 1 {
+			b.stats.RateLimited++
+			c.stats.RateLimited++
+			wait := time.Duration((1 - b.tokens) / c.cfg.RatePerSec * float64(time.Second))
+			c.mu.Unlock()
+			return nil, generr.RateLimited(tenant, "token budget exhausted", wait)
+		}
+		b.tokens--
+		b.stats.Admitted++
+	}
+
+	// Stage 2: concurrency gate.
+	if c.cfg.MaxConcurrent <= 0 || c.inflight < c.cfg.MaxConcurrent {
+		c.inflight++
+		c.stats.Admitted++
+		start := c.now()
+		c.mu.Unlock()
+		return c.releaseFunc(start), nil
+	}
+
+	// Full house: shed on a full queue, fail fast on a doomed deadline,
+	// otherwise queue.
+	if c.queued >= c.cfg.MaxQueue {
+		c.stats.ShedQueueFull++
+		retry := c.retryEstimateLocked(c.queued)
+		depth := c.queued
+		c.mu.Unlock()
+		return nil, generr.Overloaded(tenant,
+			fmt.Sprintf("queue full at depth %d", depth), retry)
+	}
+	if dl, ok := ctx.Deadline(); ok && c.avgSvc > 0 {
+		// Estimated wait until this request could start: everyone queued
+		// ahead of it plus itself, served MaxConcurrent at a time.
+		wait := c.queueWaitLocked(c.queued + 1)
+		if c.now().Add(wait).After(dl) {
+			c.stats.ShedDeadline++
+			c.mu.Unlock()
+			return nil, generr.Overloaded(tenant,
+				fmt.Sprintf("cannot start before deadline (estimated wait %s)", wait.Round(time.Millisecond)),
+				wait)
+		}
+	}
+
+	w := &waiter{done: make(chan struct{})}
+	c.queue = append(c.queue, w)
+	c.queued++
+	if c.queued > c.stats.MaxQueueDepth {
+		c.stats.MaxQueueDepth = c.queued
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-w.done:
+		return c.settleWoken(w, tenant)
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.resolved {
+			// A grant or shutdown landed between ctx.Done and the lock;
+			// honor it — taking a granted slot beats leaking it.
+			c.mu.Unlock()
+			<-w.done
+			return c.settleWoken(w, tenant)
+		}
+		w.resolved = true
+		c.queued--
+		c.stats.CanceledInQueue++
+		c.mu.Unlock()
+		return nil, generr.Canceled(ctx.Err())
+	}
+}
+
+// settleWoken finishes a waiter whose outcome was decided by a releasing
+// request (granted) or by Close (shutdown).
+func (c *Controller) settleWoken(w *waiter, tenant string) (func(), error) {
+	if !w.granted {
+		return nil, generr.Overloaded(tenant, "service is shutting down", 0)
+	}
+	c.mu.Lock()
+	c.stats.Admitted++
+	start := c.now()
+	c.mu.Unlock()
+	return c.releaseFunc(start), nil
+}
+
+// releaseFunc builds the once-only completion callback for an admitted
+// request.
+func (c *Controller) releaseFunc(start time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			elapsed := c.now().Sub(start).Seconds()
+			c.mu.Lock()
+			if c.avgSvc == 0 {
+				c.avgSvc = elapsed
+			} else {
+				c.avgSvc = (1-ewmaAlpha)*c.avgSvc + ewmaAlpha*elapsed
+			}
+			// Hand the slot to the oldest live waiter (inflight unchanged),
+			// else free it.
+			var grant *waiter
+			for len(c.queue) > 0 {
+				w := c.queue[0]
+				c.queue = c.queue[1:]
+				if w.resolved {
+					continue
+				}
+				w.resolved = true
+				w.granted = true
+				c.queued--
+				grant = w
+				break
+			}
+			if grant == nil {
+				c.inflight--
+			}
+			c.mu.Unlock()
+			if grant != nil {
+				close(grant.done)
+			}
+		})
+	}
+}
+
+// bucketLocked refills and returns tenant's bucket. Caller holds c.mu.
+func (c *Controller) bucketLocked(tenant string) *bucket {
+	b, ok := c.buckets[tenant]
+	now := c.now()
+	if !ok {
+		b = &bucket{tokens: c.cfg.Burst, last: now}
+		c.buckets[tenant] = b
+		return b
+	}
+	b.tokens = math.Min(c.cfg.Burst, b.tokens+now.Sub(b.last).Seconds()*c.cfg.RatePerSec)
+	b.last = now
+	return b
+}
+
+// queueWaitLocked estimates how long a request at queue position pos (1 =
+// next to start) waits for a slot. Caller holds c.mu; avgSvc > 0.
+func (c *Controller) queueWaitLocked(pos int) time.Duration {
+	waves := math.Ceil(float64(pos) / float64(c.cfg.MaxConcurrent))
+	return time.Duration(waves * c.avgSvc * float64(time.Second))
+}
+
+// retryEstimateLocked is the Retry-After hint for a queue-full shed: the
+// estimated time for the queue to drain one request's worth of headroom.
+func (c *Controller) retryEstimateLocked(depth int) time.Duration {
+	if c.avgSvc == 0 || c.cfg.MaxConcurrent <= 0 {
+		return 0
+	}
+	return c.queueWaitLocked(depth)
+}
+
+// Close sheds every queued waiter with generr.ErrOverloaded and makes all
+// future Admit calls fail fast the same way. In-flight requests are
+// unaffected; their release funcs stay valid. Close is idempotent.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	var wake []*waiter
+	for _, w := range c.queue {
+		if !w.resolved {
+			w.resolved = true
+			c.queued--
+			c.stats.ShedShutdown++
+			wake = append(wake, w)
+		}
+	}
+	c.queue = nil
+	c.mu.Unlock()
+	for _, w := range wake {
+		close(w.done)
+	}
+}
+
+// Stats snapshots the controller's counters and gauges.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.InFlight = c.inflight
+	st.Queued = c.queued
+	st.AvgServiceMS = c.avgSvc * 1000
+	st.Tenants = make(map[string]TenantStats, len(c.buckets))
+	for t, b := range c.buckets {
+		st.Tenants[t] = b.stats
+	}
+	return st
+}

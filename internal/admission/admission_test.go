@@ -1,0 +1,351 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"genedit/internal/generr"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestTokenBucketPerTenant(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{RatePerSec: 1, Burst: 2})
+	c.SetClock(clk.Now)
+	ctx := context.Background()
+
+	// Tenant A spends its burst of 2; the third request is rate-limited.
+	for i := 0; i < 2; i++ {
+		release, err := c.Admit(ctx, "a")
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		release()
+	}
+	_, err := c.Admit(ctx, "a")
+	if !errors.Is(err, generr.ErrRateLimited) {
+		t.Fatalf("want ErrRateLimited, got %v", err)
+	}
+	if hint, ok := generr.RetryAfterHint(err); !ok || hint <= 0 || hint > time.Second {
+		t.Fatalf("want retry hint in (0, 1s], got %v ok=%v", hint, ok)
+	}
+
+	// Tenant B has its own bucket: unaffected by A's exhaustion.
+	if release, err := c.Admit(ctx, "b"); err != nil {
+		t.Fatalf("tenant b should be admitted: %v", err)
+	} else {
+		release()
+	}
+
+	// Refill: after 1s tenant A has one token again.
+	clk.Advance(time.Second)
+	if release, err := c.Admit(ctx, "a"); err != nil {
+		t.Fatalf("tenant a after refill: %v", err)
+	} else {
+		release()
+	}
+	// ...but only one.
+	if _, err := c.Admit(ctx, "a"); !errors.Is(err, generr.ErrRateLimited) {
+		t.Fatalf("want ErrRateLimited after spending refill, got %v", err)
+	}
+
+	st := c.Stats()
+	if st.RateLimited != 2 {
+		t.Fatalf("want 2 rate-limited, got %d", st.RateLimited)
+	}
+	if ts := st.Tenants["a"]; ts.Admitted != 3 || ts.RateLimited != 2 {
+		t.Fatalf("tenant a stats = %+v", ts)
+	}
+	if ts := st.Tenants["b"]; ts.Admitted != 1 || ts.RateLimited != 0 {
+		t.Fatalf("tenant b stats = %+v", ts)
+	}
+}
+
+func TestBurstDefaultsToRate(t *testing.T) {
+	c := New(Config{RatePerSec: 0.5})
+	if c.cfg.Burst != 1 {
+		t.Fatalf("want burst default 1, got %v", c.cfg.Burst)
+	}
+	c = New(Config{RatePerSec: 8})
+	if c.cfg.Burst != 8 {
+		t.Fatalf("want burst default 8, got %v", c.cfg.Burst)
+	}
+}
+
+func TestConcurrencyGateAndQueueFIFO(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 2})
+	ctx := context.Background()
+
+	release1, err := c.Admit(ctx, "a")
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+
+	// Two waiters queue; a third arrival sheds with ErrOverloaded.
+	results := make(chan int, 2)
+	var started sync.WaitGroup
+	admitAsync := func(id int) {
+		started.Add(1)
+		go func() {
+			started.Done()
+			release, err := c.Admit(ctx, "a")
+			if err != nil {
+				t.Errorf("waiter %d: %v", id, err)
+				return
+			}
+			results <- id
+			release()
+		}()
+	}
+	admitAsync(1)
+	started.Wait()
+	waitForQueued(t, c, 1)
+	admitAsync(2)
+	started.Wait()
+	waitForQueued(t, c, 2)
+
+	if _, err := c.Admit(ctx, "a"); !errors.Is(err, generr.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded on full queue, got %v", err)
+	}
+
+	// Release dispatches the waiters in FIFO order.
+	release1()
+	if got := <-results; got != 1 {
+		t.Fatalf("want waiter 1 first, got %d", got)
+	}
+	if got := <-results; got != 2 {
+		t.Fatalf("want waiter 2 second, got %d", got)
+	}
+	st := c.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("want drained gauges, got inflight=%d queued=%d", st.InFlight, st.Queued)
+	}
+	if st.Admitted != 3 || st.ShedQueueFull != 1 || st.MaxQueueDepth != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeadlineAwareShed(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 8})
+	c.SetClock(clk.Now)
+	ctx := context.Background()
+
+	// Seed the service-time estimate: one 100ms request.
+	release, err := c.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(100 * time.Millisecond)
+	release()
+
+	// Occupy the only slot.
+	releaseHold, err := c.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A request whose deadline is sooner than the ~100ms estimated wait is
+	// shed immediately instead of queued to die. The context deadline is
+	// real wall-clock, but the controller compares against its own clock:
+	// pick a deadline far in the fake clock's past... the controller uses
+	// ctx.Deadline() verbatim, so build one relative to the fake now.
+	doomed, cancel := context.WithDeadline(context.Background(), clk.Now().Add(10*time.Millisecond))
+	defer cancel()
+	_, err = c.Admit(doomed, "a")
+	if !errors.Is(err, generr.ErrOverloaded) {
+		t.Fatalf("want deadline shed (ErrOverloaded), got %v", err)
+	}
+	if st := c.Stats(); st.ShedDeadline != 1 || st.Queued != 0 {
+		t.Fatalf("stats after deadline shed = %+v", st)
+	}
+
+	// A request with generous headroom queues instead. (Real wall-clock
+	// deadline: context expiry runs on the real clock even though the
+	// controller's estimate math runs on the fake one.)
+	roomy, cancel2 := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel2()
+	admitted := make(chan struct{})
+	go func() {
+		release, err := c.Admit(roomy, "a")
+		if err != nil {
+			t.Errorf("roomy waiter: %v", err)
+			return
+		}
+		release()
+		close(admitted)
+	}()
+	waitForQueued(t, c, 1)
+	releaseHold()
+	<-admitted
+}
+
+func TestQueuedWaiterCancellation(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 4})
+	release, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, "a")
+		errCh <- err
+	}()
+	waitForQueued(t, c, 1)
+	cancel()
+	if err := <-errCh; !errors.Is(err, generr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want canceled error, got %v", err)
+	}
+	if st := c.Stats(); st.CanceledInQueue != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The abandoned waiter must not consume the released slot.
+	release()
+	if release2, err := c.Admit(context.Background(), "a"); err != nil {
+		t.Fatalf("slot should be free after cancel+release: %v", err)
+	} else {
+		release2()
+	}
+}
+
+func TestCloseShedsQueueAndRefusesNewWork(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 4})
+	release, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(context.Background(), "a")
+		errCh <- err
+	}()
+	waitForQueued(t, c, 1)
+	c.Close()
+	if err := <-errCh; !errors.Is(err, generr.ErrOverloaded) {
+		t.Fatalf("queued waiter on Close: want ErrOverloaded, got %v", err)
+	}
+	if _, err := c.Admit(context.Background(), "a"); !errors.Is(err, generr.ErrOverloaded) {
+		t.Fatalf("post-Close admit: want ErrOverloaded, got %v", err)
+	}
+	// The in-flight request's release stays valid after Close.
+	release()
+	c.Close() // idempotent
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2, MaxQueue: 0})
+	release, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // double release must not free a second slot
+	if st := c.Stats(); st.InFlight != 0 {
+		t.Fatalf("inflight = %d after double release", st.InFlight)
+	}
+	r1, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	r2, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2()
+	if st := c.Stats(); st.InFlight != 2 {
+		t.Fatalf("inflight = %d, want 2", st.InFlight)
+	}
+}
+
+// TestAdmissionStress hammers the controller from many goroutines under
+// -race: slots never exceed MaxConcurrent, every admit is released, and the
+// controller drains to zero.
+func TestAdmissionStress(t *testing.T) {
+	const (
+		workers       = 16
+		perWorker     = 200
+		maxConcurrent = 4
+	)
+	c := New(Config{RatePerSec: 1e9, MaxConcurrent: maxConcurrent, MaxQueue: 8})
+	var inflight, peak atomic.Int64
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx := context.Background()
+				if i%7 == 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Millisecond)
+					defer cancel()
+				}
+				release, err := c.Admit(ctx, "tenant")
+				if err != nil {
+					shed.Add(1)
+					continue
+				}
+				n := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				admitted.Add(1)
+				inflight.Add(-1)
+				release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > maxConcurrent {
+		t.Fatalf("observed %d concurrent admissions, cap is %d", p, maxConcurrent)
+	}
+	st := c.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("controller did not drain: %+v", st)
+	}
+	if got := int64(st.Admitted); got != admitted.Load() {
+		t.Fatalf("admitted counter %d != observed %d", got, admitted.Load())
+	}
+}
+
+// waitForQueued polls until the controller reports n queued waiters.
+func waitForQueued(t *testing.T, c *Controller, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().Queued == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d (stats %+v)", n, c.Stats())
+}

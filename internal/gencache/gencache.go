@@ -48,15 +48,25 @@ type Cache struct {
 	order   *list.List // front = most recently used; values are *entry
 	items   map[string]*list.Element
 	flights map[string]*flight
+	// families maps a versionless request key to the newest cached element
+	// for that (database, question, evidence) across knowledge versions —
+	// the stale-serve index. Admission sheds consult it to degrade
+	// gracefully: a previous version's answer beats a 503.
+	families map[string]*list.Element
 
-	hits      uint64 // LRU lookups that found a completed record
-	misses    uint64 // lookups that started a new generation (flight leaders)
-	coalesced uint64 // lookups that joined an in-flight generation
+	hits        uint64 // LRU lookups that found a completed record
+	misses      uint64 // lookups that started a new generation (flight leaders)
+	coalesced   uint64 // lookups that joined an in-flight generation
+	staleServed uint64 // PeekStale lookups that found a record
 }
 
 type entry struct {
 	key string
 	rec *pipeline.Record
+	// family and version are set for version-aware insertions (DoVersioned)
+	// and power the stale-serve index; family == "" for plain Do entries.
+	family  string
+	version int
 }
 
 // flight is one in-progress generation; waiters block on done.
@@ -64,6 +74,9 @@ type flight struct {
 	done chan struct{}
 	rec  *pipeline.Record
 	err  error
+	// family/version tag the record for the stale index when it caches.
+	family  string
+	version int
 }
 
 // New returns a cache bounded to capacity records. Capacity must be
@@ -74,11 +87,46 @@ func New(capacity int) *Cache {
 		panic("gencache: capacity must be positive")
 	}
 	return &Cache{
-		cap:     capacity,
-		order:   list.New(),
-		items:   make(map[string]*list.Element, capacity),
-		flights: make(map[string]*flight),
+		cap:      capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+		flights:  make(map[string]*flight),
+		families: make(map[string]*list.Element),
 	}
+}
+
+// RequestKey is the structured form of one request's cache identity. ID is
+// the exact-version cache key (what Do keys flights and entries on); Family
+// drops the version, naming the request across knowledge versions — the
+// stale-serve lookup key.
+type RequestKey struct {
+	Database string
+	Version  int
+	Question string
+	Evidence string
+}
+
+// ID returns the full, version-qualified cache key.
+func (k RequestKey) ID() string {
+	return Key(k.Database, k.Version, k.Question, k.Evidence)
+}
+
+// Family returns the versionless key identifying this request across
+// knowledge versions.
+func (k RequestKey) Family() string {
+	q := NormalizeQuestion(k.Question)
+	var b strings.Builder
+	b.Grow(len(k.Database) + len(q) + len(k.Evidence) + 16)
+	writeLenPrefixed(&b, k.Database)
+	writeLenPrefixed(&b, q)
+	writeLenPrefixed(&b, k.Evidence)
+	return b.String()
+}
+
+func writeLenPrefixed(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte('|')
+	b.WriteString(s)
 }
 
 // Key builds the cache key for one request. The question is normalized
@@ -89,15 +137,10 @@ func Key(database string, version int, question, evidence string) string {
 	q := NormalizeQuestion(question)
 	var b strings.Builder
 	b.Grow(len(database) + len(q) + len(evidence) + 24)
-	writePart := func(s string) {
-		b.WriteString(strconv.Itoa(len(s)))
-		b.WriteByte('|')
-		b.WriteString(s)
-	}
-	writePart(database)
-	writePart(strconv.Itoa(version))
-	writePart(q)
-	writePart(evidence)
+	writeLenPrefixed(&b, database)
+	writeLenPrefixed(&b, strconv.Itoa(version))
+	writeLenPrefixed(&b, q)
+	writeLenPrefixed(&b, evidence)
 	return b.String()
 }
 
@@ -126,6 +169,18 @@ func NormalizeQuestion(q string) string {
 // that was never theirs. A waiter whose own ctx expires stops waiting and
 // returns its cancellation; the flight keeps running for the others.
 func (c *Cache) Do(ctx context.Context, key string, generate func() (*pipeline.Record, error)) (*pipeline.Record, bool, error) {
+	return c.do(ctx, key, "", 0, generate)
+}
+
+// DoVersioned is Do with the structured key: identical semantics, plus the
+// cached record is registered in the stale-serve family index under its
+// knowledge version, making it eligible for PeekStale after the version
+// moves on.
+func (c *Cache) DoVersioned(ctx context.Context, key RequestKey, generate func() (*pipeline.Record, error)) (*pipeline.Record, bool, error) {
+	return c.do(ctx, key.ID(), key.Family(), key.Version, generate)
+}
+
+func (c *Cache) do(ctx context.Context, key, family string, version int, generate func() (*pipeline.Record, error)) (*pipeline.Record, bool, error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {
@@ -160,7 +215,7 @@ func (c *Cache) Do(ctx context.Context, key string, generate func() (*pipeline.R
 			}
 		}
 		c.misses++
-		f := &flight{done: make(chan struct{})}
+		f := &flight{done: make(chan struct{}), family: family, version: version}
 		c.flights[key] = f
 		c.mu.Unlock()
 
@@ -189,25 +244,68 @@ func (c *Cache) finishFlight(key string, f *flight) {
 	c.mu.Lock()
 	delete(c.flights, key)
 	if f.err == nil && f.rec != nil {
-		c.insertLocked(key, f.rec)
+		c.insertLocked(key, f.family, f.version, f.rec)
 	}
 	c.mu.Unlock()
 	close(f.done)
 }
 
-// insertLocked adds (or refreshes) one completed record under c.mu.
-func (c *Cache) insertLocked(key string, rec *pipeline.Record) {
+// insertLocked adds (or refreshes) one completed record under c.mu,
+// maintaining the family index: a family always points at its newest-version
+// cached element, and an evicted element's family pointer is cleared so the
+// index never outlives the LRU entries it references.
+func (c *Cache) insertLocked(key, family string, version int, rec *pipeline.Record) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).rec = rec
+		e := el.Value.(*entry)
+		e.rec = rec
 		c.order.MoveToFront(el)
+		c.indexFamilyLocked(el, e)
 		return
 	}
-	c.items[key] = c.order.PushFront(&entry{key: key, rec: rec})
+	el := c.order.PushFront(&entry{key: key, rec: rec, family: family, version: version})
+	c.items[key] = el
+	c.indexFamilyLocked(el, el.Value.(*entry))
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		e := oldest.Value.(*entry)
+		delete(c.items, e.key)
+		if e.family != "" && c.families[e.family] == oldest {
+			delete(c.families, e.family)
+		}
 	}
+}
+
+// indexFamilyLocked points e's family at el unless a strictly newer version
+// is already indexed (versions only move forward, so this only triggers in
+// odd interleavings; the guard keeps the index monotonic regardless).
+func (c *Cache) indexFamilyLocked(el *list.Element, e *entry) {
+	if e.family == "" {
+		return
+	}
+	if cur, ok := c.families[e.family]; ok && cur.Value.(*entry).version > e.version {
+		return
+	}
+	c.families[e.family] = el
+}
+
+// PeekStale returns the newest cached record for the request's family,
+// regardless of knowledge version — the graceful-degradation path for shed
+// requests. The returned version says which knowledge version produced the
+// record, so callers can tag the response as stale. A hit counts as a use:
+// the entry is promoted in the LRU (hot questions keep their stale answer
+// alive through an overload), and StaleServed is incremented.
+func (c *Cache) PeekStale(key RequestKey) (*pipeline.Record, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.families[key.Family()]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*entry)
+	c.order.MoveToFront(el)
+	c.staleServed++
+	return e.rec, e.version, true
 }
 
 // FailedRecords returns the cached records whose final SQL failed, newest
@@ -249,6 +347,9 @@ type Stats struct {
 	// Coalesced counts requests that joined another request's in-flight
 	// generation instead of running their own.
 	Coalesced uint64 `json:"coalesced"`
+	// StaleServed counts PeekStale hits — shed requests degraded onto a
+	// previous knowledge version's cached record instead of failing.
+	StaleServed uint64 `json:"stale_served"`
 	// Entries and Capacity describe the LRU's current fill and bound.
 	Entries  int `json:"entries"`
 	Capacity int `json:"capacity"`
@@ -259,10 +360,11 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Entries:   c.order.Len(),
-		Capacity:  c.cap,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Coalesced:   c.coalesced,
+		StaleServed: c.staleServed,
+		Entries:     c.order.Len(),
+		Capacity:    c.cap,
 	}
 }

@@ -306,3 +306,83 @@ func TestNormalizeQuestion(t *testing.T) {
 		t.Error("key should embed the normalized question")
 	}
 }
+
+func TestStaleFamilyIndex(t *testing.T) {
+	c := New(8)
+	ctx := context.Background()
+	k1 := RequestKey{Database: "db", Version: 1, Question: "top orgs", Evidence: "ev"}
+
+	// Nothing cached: no stale hit.
+	if _, _, ok := c.PeekStale(k1); ok {
+		t.Fatal("PeekStale hit on empty cache")
+	}
+
+	// Cache a v1 record; a v2 request's family finds it.
+	if _, _, err := c.DoVersioned(ctx, k1, func() (*pipeline.Record, error) {
+		return record("SELECT v1"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k2 := k1
+	k2.Version = 2
+	rec, ver, ok := c.PeekStale(k2)
+	if !ok || ver != 1 || rec.FinalSQL != "SELECT v1" {
+		t.Fatalf("stale lookup = (%v, %d, %v), want v1 record", rec, ver, ok)
+	}
+
+	// Question normalization applies to the family key too.
+	kNorm := RequestKey{Database: "db", Version: 9, Question: "  TOP   ORGS ", Evidence: "ev"}
+	if _, ver, ok := c.PeekStale(kNorm); !ok || ver != 1 {
+		t.Fatalf("normalized family lookup = (%d, %v), want hit at v1", ver, ok)
+	}
+	// Different evidence is a different family.
+	kEv := k2
+	kEv.Evidence = "other"
+	if _, _, ok := c.PeekStale(kEv); ok {
+		t.Fatal("different evidence must not share a family")
+	}
+
+	// After v2 generates, the family points at the newest version.
+	if _, _, err := c.DoVersioned(ctx, k2, func() (*pipeline.Record, error) {
+		return record("SELECT v2"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k3 := k1
+	k3.Version = 3
+	rec, ver, ok = c.PeekStale(k3)
+	if !ok || ver != 2 || rec.FinalSQL != "SELECT v2" {
+		t.Fatalf("stale after v2 insert = (%q, %d, %v), want v2", rec.FinalSQL, ver, ok)
+	}
+	if st := c.Stats(); st.StaleServed != 3 {
+		t.Fatalf("StaleServed = %d, want 3", st.StaleServed)
+	}
+}
+
+func TestStaleIndexClearedOnEviction(t *testing.T) {
+	c := New(2)
+	ctx := context.Background()
+	gen := func(sql string) func() (*pipeline.Record, error) {
+		return func() (*pipeline.Record, error) { return record(sql), nil }
+	}
+	kA := RequestKey{Database: "db", Version: 1, Question: "a"}
+	kB := RequestKey{Database: "db", Version: 1, Question: "b"}
+	kC := RequestKey{Database: "db", Version: 1, Question: "c"}
+	c.DoVersioned(ctx, kA, gen("a"))
+	c.DoVersioned(ctx, kB, gen("b"))
+	c.DoVersioned(ctx, kC, gen("c")) // evicts a
+	if _, _, ok := c.PeekStale(RequestKey{Database: "db", Version: 5, Question: "a"}); ok {
+		t.Fatal("family index must not survive its entry's eviction")
+	}
+	if _, ver, ok := c.PeekStale(RequestKey{Database: "db", Version: 5, Question: "b"}); !ok || ver != 1 {
+		t.Fatalf("family b should still hit at v1, got (%d, %v)", ver, ok)
+	}
+	// A stale hit promotes: b is now MRU, so inserting d evicts c, not b.
+	c.DoVersioned(ctx, RequestKey{Database: "db", Version: 1, Question: "d"}, gen("d"))
+	if _, _, ok := c.PeekStale(RequestKey{Database: "db", Version: 5, Question: "c"}); ok {
+		t.Fatal("c should have been evicted after b's stale-hit promotion")
+	}
+	if _, _, ok := c.PeekStale(RequestKey{Database: "db", Version: 5, Question: "b"}); !ok {
+		t.Fatal("b should have survived via stale-hit promotion")
+	}
+}

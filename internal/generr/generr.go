@@ -7,6 +7,8 @@ package generr
 import (
 	"context"
 	"errors"
+	"fmt"
+	"time"
 )
 
 // ErrCanceled reports that work stopped because the caller's context was
@@ -41,4 +43,70 @@ func FromContext(ctx context.Context) error {
 		return Canceled(err)
 	}
 	return nil
+}
+
+// Overload sentinels. Admission control sheds work with one of these two
+// classes; serving layers map them onto 429 (the tenant is over its budget —
+// retrying after the hint will succeed) and 503 (the whole service is out of
+// capacity — back off).
+var (
+	// ErrRateLimited reports that a tenant exhausted its token-bucket
+	// budget. The request was never queued; retry after the hint.
+	ErrRateLimited = errors.New("genedit: rate limited")
+	// ErrOverloaded reports that the service shed the request: the request
+	// queue is full, the request could not start before its deadline, or
+	// the service is shutting down.
+	ErrOverloaded = errors.New("genedit: overloaded")
+)
+
+// OverloadError is the concrete error behind ErrRateLimited / ErrOverloaded:
+// it names the tenant, explains the shed decision, and carries the
+// Retry-After hint the HTTP layer serializes.
+type OverloadError struct {
+	// Sentinel is ErrRateLimited or ErrOverloaded.
+	Sentinel error
+	// Tenant is the database whose request was shed ("" for service-wide
+	// decisions such as shutdown).
+	Tenant string
+	// Reason is a one-clause human explanation ("token budget exhausted",
+	// "queue full at depth 64", "cannot start before deadline").
+	Reason string
+	// RetryAfter estimates when a retry could succeed (0 = no estimate).
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	msg := e.Sentinel.Error()
+	if e.Tenant != "" {
+		msg += " [" + e.Tenant + "]"
+	}
+	if e.Reason != "" {
+		msg += ": " + e.Reason
+	}
+	if e.RetryAfter > 0 {
+		msg += fmt.Sprintf(" (retry after %s)", e.RetryAfter.Round(time.Millisecond))
+	}
+	return msg
+}
+
+func (e *OverloadError) Unwrap() error { return e.Sentinel }
+
+// RateLimited builds a tenant-over-budget shed error.
+func RateLimited(tenant, reason string, retryAfter time.Duration) error {
+	return &OverloadError{Sentinel: ErrRateLimited, Tenant: tenant, Reason: reason, RetryAfter: retryAfter}
+}
+
+// Overloaded builds a capacity shed error.
+func Overloaded(tenant, reason string, retryAfter time.Duration) error {
+	return &OverloadError{Sentinel: ErrOverloaded, Tenant: tenant, Reason: reason, RetryAfter: retryAfter}
+}
+
+// RetryAfterHint extracts the retry hint from an overload error chain.
+// ok is false when err carries no OverloadError or no estimate.
+func RetryAfterHint(err error) (d time.Duration, ok bool) {
+	var oe *OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		return oe.RetryAfter, true
+	}
+	return 0, false
 }

@@ -1,0 +1,59 @@
+package kstore
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam every durable operation in kstore goes
+// through. Production uses OSFS; durability tests substitute a FaultFS to
+// inject fsync failures, short writes, torn renames and crashes at exact
+// operation boundaries — the only way to exercise the recovery paths
+// deterministically without killing the process.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Truncate(name string, size int64) error
+}
+
+// File is the subset of *os.File the store uses.
+type File interface {
+	io.Reader
+	io.Writer
+	Name() string
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

@@ -68,6 +68,11 @@ func WithKeepSnapshots(n int) Option {
 	}
 }
 
+// WithFS substitutes the filesystem the store writes through (default
+// OSFS). Durability tests pass a FaultFS to inject failures at exact
+// operation boundaries.
+func WithFS(fs FS) Option { return func(s *Store) { s.fs = fs } }
+
 // Store is the durable backing of one database's knowledge set.
 //
 // Concurrency contract: all methods are safe for concurrent use; Commit and
@@ -76,9 +81,10 @@ func WithKeepSnapshots(n int) Option {
 // live sets and pass the latest generation to Commit.
 type Store struct {
 	dir string
+	fs  FS
 
 	mu            sync.Mutex
-	wal           *os.File
+	wal           File
 	walRecords    int
 	walSize       int64
 	lastSeq       int
@@ -110,16 +116,17 @@ type walRecord struct {
 // knowledge set: newest readable snapshot + WAL tail replay. A torn final
 // WAL record is truncated away; earlier corruption is an error.
 func Open(dir string, opts ...Option) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("kstore: creating %s: %w", dir, err)
-	}
 	s := &Store{
 		dir:           dir,
+		fs:            OSFS,
 		compactEvery:  DefaultCompactEvery,
 		keepSnapshots: DefaultKeepSnapshots,
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kstore: creating %s: %w", dir, err)
 	}
 
 	set, snapVersion, err := s.loadLatestSnapshot()
@@ -157,14 +164,19 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		}
 	}
 
-	wal, err := os.OpenFile(s.walPath(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	wal, err := s.fs.OpenFile(s.walPath(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("kstore: opening WAL: %w", err)
 	}
 	s.wal = wal
-	if fi, err := wal.Stat(); err == nil {
-		s.walSize = fi.Size()
+	// The size must be exact — rollbackWAL truncates to this boundary after
+	// a failed append, so guessing low would discard acknowledged records.
+	fi, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("kstore: sizing WAL: %w", err)
 	}
+	s.walSize = fi.Size()
 	return s, nil
 }
 
@@ -336,7 +348,7 @@ func (s *Store) Compact(set *knowledge.Set) error {
 
 func (s *Store) compactLocked(set *knowledge.Set) error {
 	version := set.Version()
-	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	tmp, err := s.fs.CreateTemp(s.dir, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("kstore: snapshot temp file: %w", err)
 	}
@@ -344,24 +356,24 @@ func (s *Store) compactLocked(set *knowledge.Set) error {
 	enc := json.NewEncoder(tmp)
 	if err := enc.Encode(set.State()); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		s.fs.Remove(tmpName)
 		return fmt.Errorf("kstore: encoding snapshot: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		s.fs.Remove(tmpName)
 		return fmt.Errorf("kstore: fsync snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		s.fs.Remove(tmpName)
 		return err
 	}
 	final := s.snapshotPath(version)
-	if err := os.Rename(tmpName, final); err != nil {
-		os.Remove(tmpName)
+	if err := s.fs.Rename(tmpName, final); err != nil {
+		s.fs.Remove(tmpName)
 		return fmt.Errorf("kstore: publishing snapshot: %w", err)
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.syncDir(); err != nil {
 		return err
 	}
 	// The snapshot is durable; the WAL's contents are now redundant.
@@ -381,7 +393,11 @@ func (s *Store) truncateWAL() error {
 			return err
 		}
 	}
-	wal, err := os.OpenFile(s.walPath(), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	// O_APPEND is load-bearing: rollbackWAL may shrink the file after a
+	// failed append, and an append-mode handle repositions to the new end.
+	// A plain O_WRONLY handle would keep its old offset and zero-fill the
+	// gap on the next write, corrupting the middle of the log.
+	wal, err := s.fs.OpenFile(s.walPath(), os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("kstore: truncating WAL: %w", err)
 	}
@@ -404,7 +420,7 @@ func (s *Store) pruneSnapshots() {
 		return
 	}
 	for _, v := range versions[:len(versions)-s.keepSnapshots] {
-		os.Remove(s.snapshotPath(v))
+		s.fs.Remove(s.snapshotPath(v))
 	}
 }
 
@@ -430,7 +446,7 @@ func (s *Store) snapshotPath(version int) string {
 
 // snapshotVersions lists on-disk snapshot versions, ascending.
 func (s *Store) snapshotVersions() []int {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil
 	}
@@ -456,7 +472,7 @@ func (s *Store) snapshotVersions() []int {
 func (s *Store) loadLatestSnapshot() (*knowledge.Set, int, error) {
 	versions := s.snapshotVersions()
 	for i := len(versions) - 1; i >= 0; i-- {
-		raw, err := os.ReadFile(s.snapshotPath(versions[i]))
+		raw, err := s.fs.ReadFile(s.snapshotPath(versions[i]))
 		if err != nil {
 			continue
 		}
@@ -473,7 +489,7 @@ func (s *Store) loadLatestSnapshot() (*knowledge.Set, int, error) {
 // A torn final record is truncated from the file; corruption followed by
 // further data is refused as unrecoverable.
 func (s *Store) recoverWAL() ([]knowledge.ChangeEvent, int, error) {
-	f, err := os.Open(s.walPath())
+	f, err := s.fs.Open(s.walPath())
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, 0, nil
 	}
@@ -502,7 +518,7 @@ func (s *Store) recoverWAL() ([]knowledge.ChangeEvent, int, error) {
 			if rest, _ := io.ReadAll(r); len(strings.TrimSpace(string(rest))) > 0 {
 				return nil, 0, fmt.Errorf("kstore: corrupt WAL record before tail: %v", decErr)
 			}
-			if err := os.Truncate(s.walPath(), goodEnd); err != nil {
+			if err := s.fs.Truncate(s.walPath(), goodEnd); err != nil {
 				return nil, 0, fmt.Errorf("kstore: truncating torn WAL tail: %w", err)
 			}
 			break
@@ -529,15 +545,15 @@ func decodeWALLine(line []byte) (knowledge.ChangeEvent, error) {
 	return ev, nil
 }
 
-// syncDir fsyncs a directory so a just-renamed file is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// syncDir fsyncs the store directory so a just-renamed file is durable.
+func (s *Store) syncDir() error {
+	d, err := s.fs.Open(s.dir)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
 	if err := d.Sync(); err != nil {
-		return fmt.Errorf("kstore: fsync dir %s: %w", dir, err)
+		return fmt.Errorf("kstore: fsync dir %s: %w", s.dir, err)
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"genedit/internal/task"
+)
+
+// OverloadRequest is one request of the adversarial serving mix.
+type OverloadRequest struct {
+	Database string
+	Question string
+	Evidence string
+	// Kind tags the request class for load-report breakdowns:
+	// "hot" (skewed repeat), "unique" (cache-busting), "normal".
+	Kind string
+}
+
+// OverloadMix generates a deterministic adversarial request stream for
+// overload testing. Three ingredients, each hostile to a different serving
+// defense:
+//
+//   - hot-key skew: a tiny set of questions on ONE database absorbs hotFrac
+//     of the stream. Cache-friendly, but drains that tenant's token bucket
+//     and concentrates queueing on one engine — per-tenant isolation is
+//     what keeps the other databases responsive.
+//   - cache-busting uniques: uniqueFrac of requests take a real question
+//     and append a never-repeated suffix. They miss the generation cache,
+//     defeat coalescing, and fall off the simllm registry onto the
+//     embedding path — every one pays full pipeline cost, many produce
+//     failed records, exercising the failure-note path under load.
+//   - the remainder samples the eval set uniformly across databases — the
+//     well-behaved traffic whose latency the shedding is protecting.
+//
+// Request(i) is pure in (seed, i): concurrent workers can partition the
+// index space without coordination and replays are exact.
+type OverloadMix struct {
+	seed       uint64
+	hotFrac    float64
+	uniqueFrac float64
+	hot        []*task.Case
+	all        []*task.Case
+}
+
+// DefaultHotKeys is how many distinct questions the hot set contains.
+const DefaultHotKeys = 3
+
+// NewOverloadMix builds the mix over the suite's eval set. hotFrac and
+// uniqueFrac are clamped to [0, 1] (their sum capped at 1); the hot set is
+// the first DefaultHotKeys cases of the suite's first database.
+func NewOverloadMix(s *Suite, seed uint64, hotFrac, uniqueFrac float64) *OverloadMix {
+	hotFrac = clamp01(hotFrac)
+	uniqueFrac = clamp01(uniqueFrac)
+	if hotFrac+uniqueFrac > 1 {
+		uniqueFrac = 1 - hotFrac
+	}
+	m := &OverloadMix{seed: seed, hotFrac: hotFrac, uniqueFrac: uniqueFrac, all: s.Cases}
+	hotDB := s.Cases[0].DB
+	for _, c := range s.Cases {
+		if c.DB == hotDB {
+			m.hot = append(m.hot, c)
+			if len(m.hot) == DefaultHotKeys {
+				break
+			}
+		}
+	}
+	return m
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Request returns the i-th request of the stream.
+func (m *OverloadMix) Request(i int) OverloadRequest {
+	rng := rand.New(rand.NewSource(int64(m.seed ^ uint64(i)*0x9e3779b97f4a7c15)))
+	r := rng.Float64()
+	switch {
+	case r < m.hotFrac:
+		c := m.hot[rng.Intn(len(m.hot))]
+		return OverloadRequest{Database: c.DB, Question: c.Question, Evidence: c.Evidence, Kind: "hot"}
+	case r < m.hotFrac+m.uniqueFrac:
+		c := m.all[rng.Intn(len(m.all))]
+		return OverloadRequest{
+			Database: c.DB,
+			// The suffix guarantees a registry and cache miss while keeping
+			// the question realistic enough to flow through reformulation.
+			Question: fmt.Sprintf("%s (follow-up %d)", c.Question, i),
+			Evidence: c.Evidence,
+			Kind:     "unique",
+		}
+	default:
+		c := m.all[rng.Intn(len(m.all))]
+		return OverloadRequest{Database: c.DB, Question: c.Question, Evidence: c.Evidence, Kind: "normal"}
+	}
+}
+
+// HotDatabase returns the database the hot set hammers.
+func (m *OverloadMix) HotDatabase() string { return m.hot[0].DB }

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOverloadMixDeterministicAndSkewed(t *testing.T) {
+	s := NewSuite(1)
+	m := NewOverloadMix(s, 7, 0.5, 0.2)
+
+	const n = 2000
+	counts := map[string]int{}
+	uniques := map[string]int{}
+	hotDB := m.HotDatabase()
+	for i := 0; i < n; i++ {
+		r := m.Request(i)
+		counts[r.Kind]++
+		if r.Kind == "hot" && r.Database != hotDB {
+			t.Fatalf("hot request on %q, want %q", r.Database, hotDB)
+		}
+		if r.Kind == "unique" {
+			uniques[r.Question]++
+			if !strings.Contains(r.Question, "follow-up") {
+				t.Fatalf("unique question %q lacks the cache-busting suffix", r.Question)
+			}
+		}
+		// Determinism: the same index always yields the same request.
+		if again := m.Request(i); again != r {
+			t.Fatalf("Request(%d) is not deterministic", i)
+		}
+	}
+	// Fractions hold to within a loose tolerance.
+	if f := float64(counts["hot"]) / n; f < 0.4 || f > 0.6 {
+		t.Fatalf("hot fraction %.2f, want ~0.5", f)
+	}
+	if f := float64(counts["unique"]) / n; f < 0.12 || f > 0.28 {
+		t.Fatalf("unique fraction %.2f, want ~0.2", f)
+	}
+	if counts["normal"] == 0 {
+		t.Fatal("no normal traffic in the mix")
+	}
+	// Every unique question really is unique.
+	for q, c := range uniques {
+		if c != 1 {
+			t.Fatalf("cache-busting question %q repeated %d times", q, c)
+		}
+	}
+}
+
+func TestOverloadMixClamping(t *testing.T) {
+	s := NewSuite(1)
+	m := NewOverloadMix(s, 1, 0.9, 0.9) // sums > 1: unique is capped
+	if m.hotFrac != 0.9 || m.hotFrac+m.uniqueFrac > 1 {
+		t.Fatalf("fractions = %v/%v, want 0.9 and sum <= 1", m.hotFrac, m.uniqueFrac)
+	}
+	m = NewOverloadMix(s, 1, -1, 2)
+	if m.hotFrac != 0 || m.uniqueFrac != 1 {
+		t.Fatalf("fractions = %v/%v, want 0/1", m.hotFrac, m.uniqueFrac)
+	}
+}

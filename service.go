@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"genedit/internal/admission"
 	"genedit/internal/eval"
 	"genedit/internal/feedback"
 	"genedit/internal/gencache"
@@ -35,6 +36,15 @@ var (
 	// semantic execution.
 	ErrSyntaxFailure = pipeline.ErrSyntaxFailure
 	ErrExecFailure   = pipeline.ErrExecFailure
+	// ErrRateLimited reports that admission control (WithAdmission) shed
+	// the request because its tenant exhausted its token-bucket budget.
+	// Serving layers map it to 429; generr.RetryAfterHint extracts the
+	// Retry-After estimate.
+	ErrRateLimited = generr.ErrRateLimited
+	// ErrOverloaded reports that admission control shed the request for
+	// capacity reasons: the queue is full, the request could not start
+	// before its deadline, or the service is shutting down. Maps to 503.
+	ErrOverloaded = generr.ErrOverloaded
 )
 
 // GenerationError reports a generation whose best candidate SQL still
@@ -88,6 +98,15 @@ type Response struct {
 	// or a coalesced in-flight generation) rather than a pipeline run by
 	// this request. Always false when the cache is disabled.
 	Cached bool
+	// Stale reports graceful degradation: admission control shed this
+	// request, but a cached record from a previous knowledge version
+	// existed, so the service served that instead of failing with
+	// ErrRateLimited/ErrOverloaded. StaleVersion is the knowledge version
+	// the record was generated at (the live version is strictly newer, or
+	// the same if the entry simply predates the shed). Stale implies
+	// Cached.
+	Stale        bool
+	StaleVersion int
 	// Duration is the request's wall-clock time, including any engine
 	// build it had to wait for.
 	Duration time.Duration
@@ -161,6 +180,64 @@ func WithGenerationCache(size int) Option {
 	return func(s *Service) { s.genCacheSize = size }
 }
 
+// AdmissionConfig bounds the serving path (WithAdmission): per-tenant
+// token-bucket rate limiting and a bounded, deadline-aware request queue in
+// front of the generation pipeline.
+type AdmissionConfig struct {
+	// RatePerSec is each tenant's (database's) token refill rate — one
+	// token per request. <= 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is each tenant's bucket capacity (defaults to
+	// max(1, RatePerSec)).
+	Burst float64
+	// MaxConcurrent bounds concurrently executing generations; <= 0
+	// disables the concurrency gate.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot; arrivals beyond it are
+	// shed with ErrOverloaded. <= 0 means no queue: a full house sheds
+	// instantly.
+	MaxQueue int
+	// DisableStaleServe turns off graceful degradation. By default a shed
+	// request is answered with the newest cached record for its question
+	// from ANY knowledge version when one exists (Response.Stale), on the
+	// theory that a slightly stale answer beats a 429/503 for read
+	// traffic. Requires WithGenerationCache to have an effect.
+	DisableStaleServe bool
+}
+
+// WithAdmission puts admission control on the serving path: every Generate
+// (and each GenerateBatch item) must pass a per-tenant token bucket and a
+// bounded, deadline-aware queue before any pipeline work runs. Shed
+// requests fail fast with ErrRateLimited / ErrOverloaded (both carrying a
+// Retry-After hint via generr.RetryAfterHint) — or, when the generation
+// cache holds an answer for the question from a previous knowledge version,
+// degrade gracefully onto it (Response.Stale).
+//
+// Deadline awareness: a request whose context deadline cannot be met given
+// the current queue depth and the observed service-time average is shed at
+// arrival instead of queued to die — the queue only ever holds requests
+// that can still make their deadlines.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Service) { s.admCfg = &cfg }
+}
+
+// Handler serves one generation request; it is the unit the service's
+// middleware stack composes. The innermost handler runs the pipeline; the
+// built-in stack wraps it as admit → coalesce → generate.
+type Handler func(ctx context.Context, req Request) (*Response, error)
+
+// Middleware wraps a Handler with a cross-cutting concern (admission,
+// caching, custom instrumentation).
+type Middleware func(Handler) Handler
+
+// WithMiddleware installs custom middleware outside the built-in stack:
+// user middleware sees every request before admission control does (and
+// after it on the way out). Middleware runs in the order given, first
+// outermost. Handlers must be safe for concurrent use.
+func WithMiddleware(mw ...Middleware) Option {
+	return func(s *Service) { s.userMW = append(s.userMW, mw...) }
+}
+
 // WithTrace installs a service-level per-request trace hook: fn receives
 // per-operator timings for every Generate / GenerateBatch request. A hook
 // attached to a request's ctx via WithTraceContext takes precedence for
@@ -180,6 +257,12 @@ func WithTrace(fn TraceFunc) Option { return func(s *Service) { s.trace = fn } }
 // A store directory assumes a single writing process; run one service per
 // store path. Call Close to release the stores.
 func WithStorePath(dir string) Option { return func(s *Service) { s.storePath = dir } }
+
+// WithStoreFS routes the knowledge stores' filesystem I/O through fs
+// (default the real filesystem). Durability tests pass a kstore.FaultFS to
+// inject fsync failures, torn writes and crashes under live serving and
+// verify that acknowledged approvals survive.
+func WithStoreFS(fs kstore.FS) Option { return func(s *Service) { s.storeFS = fs } }
 
 // Service is the long-lived, multi-tenant serving facade over the GenEdit
 // pipeline. It lazily builds one shared Engine per database — the expensive
@@ -209,9 +292,17 @@ type Service struct {
 	genCacheSize  int
 	trace         TraceFunc
 	storePath     string
+	storeFS       kstore.FS
 
 	// gencache is nil when the generation cache is disabled.
 	gencache *gencache.Cache
+
+	// Admission control (nil when WithAdmission is absent), the composed
+	// request chain, and any user-supplied middleware.
+	admCfg    *AdmissionConfig
+	admission *admission.Controller
+	userMW    []Middleware
+	serve     Handler
 
 	mu      sync.RWMutex
 	engines map[string]*enginePromise
@@ -254,6 +345,22 @@ func NewService(b *Benchmark, opts ...Option) *Service {
 	}
 	if s.genCacheSize > 0 {
 		s.gencache = gencache.New(s.genCacheSize)
+	}
+	if s.admCfg != nil {
+		s.admission = admission.New(admission.Config{
+			RatePerSec:    s.admCfg.RatePerSec,
+			Burst:         s.admCfg.Burst,
+			MaxConcurrent: s.admCfg.MaxConcurrent,
+			MaxQueue:      s.admCfg.MaxQueue,
+		})
+	}
+	// The request path is a middleware stack composed once at construction:
+	// user middleware → admit → coalesce → generate.
+	s.serve = s.generateHandler()
+	s.serve = s.coalesceMiddleware(s.serve)
+	s.serve = s.admitMiddleware(s.serve)
+	for i := len(s.userMW) - 1; i >= 0; i-- {
+		s.serve = s.userMW[i](s.serve)
 	}
 	return s
 }
@@ -399,7 +506,11 @@ func (s *Service) openStore(db string) (*kstore.Store, error) {
 	if st, ok := s.stores[db]; ok {
 		return st, nil
 	}
-	st, err := kstore.Open(filepath.Join(s.storePath, db))
+	var kopts []kstore.Option
+	if s.storeFS != nil {
+		kopts = append(kopts, kstore.WithFS(s.storeFS))
+	}
+	st, err := kstore.Open(filepath.Join(s.storePath, db), kopts...)
 	if err != nil {
 		return nil, fmt.Errorf("genedit: opening knowledge store for %q: %w", db, err)
 	}
@@ -428,9 +539,15 @@ func (s *Service) swapEngine(db string, engine *Engine) {
 }
 
 // Close releases the service's durable stores (no-op for an in-memory
-// service). In-flight generations are unaffected — engines are pure
-// in-memory structures — but subsequent approvals will fail to persist.
+// service). When admission control is enabled its queue is shed first —
+// queued requests fail with ErrOverloaded and new requests are refused —
+// so stores close with no generation about to start. In-flight generations
+// are unaffected — engines are pure in-memory structures — but subsequent
+// approvals will fail to persist.
 func (s *Service) Close() error {
+	if s.admission != nil {
+		s.admission.Close()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -484,35 +601,91 @@ func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) 
 		}
 		return nil, err
 	}
-	engine, err := s.Engine(ctx, req.Database)
-	if err != nil {
-		return nil, err
+	// The tenant check runs before the chain so admission never builds
+	// state (token buckets, queue slots) for garbage database names.
+	if _, ok := s.suite.Databases[req.Database]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDatabase, req.Database)
 	}
 	if s.trace != nil && !pipeline.HasTrace(ctx) {
 		ctx = pipeline.WithTrace(ctx, s.trace)
 	}
-	var (
-		rec    *Record
-		cached bool
-	)
-	if s.gencache == nil || pipeline.HasTrace(ctx) {
-		rec, err = engine.GenerateContext(ctx, req.Question, req.Evidence)
-	} else {
-		kset := engine.KnowledgeSet()
-		key := gencache.Key(req.Database, kset.Version(), req.Question, req.Evidence)
-		rec, cached, err = s.gencache.Do(ctx, key, func() (*pipeline.Record, error) {
-			return engine.GenerateContext(ctx, req.Question, req.Evidence)
-		})
-	}
+	resp, err := s.serve(ctx, req)
 	if err != nil {
-		if errCanceled(err) {
-			s.noteCanceled(req.Database)
-		}
 		return nil, err
 	}
-	if !rec.OK {
-		s.noteFailure(req.Database, rec)
+	// Failure noting lives here, outside the stack, so it fires exactly once
+	// per request — cached, coalesced, or freshly generated. Stale responses
+	// are excluded: a shed request replaying an old failure is an overload
+	// artifact, not a new signal for the miner.
+	if resp.Record != nil && !resp.Record.OK && !resp.Stale {
+		s.noteFailure(req.Database, resp.Record)
 	}
+	resp.Duration = time.Since(start)
+	return resp, nil
+}
+
+// generateHandler is the innermost layer of the middleware stack: resolve
+// the tenant's shared engine and run the pipeline.
+func (s *Service) generateHandler() Handler {
+	return func(ctx context.Context, req Request) (*Response, error) {
+		engine, err := s.Engine(ctx, req.Database)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := engine.GenerateContext(ctx, req.Question, req.Evidence)
+		if err != nil {
+			if errCanceled(err) {
+				s.noteCanceled(req.Database)
+			}
+			return nil, err
+		}
+		return s.respond(req, rec, false), nil
+	}
+}
+
+// coalesceMiddleware is the generation-cache layer: serve completed records
+// from the versioned LRU and coalesce concurrent identical requests onto
+// one pipeline run. A pass-through when the cache is disabled; traced
+// requests bypass (their contract is timings of an actual run).
+func (s *Service) coalesceMiddleware(next Handler) Handler {
+	if s.gencache == nil {
+		return next
+	}
+	return func(ctx context.Context, req Request) (*Response, error) {
+		if pipeline.HasTrace(ctx) {
+			return next(ctx, req)
+		}
+		engine, err := s.Engine(ctx, req.Database)
+		if err != nil {
+			return nil, err
+		}
+		key := gencache.RequestKey{
+			Database: req.Database,
+			Version:  engine.KnowledgeSet().Version(),
+			Question: req.Question,
+			Evidence: req.Evidence,
+		}
+		rec, cached, err := s.gencache.DoVersioned(ctx, key, func() (*pipeline.Record, error) {
+			resp, err := next(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			return resp.Record, nil
+		})
+		if err != nil {
+			if errCanceled(err) {
+				s.noteCanceled(req.Database)
+			}
+			return nil, err
+		}
+		return s.respond(req, rec, cached), nil
+	}
+}
+
+// respond builds a Response around a completed record. Failure noting is
+// deliberately not done here — Generate notes once per request after the
+// stack returns, so cache hits and leaders count identically.
+func (s *Service) respond(req Request, rec *Record, cached bool) *Response {
 	return &Response{
 		Database: req.Database,
 		Record:   rec,
@@ -520,8 +693,54 @@ func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) 
 		OK:       rec.OK,
 		Failure:  rec.Failure(),
 		Cached:   cached,
-		Duration: time.Since(start),
-	}, nil
+	}
+}
+
+// admitMiddleware is the overload-defense layer: per-tenant token buckets
+// and the bounded deadline-aware queue. A pass-through when WithAdmission
+// is absent. On shed it degrades onto a stale cached answer when allowed
+// and available, else returns the typed overload error.
+func (s *Service) admitMiddleware(next Handler) Handler {
+	if s.admission == nil {
+		return next
+	}
+	return func(ctx context.Context, req Request) (*Response, error) {
+		release, err := s.admission.Admit(ctx, req.Database)
+		if err != nil {
+			if errors.Is(err, ErrRateLimited) || errors.Is(err, ErrOverloaded) {
+				if resp, ok := s.staleResponse(req); ok {
+					return resp, nil
+				}
+			} else if errCanceled(err) {
+				s.noteCanceled(req.Database)
+			}
+			return nil, err
+		}
+		defer release()
+		return next(ctx, req)
+	}
+}
+
+// staleResponse looks up the newest cached record for the request's
+// question across knowledge versions — the graceful-degradation answer for
+// a shed request. ok is false when stale serving is disabled, the cache is
+// off, or the question has never completed.
+func (s *Service) staleResponse(req Request) (*Response, bool) {
+	if s.gencache == nil || (s.admCfg != nil && s.admCfg.DisableStaleServe) {
+		return nil, false
+	}
+	rec, version, ok := s.gencache.PeekStale(gencache.RequestKey{
+		Database: req.Database,
+		Question: req.Question,
+		Evidence: req.Evidence,
+	})
+	if !ok {
+		return nil, false
+	}
+	resp := s.respond(req, rec, true)
+	resp.Stale = true
+	resp.StaleVersion = version
+	return resp, true
 }
 
 // GenerationCacheStats is the generation cache's counter snapshot: Hits
@@ -543,6 +762,25 @@ func (s *Service) GenerationCacheStats() GenerationCacheStats {
 // GenerationCacheEnabled reports whether WithGenerationCache configured a
 // cache for this service.
 func (s *Service) GenerationCacheEnabled() bool { return s.gencache != nil }
+
+// AdmissionStats is a snapshot of the admission controller's counters:
+// Admitted/Queued/InFlight gauges, shed counts by cause (RateLimited,
+// ShedQueueFull, ShedDeadline, CanceledInQueue), the peak queue depth, and
+// a per-tenant breakdown.
+type AdmissionStats = admission.Stats
+
+// AdmissionStats reports the admission controller's counters. The zero
+// value when admission control is disabled (WithAdmission absent).
+func (s *Service) AdmissionStats() AdmissionStats {
+	if s.admission == nil {
+		return AdmissionStats{}
+	}
+	return s.admission.Stats()
+}
+
+// AdmissionEnabled reports whether WithAdmission configured admission
+// control for this service.
+func (s *Service) AdmissionEnabled() bool { return s.admission != nil }
 
 // GenerateBatch serves many requests concurrently over the service's
 // bounded worker pool (WithWorkers). The returned slice always has one
