@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI smoke pass: formatting, static checks, build, tests, race detection on
-# the concurrent packages, a 1-iteration benchmark sweep so every benchmark
+# the concurrent packages, a live-daemon /metrics scrape checked against the
+# required-family manifest, a 1-iteration benchmark sweep so every benchmark
 # (and the EX metrics it reports) stays runnable, a race-covered overload
 # smoke, and a bounded kstore crash-fuzz run.
 set -euo pipefail
@@ -24,7 +25,37 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages: service facade incl. generation-cache stress, daemon incl. feedback + miner endpoints, admission control, generation cache, parallel runner, shared executors, knowledge store, solver, failure miner) =="
-go test -race . ./cmd/geneditd ./internal/admission ./internal/eval ./internal/gencache ./internal/sqlexec ./internal/pipeline ./internal/kstore ./internal/feedback ./internal/miner
+go test -race . ./cmd/geneditd ./internal/admission ./internal/eval ./internal/gencache ./internal/metrics ./internal/sqlexec ./internal/pipeline ./internal/kstore ./internal/feedback ./internal/miner
+
+echo "== metrics scrape smoke (daemon /readyz + /metrics vs required-family manifest) =="
+metrics_store=$(mktemp -d)
+metrics_addr="127.0.0.1:19187"
+go build -o /tmp/geneditd_smoke ./cmd/geneditd
+/tmp/geneditd_smoke -addr "$metrics_addr" -store "$metrics_store" -prewarm &
+metrics_pid=$!
+trap 'kill $metrics_pid 2>/dev/null || true; rm -rf "$metrics_store" /tmp/geneditd_smoke' EXIT
+for i in $(seq 1 100); do
+    if curl -fsS "http://$metrics_addr/readyz" > /dev/null 2>&1; then break; fi
+    if [ "$i" = 100 ]; then echo "daemon never became ready" >&2; exit 1; fi
+    sleep 0.1
+done
+curl -fsS -X POST "http://$metrics_addr/v1/generate" \
+    -d '{"database":"sports_holdings","question":"How many teams are in the league?"}' > /dev/null
+scrape=$(curl -fsS "http://$metrics_addr/metrics")
+while read -r name kind; do
+    case "$name" in ''|'#'*) continue;; esac
+    if ! echo "$scrape" | grep -q "^# TYPE $name $kind\$"; then
+        echo "metrics smoke: required family missing from /metrics: $name ($kind)" >&2
+        exit 1
+    fi
+done < metrics_manifest.txt
+if ! echo "$scrape" | grep -qE '^genedit_requests_total\{db="sports_holdings",outcome="(ok|failed_sql)"\} [1-9]'; then
+    echo "metrics smoke: request counter did not move after a generate" >&2
+    exit 1
+fi
+kill $metrics_pid && wait $metrics_pid 2>/dev/null || true
+trap - EXIT
+rm -rf "$metrics_store" /tmp/geneditd_smoke
 
 echo "== miner round smoke (serve recurring failures, mine, audit the merges) =="
 go run ./cmd/kbctl -db sports_holdings -demo-mine > /dev/null

@@ -31,6 +31,11 @@
 // rate-limited / overloaded / deadline-exceeded) and admission counters:
 //
 //	benchrunner -parallel 16 -requests 4000 -adversarial -admitrate 200 -maxinflight 8 -reqtimeout 2s
+//
+// Every load run ends with a dump of the run's metrics registry in
+// Prometheus text exposition — the same series a geneditd /metrics scrape
+// would serve for that traffic (-metricsdump=false to suppress;
+// -tracesample N adds sampled per-operator latency histograms).
 package main
 
 import (
@@ -52,6 +57,7 @@ import (
 	"genedit/internal/bench"
 	"genedit/internal/eval"
 	"genedit/internal/feedback"
+	"genedit/internal/metrics"
 	"genedit/internal/sqlexec"
 	"genedit/internal/task"
 	"genedit/internal/workload"
@@ -150,6 +156,8 @@ func main() {
 	maxInflight := flag.Int("maxinflight", 0, "load mode: service-wide concurrent-generation cap (0 = unlimited)")
 	maxQueue := flag.Int("maxqueue", 64, "load mode: bounded admission-queue depth once -maxinflight is reached")
 	reqTimeout := flag.Duration("reqtimeout", 0, "load mode: per-request deadline (0 = none); deadline-aware shedding rejects requests that cannot start in time")
+	traceSample := flag.Int("tracesample", 0, "load mode: record per-operator timings for every Nth request (traced requests bypass the generation cache; 0 = off)")
+	metricsDump := flag.Bool("metricsdump", true, "load mode: dump the metrics-registry snapshot (Prometheus text exposition) at end of run")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -195,6 +203,8 @@ func main() {
 			maxInflight:   *maxInflight,
 			maxQueue:      *maxQueue,
 			reqTimeout:    *reqTimeout,
+			traceSample:   *traceSample,
+			metricsDump:   *metricsDump,
 		}
 		if err := runParallelLoad(*seed, *modelSeed, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "load mode failed:", err)
@@ -375,6 +385,8 @@ type loadConfig struct {
 	maxInflight   int
 	maxQueue      int
 	reqTimeout    time.Duration
+	traceSample   int
+	metricsDump   bool
 }
 
 // loadCounters aggregates per-request outcomes across workers.
@@ -401,7 +413,14 @@ func runParallelLoad(seed, modelSeed uint64, cfg loadConfig) error {
 		cfg.totalRequests = 1
 	}
 	suite := workload.NewSuite(seed)
-	opts := []genedit.Option{genedit.WithModelSeed(modelSeed), genedit.WithBatchExec(cfg.batchExec)}
+	// A private registry rather than the process default: the dump at the
+	// end of the run then contains exactly this run's counters.
+	reg := metrics.NewRegistry()
+	opts := []genedit.Option{genedit.WithModelSeed(modelSeed), genedit.WithBatchExec(cfg.batchExec),
+		genedit.WithMetrics(reg)}
+	if cfg.traceSample > 0 {
+		opts = append(opts, genedit.WithOperatorSampling(cfg.traceSample))
+	}
 	if cfg.genCacheSize > 0 {
 		opts = append(opts, genedit.WithGenerationCache(cfg.genCacheSize))
 	}
@@ -564,6 +583,16 @@ func runParallelLoad(seed, modelSeed uint64, cfg loadConfig) error {
 		}
 	} else {
 		fmt.Printf("  admission    disabled (-admitrate / -maxinflight to enable)\n")
+	}
+
+	if cfg.metricsDump {
+		// The same bytes a geneditd /metrics scrape would serve for this
+		// traffic — grep-friendly ground truth for regressions in the report
+		// numbers above (-metricsdump=false to suppress).
+		fmt.Printf("\nmetrics snapshot (Prometheus text exposition 0.0.4):\n")
+		if err := reg.Gather().WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

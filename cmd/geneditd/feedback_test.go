@@ -35,8 +35,8 @@ const fbDB = "sports_holdings"
 func newStoreServer(t *testing.T, dir string) (*httptest.Server, func()) {
 	t.Helper()
 	suite := genedit.NewBenchmark(1)
-	svc := genedit.NewService(suite, genedit.WithModelSeed(42), genedit.WithStorePath(dir))
-	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second, 0))
+	svc := genedit.NewService(suite, testOpts(genedit.WithModelSeed(42), genedit.WithStorePath(dir))...)
+	srv := httptest.NewServer(newMux(svc, suite, muxConfig{perReq: 30 * time.Second}))
 	closed := false
 	closer := func() {
 		if closed {
@@ -79,7 +79,7 @@ func TestFeedbackLoopEndToEnd(t *testing.T) {
 	// A deterministic twin of the daemon's stack crafts the SME feedback
 	// (FeedbackFor needs the generation record) and finds failing cases.
 	suite := genedit.NewBenchmark(1)
-	local := genedit.NewService(suite, genedit.WithModelSeed(42))
+	local := genedit.NewService(suite, testOpts(genedit.WithModelSeed(42))...)
 	runner := eval.NewRunner(suite.Databases)
 	sme := feedback.NewSimulatedSME(7)
 

@@ -19,8 +19,10 @@
 //	GET  /v1/knowledge/{db}             knowledge version, counts, change history
 //	GET  /v1/miner/{db}                 failure counters + miner stats for one database
 //	POST /v1/miner/{db}/mine            run one mining round now (requires -miner)
-//	GET  /v1/stats                      serving counters (generation cache, per-db failures, miner)
+//	GET  /v1/stats                      serving counters (generation cache, admission, per-db failures, miner)
+//	GET  /metrics                       Prometheus text exposition (disable with -metrics=false)
 //	GET  /healthz                       liveness probe
+//	GET  /readyz                        readiness probe: 503 until prewarm completes and every opened store is healthy
 //
 // Engines are built lazily per database (coalesced across concurrent
 // requests) unless -prewarm front-loads them. -timeout bounds each request;
@@ -57,6 +59,21 @@
 // Approved feedback merges are fsynced before the serving engine hot-swaps,
 // and a restarted daemon recovers the exact knowledge version, audit
 // history and checkpoints instead of re-running the seed build.
+//
+// Observability: the daemon reports into the process-global metrics
+// registry and exposes it as Prometheus text exposition on GET /metrics
+// (opt out with -metrics=false) — request outcomes and latency histograms
+// per database, generation-cache and admission counters, WAL append/fsync
+// latency, compaction health, and miner progress; see DESIGN.md
+// "Observability" for the metric catalog. /v1/stats is derived from the
+// same registry snapshot, so the JSON stats and /metrics always agree.
+// -tracesample N (default 64, 0 disables) feeds per-operator pipeline
+// timings (genedit_operator_duration_seconds) from every Nth request; a
+// sampled request bypasses the generation cache because operator timings
+// require an actual pipeline run. With -prewarm the engine builds run in
+// the background: the daemon accepts connections immediately but GET
+// /readyz returns 503 until every engine is built, so a load balancer can
+// hold traffic without the listener staying dark for the whole build.
 package main
 
 import (
@@ -70,7 +87,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -217,35 +236,118 @@ func writeServiceError(w http.ResponseWriter, err error) {
 	writeError(w, statusFor(err), err.Error())
 }
 
-// newMux wires the service behind the daemon's routes. perReq bounds each
-// request's wall-clock time (0 = unbounded); maxSessions caps concurrently
-// open feedback sessions (<= 0 = default 1024). It is split out from main
-// so tests can drive the daemon end-to-end with httptest. suite is the
+// readiness tracks the daemon's startup state for GET /readyz. The zero
+// value reports not-ready; markReady flips it exactly once (prewarm
+// completion, or immediately when prewarm is off).
+type readiness struct {
+	mu    sync.Mutex
+	ready bool
+	err   error
+}
+
+func (r *readiness) markReady(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ready = err == nil
+	r.err = err
+}
+
+func (r *readiness) status() (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ready, r.err
+}
+
+// readyNow returns an already-ready readiness — the state of a daemon that
+// builds engines lazily (no -prewarm) and of httptest servers.
+func readyNow() *readiness {
+	r := &readiness{}
+	r.markReady(nil)
+	return r
+}
+
+// muxConfig carries the daemon knobs newMux needs beyond the service
+// itself. The zero value serves unbounded requests with default session
+// caps, metrics on, and immediate readiness.
+type muxConfig struct {
+	// perReq bounds each request's wall-clock time (0 = unbounded).
+	perReq time.Duration
+	// maxSessions caps concurrently open feedback sessions (<= 0 = default).
+	maxSessions int
+	// ready gates GET /readyz (nil = ready immediately).
+	ready *readiness
+	// noMetrics disables the GET /metrics exposition endpoint
+	// (-metrics=false); the registry keeps accumulating either way.
+	noMetrics bool
+}
+
+// newMux wires the service behind the daemon's routes. It is split out from
+// main so tests can drive the daemon end-to-end with httptest. suite is the
 // tenant registry the feedback hub picks golden regression cases from.
-func newMux(svc *genedit.Service, suite *genedit.Benchmark, perReq time.Duration, maxSessions int) *http.ServeMux {
+func newMux(svc *genedit.Service, suite *genedit.Benchmark, cfg muxConfig) *http.ServeMux {
 	withTimeout := func(ctx context.Context) (context.Context, context.CancelFunc) {
-		if perReq <= 0 {
+		if cfg.perReq <= 0 {
 			return ctx, func() {}
 		}
-		return context.WithTimeout(ctx, perReq)
+		return context.WithTimeout(ctx, cfg.perReq)
+	}
+	if cfg.ready == nil {
+		cfg.ready = readyNow()
 	}
 
 	mux := http.NewServeMux()
-	newFeedbackHub(svc, suite, maxSessions).registerRoutes(mux, withTimeout)
+	newFeedbackHub(svc, suite, cfg.maxSessions).registerRoutes(mux, withTimeout)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
+	// Readiness is distinct from liveness: the process is up (healthz) but
+	// traffic should hold until prewarm finished and no opened store has
+	// failed terminally. A store with failing compactions stays ready —
+	// commits are still durable — but a store that refused writes after a
+	// failed WAL rollback must drain: approvals on it are lost.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, err := cfg.ready.status()
+		switch {
+		case err != nil:
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "failed", "error": err.Error()})
+			return
+		case !ready:
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+			return
+		}
+		var failed []string
+		for db, herr := range svc.StoreHealth() {
+			if herr != nil {
+				failed = append(failed, db)
+			}
+		}
+		if len(failed) > 0 {
+			sort.Strings(failed)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "store_failed", "databases": failed})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+
+	if !cfg.noMetrics {
+		mux.Handle("GET /metrics", svc.Metrics().Handler())
+	}
+
+	// /v1/stats is derived from the same registry snapshot /metrics renders
+	// (the bridges run at Gather), so the JSON stats and the Prometheus
+	// exposition can never disagree.
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		snap := svc.Metrics().Gather()
 		writeJSON(w, http.StatusOK, statsResponse{
 			GenerationCacheEnabled: svc.GenerationCacheEnabled(),
-			GenerationCache:        svc.GenerationCacheStats(),
+			GenerationCache:        genedit.GenerationCacheStatsFromSnapshot(snap),
 			AdmissionEnabled:       svc.AdmissionEnabled(),
-			Admission:              svc.AdmissionStats(),
+			Admission:              genedit.AdmissionStatsFromSnapshot(snap),
 			MinerEnabled:           svc.MinerEnabled(),
-			Failures:               svc.FailureStats(),
-			Miner:                  svc.MinerStats(),
+			Failures:               genedit.FailureStatsFromSnapshot(snap),
+			Miner:                  genedit.MinerStatsFromSnapshot(snap),
 		})
 	})
 
@@ -359,8 +461,10 @@ func main() {
 	stmtCache := flag.Int("stmtcache", 0, "per-engine parsed-statement LRU size (0 = default 512)")
 	genCache := flag.Int("gencache", 1024, "generation-cache size: completed records cached per (database, knowledge version, question); 0 disables")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
-	prewarm := flag.Bool("prewarm", false, "build all engines at startup instead of lazily")
+	prewarm := flag.Bool("prewarm", false, "build all engines at startup (in the background; /readyz turns 200 when done) instead of lazily")
 	trace := flag.Bool("trace", false, "log per-operator timings for every request")
+	metricsOn := flag.Bool("metrics", true, "expose Prometheus text exposition on GET /metrics")
+	traceSample := flag.Int("tracesample", 64, "feed per-operator timing histograms from every Nth request (sampled requests bypass the generation cache; 0 disables)")
 	store := flag.String("store", "", "directory for durable per-database knowledge stores (empty = in-memory)")
 	minerIvl := flag.Duration("miner", 0, "background failure-mining interval (0 = miner disabled)")
 	maxSessions := flag.Int("maxsessions", defaultMaxOpenSessions, "max concurrently open feedback sessions; opens beyond it get 429")
@@ -394,6 +498,9 @@ func main() {
 	if *genCache > 0 {
 		opts = append(opts, genedit.WithGenerationCache(*genCache))
 	}
+	if *traceSample > 0 {
+		opts = append(opts, genedit.WithOperatorSampling(*traceSample))
+	}
 	if *trace {
 		opts = append(opts, genedit.WithTrace(func(t *genedit.Trace) {
 			log.Printf("trace db=%s total=%s ops=%s", t.Database, t.Total, formatOps(t.Ops))
@@ -403,12 +510,22 @@ func main() {
 	suite := genedit.NewBenchmark(*seed)
 	svc := genedit.NewService(suite, opts...)
 
+	// Prewarm runs in the background so the listener comes up immediately;
+	// /readyz holds load-balancer traffic until the builds finish. Without
+	// -prewarm the daemon is ready at once and builds engines lazily.
+	ready := readyNow()
 	if *prewarm {
-		start := time.Now()
-		if err := svc.Prewarm(context.Background()); err != nil {
-			log.Fatalf("prewarm failed: %v", err)
-		}
-		log.Printf("prewarmed %d engines in %s", len(svc.Databases()), time.Since(start).Round(time.Millisecond))
+		ready = &readiness{}
+		go func() {
+			start := time.Now()
+			if err := svc.Prewarm(context.Background()); err != nil {
+				log.Printf("prewarm failed: %v", err)
+				ready.markReady(err)
+				return
+			}
+			log.Printf("prewarmed %d engines in %s", len(svc.Databases()), time.Since(start).Round(time.Millisecond))
+			ready.markReady(nil)
+		}()
 	}
 
 	if svc.AdmissionEnabled() {
@@ -416,7 +533,12 @@ func main() {
 			*admitRate, *admitBurst, *maxInflight, *maxQueue)
 	}
 
-	server := &http.Server{Addr: *addr, Handler: newMux(svc, suite, *timeout, *maxSessions)}
+	server := &http.Server{Addr: *addr, Handler: newMux(svc, suite, muxConfig{
+		perReq:      *timeout,
+		maxSessions: *maxSessions,
+		ready:       ready,
+		noMetrics:   !*metricsOn,
+	})}
 
 	minerCtx, stopMiner := context.WithCancel(context.Background())
 	defer stopMiner()

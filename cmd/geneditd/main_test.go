@@ -10,14 +10,23 @@ import (
 	"time"
 
 	"genedit"
+	"genedit/internal/metrics"
 	"genedit/internal/workload"
 )
+
+// testOpts prefixes a fresh metrics registry onto the service options.
+// Without it every test service would report into the process-global
+// default registry, and tests asserting exact counter values (via /v1/stats,
+// which is derived from the registry) could see each other's bridges.
+func testOpts(opts ...genedit.Option) []genedit.Option {
+	return append([]genedit.Option{genedit.WithMetrics(metrics.NewRegistry())}, opts...)
+}
 
 func newTestServer(t *testing.T, timeout time.Duration) *httptest.Server {
 	t.Helper()
 	suite := genedit.NewBenchmark(1)
-	svc := genedit.NewService(suite, genedit.WithModelSeed(42))
-	srv := httptest.NewServer(newMux(svc, suite, timeout, 0))
+	svc := genedit.NewService(suite, testOpts(genedit.WithModelSeed(42))...)
+	srv := httptest.NewServer(newMux(svc, suite, muxConfig{perReq: timeout}))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -68,7 +77,7 @@ func TestGenerateEndToEnd(t *testing.T) {
 		t.Fatalf("attempts = %d, want >= 1", got.Attempts)
 	}
 
-	svc := genedit.NewService(suite, genedit.WithModelSeed(42))
+	svc := genedit.NewService(suite, testOpts(genedit.WithModelSeed(42))...)
 	want, err := svc.Generate(t.Context(), genedit.Request{Database: db, Question: q})
 	if err != nil {
 		t.Fatalf("library generate: %v", err)
@@ -164,12 +173,12 @@ func TestDatabasesAndHealth(t *testing.T) {
 // via POST /v1/miner/{db}/mine, and check it reports gated merges.
 func TestMinerEndpoints(t *testing.T) {
 	suite, injected := workload.NewMinerSuite(1)
-	svc := genedit.NewService(suite,
+	svc := genedit.NewService(suite, testOpts(
 		genedit.WithModelSeed(42),
 		genedit.WithGenerationCache(256),
-		genedit.WithMiner(genedit.MinerConfig{}))
+		genedit.WithMiner(genedit.MinerConfig{}))...)
 	t.Cleanup(func() { svc.Close() })
-	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second, 0))
+	srv := httptest.NewServer(newMux(svc, suite, muxConfig{perReq: 30 * time.Second}))
 	t.Cleanup(srv.Close)
 
 	db := injected[0].DB
@@ -262,8 +271,8 @@ func getJSON(t *testing.T, url string, out any) {
 // hit.
 func TestGenerationCacheAndStats(t *testing.T) {
 	suite := genedit.NewBenchmark(1)
-	svc := genedit.NewService(suite, genedit.WithModelSeed(42), genedit.WithGenerationCache(64))
-	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second, 0))
+	svc := genedit.NewService(suite, testOpts(genedit.WithModelSeed(42), genedit.WithGenerationCache(64))...)
+	srv := httptest.NewServer(newMux(svc, suite, muxConfig{perReq: 30 * time.Second}))
 	t.Cleanup(srv.Close)
 
 	var q, db string

@@ -32,13 +32,13 @@ func firstCase(suite *genedit.Benchmark) (db, q string) {
 
 func TestDaemonRateLimitReturns429WithRetryAfter(t *testing.T) {
 	suite := genedit.NewBenchmark(1)
-	svc := genedit.NewService(suite, genedit.WithModelSeed(42),
+	svc := genedit.NewService(suite, testOpts(genedit.WithModelSeed(42),
 		// A bucket that effectively never refills: the first request spends
 		// the only token, the second must shed.
 		genedit.WithAdmission(genedit.AdmissionConfig{RatePerSec: 0.001, Burst: 1}),
-	)
+	)...)
 	defer svc.Close()
-	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second, 0))
+	srv := httptest.NewServer(newMux(svc, suite, muxConfig{perReq: 30 * time.Second}))
 	defer srv.Close()
 
 	db, q := firstCase(suite)
@@ -78,12 +78,12 @@ func TestDaemonRateLimitReturns429WithRetryAfter(t *testing.T) {
 
 func TestDaemonServesStaleOnShed(t *testing.T) {
 	suite := genedit.NewBenchmark(1)
-	svc := genedit.NewService(suite, genedit.WithModelSeed(42),
+	svc := genedit.NewService(suite, testOpts(genedit.WithModelSeed(42),
 		genedit.WithGenerationCache(64),
 		genedit.WithAdmission(genedit.AdmissionConfig{RatePerSec: 0.001, Burst: 1}),
-	)
+	)...)
 	defer svc.Close()
-	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second, 0))
+	srv := httptest.NewServer(newMux(svc, suite, muxConfig{perReq: 30 * time.Second}))
 	defer srv.Close()
 
 	db, q := firstCase(suite)
@@ -113,9 +113,9 @@ func TestDaemonServesStaleOnShed(t *testing.T) {
 
 func TestDaemonMaxSessionsCap(t *testing.T) {
 	suite := genedit.NewBenchmark(1)
-	svc := genedit.NewService(suite, genedit.WithModelSeed(42))
+	svc := genedit.NewService(suite, testOpts(genedit.WithModelSeed(42))...)
 	defer svc.Close()
-	srv := httptest.NewServer(newMux(svc, suite, 30*time.Second, 1))
+	srv := httptest.NewServer(newMux(svc, suite, muxConfig{perReq: 30 * time.Second, maxSessions: 1}))
 	defer srv.Close()
 
 	db, q := firstCase(suite)
@@ -143,7 +143,7 @@ func TestDaemonGracefulShutdownUnderLoad(t *testing.T) {
 
 	dir := t.TempDir()
 	suite := genedit.NewBenchmark(1)
-	svc := genedit.NewService(suite, genedit.WithModelSeed(42),
+	svc := genedit.NewService(suite, testOpts(genedit.WithModelSeed(42),
 		genedit.WithStorePath(dir),
 		genedit.WithGenerationCache(64),
 		// A narrow execution gate so shutdown really does catch requests
@@ -154,8 +154,8 @@ func TestDaemonGracefulShutdownUnderLoad(t *testing.T) {
 			MaxConcurrent: 2,
 			MaxQueue:      8,
 		}),
-	)
-	srv := httptest.NewServer(newMux(svc, suite, 5*time.Second, 0))
+	)...)
+	srv := httptest.NewServer(newMux(svc, suite, muxConfig{perReq: 5 * time.Second}))
 
 	var ok200, shed, other atomic.Int64
 	var wg sync.WaitGroup
@@ -212,8 +212,8 @@ func TestDaemonGracefulShutdownUnderLoad(t *testing.T) {
 		ok200.Load(), shed.Load(), st.Admitted, st.MaxQueueDepth)
 
 	// The drained store reopens and serves: nothing was torn mid-write.
-	rec := genedit.NewService(genedit.NewBenchmark(1), genedit.WithModelSeed(42),
-		genedit.WithStorePath(dir))
+	rec := genedit.NewService(genedit.NewBenchmark(1), testOpts(genedit.WithModelSeed(42),
+		genedit.WithStorePath(dir))...)
 	db, q := firstCase(suite)
 	if _, err := rec.Generate(context.Background(), genedit.Request{Database: db, Question: q}); err != nil {
 		t.Fatalf("generate after reopen: %v", err)

@@ -73,6 +73,7 @@ func main() {
 		fmt.Printf("intents:      %d\n", st.Intents)
 		fmt.Printf("directives:   %d\n", st.Directives)
 		fmt.Printf("version:      %d\n", st.Version)
+		printStoreHealth(svc, *db)
 	case "examples":
 		for i, ex := range set.Examples() {
 			if i >= *limit {
@@ -124,6 +125,37 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -show %q\n", *show)
 		os.Exit(2)
+	}
+}
+
+// printStoreHealth appends a durable-store section to -show stats: the
+// persisted sequence, snapshot version, compaction activity, and — most
+// importantly — the two failure states an operator needs to see. A terminal
+// store failure (a WAL rollback that could not restore the durable
+// boundary; the store refuses further commits) and a compaction error
+// (commits stay durable but the WAL is no longer being truncated) are
+// otherwise silent in a CLI session.
+func printStoreHealth(svc *genedit.Service, db string) {
+	info, err := svc.Knowledge(context.Background(), db, 0)
+	if err != nil || !info.Persisted {
+		return
+	}
+	fmt.Printf("\nstore:\n")
+	fmt.Printf("  persisted seq:    %d\n", info.PersistedSeq)
+	fmt.Printf("  snapshot version: %d\n", info.SnapshotVersion)
+	snap := svc.Metrics().Gather()
+	fmt.Printf("  compactions:      %d (%d failed)\n",
+		snap.CounterValue("genedit_kstore_compactions_total", db),
+		snap.CounterValue("genedit_kstore_compaction_errors_total", db))
+	switch {
+	case info.StoreFailed != "":
+		fmt.Printf("  health:           FAILED — %s\n", info.StoreFailed)
+		fmt.Printf("                    (WAL rollback failed; store refuses further commits)\n")
+	case info.CompactionErr != "":
+		fmt.Printf("  health:           DEGRADED — compaction error: %s\n", info.CompactionErr)
+		fmt.Printf("                    (commits remain durable; WAL is not being truncated)\n")
+	default:
+		fmt.Printf("  health:           ok\n")
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"genedit/internal/knowledge"
 )
@@ -103,6 +104,9 @@ type Store struct {
 	// compactErr remembers the last automatic-compaction failure (commits
 	// themselves stayed durable); cleared on the next success.
 	compactErr error
+	// metrics holds the store's instruments (WithMetrics); the zero value
+	// is a no-op.
+	metrics storeMetrics
 }
 
 // walRecord frames one event on a WAL line. The CRC covers the serialized
@@ -254,6 +258,17 @@ func (s *Store) CompactionErr() error {
 	return s.compactErr
 }
 
+// Failed reports whether the store has refused further writes: set when a
+// failed WAL append could not be rolled back to the last durable boundary,
+// so accepting more commits could corrupt the log beyond recovery. nil
+// means the store is healthy. Unlike CompactionErr this is terminal — the
+// serving layer's readiness probe treats a failed store as not-ready.
+func (s *Store) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
 // appendLocked writes the set's unpersisted history tail to the WAL and
 // fsyncs. Caller holds s.mu.
 func (s *Store) appendLocked(set *knowledge.Set) error {
@@ -285,6 +300,7 @@ func (s *Store) appendLocked(set *knowledge.Set) error {
 	if len(events) == 0 {
 		return nil
 	}
+	appendStart := time.Now()
 	var buf, lastRaw []byte
 	for _, ev := range events {
 		raw, err := json.Marshal(ev)
@@ -306,16 +322,21 @@ func (s *Store) appendLocked(set *knowledge.Set) error {
 		s.rollbackWAL()
 		return fmt.Errorf("kstore: appending WAL: %w", err)
 	}
+	syncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		// The write may or may not have reached disk; it was never
 		// acknowledged, so restoring the pre-append boundary is safe.
 		s.rollbackWAL()
 		return fmt.Errorf("kstore: fsync WAL: %w", err)
 	}
+	done := time.Now()
+	s.metrics.fsyncSec.Observe(done.Sub(syncStart).Seconds())
+	s.metrics.appendSec.Observe(done.Sub(appendStart).Seconds())
 	s.lastSeq = set.LastSeq()
 	s.walRecords += len(events)
 	s.walSize += int64(len(buf))
 	s.lastEvent = lastRaw
+	s.metrics.walRecords.Set(float64(s.walRecords))
 	return nil
 }
 
@@ -325,6 +346,7 @@ func (s *Store) appendLocked(set *knowledge.Set) error {
 func (s *Store) rollbackWAL() {
 	if err := s.wal.Truncate(s.walSize); err != nil {
 		s.broken = fmt.Errorf("WAL rollback to %d bytes failed: %w", s.walSize, err)
+		s.metrics.unhealthy.Set(1)
 	}
 }
 
@@ -346,7 +368,22 @@ func (s *Store) Compact(set *knowledge.Set) error {
 	return s.compactLocked(set)
 }
 
+// compactLocked wraps the compaction work with its instrumentation:
+// successful compactions count and report their duration, failures count
+// separately (the caller decides whether a failure is fatal — auto-compaction
+// during Commit retries on the next commit).
 func (s *Store) compactLocked(set *knowledge.Set) error {
+	start := time.Now()
+	if err := s.doCompactLocked(set); err != nil {
+		s.metrics.compactErrs.Inc()
+		return err
+	}
+	s.metrics.compactions.Inc()
+	s.metrics.compactSec.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+func (s *Store) doCompactLocked(set *knowledge.Set) error {
 	version := set.Version()
 	tmp, err := s.fs.CreateTemp(s.dir, "snapshot-*.tmp")
 	if err != nil {
@@ -408,6 +445,7 @@ func (s *Store) truncateWAL() error {
 	s.wal = wal
 	s.walRecords = 0
 	s.walSize = 0
+	s.metrics.walRecords.Set(0)
 	return nil
 }
 

@@ -1,0 +1,75 @@
+package kstore
+
+import (
+	"genedit/internal/metrics"
+)
+
+// storeMetrics holds one store's resolved instruments. The zero value (all
+// nil) is fully operational as a no-op — metrics instruments are nil-safe —
+// so uninstrumented stores pay nothing but a few time.Now calls per commit.
+type storeMetrics struct {
+	appendSec   *metrics.Histogram
+	fsyncSec    *metrics.Histogram
+	compactSec  *metrics.Histogram
+	compactions *metrics.Counter
+	compactErrs *metrics.Counter
+	walRecords  *metrics.Gauge
+	unhealthy   *metrics.Gauge
+}
+
+// storeFamilies are the kstore metric family vecs on one registry.
+type storeFamilies struct {
+	appendSec   *metrics.HistogramVec
+	fsyncSec    *metrics.HistogramVec
+	compactSec  *metrics.HistogramVec
+	compactions *metrics.CounterVec
+	compactErrs *metrics.CounterVec
+	walRecords  *metrics.GaugeVec
+	unhealthy   *metrics.GaugeVec
+}
+
+// familiesFor registers (idempotently) the kstore families on reg.
+func familiesFor(reg *metrics.Registry) storeFamilies {
+	return storeFamilies{
+		appendSec: reg.Histogram("genedit_kstore_wal_append_seconds",
+			"WAL append latency per commit (marshal + write + fsync).", nil, "db"),
+		fsyncSec: reg.Histogram("genedit_kstore_wal_fsync_seconds",
+			"WAL fsync latency per commit — the durability point of an approval.", nil, "db"),
+		compactSec: reg.Histogram("genedit_kstore_compaction_seconds",
+			"Snapshot compaction duration (successful compactions only).", nil, "db"),
+		compactions: reg.Counter("genedit_kstore_compactions_total",
+			"Completed snapshot compactions.", "db"),
+		compactErrs: reg.Counter("genedit_kstore_compaction_errors_total",
+			"Failed compaction attempts. Commits stay durable; a growing count means the WAL is not being truncated.", "db"),
+		walRecords: reg.Gauge("genedit_kstore_wal_records",
+			"Events currently in the WAL (resets to 0 on compaction).", "db"),
+		unhealthy: reg.Gauge("genedit_kstore_unhealthy",
+			"1 when the store refused further writes after a failed WAL rollback.", "db"),
+	}
+}
+
+// RegisterMetrics registers the kstore metric families on reg without
+// binding them to a store, so /metrics advertises the catalog (HELP/TYPE
+// lines) before the first durable commit. Registration is idempotent.
+func RegisterMetrics(reg *metrics.Registry) { familiesFor(reg) }
+
+// WithMetrics instruments the store: WAL append and fsync latency
+// histograms, compaction count/duration/error counters, a WAL-depth gauge
+// and an unhealthy flag, all labeled with db on reg.
+func WithMetrics(reg *metrics.Registry, db string) Option {
+	return func(s *Store) {
+		if reg == nil {
+			return
+		}
+		f := familiesFor(reg)
+		s.metrics = storeMetrics{
+			appendSec:   f.appendSec.With(db),
+			fsyncSec:    f.fsyncSec.With(db),
+			compactSec:  f.compactSec.With(db),
+			compactions: f.compactions.With(db),
+			compactErrs: f.compactErrs.With(db),
+			walRecords:  f.walRecords.With(db),
+			unhealthy:   f.unhealthy.With(db),
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"genedit/internal/admission"
@@ -17,6 +18,7 @@ import (
 	"genedit/internal/generr"
 	"genedit/internal/knowledge"
 	"genedit/internal/kstore"
+	"genedit/internal/metrics"
 	"genedit/internal/pipeline"
 	"genedit/internal/simllm"
 )
@@ -304,6 +306,14 @@ type Service struct {
 	userMW    []Middleware
 	serve     Handler
 
+	// Metrics (see metrics.go): the registry sink (metrics.Default() unless
+	// WithMetrics overrode it), the resolved instrument set, and the
+	// operator-timing sampling state (WithOperatorSampling).
+	mreg          *metrics.Registry
+	smetrics      *serviceMetrics
+	opSampleEvery int
+	opSampleN     atomic.Uint64
+
 	mu      sync.RWMutex
 	engines map[string]*enginePromise
 	// stores holds the open kstore per database when WithStorePath is set.
@@ -354,6 +364,7 @@ func NewService(b *Benchmark, opts ...Option) *Service {
 			MaxQueue:      s.admCfg.MaxQueue,
 		})
 	}
+	s.initMetrics()
 	// The request path is a middleware stack composed once at construction:
 	// user middleware → admit → coalesce → generate.
 	s.serve = s.generateHandler()
@@ -510,6 +521,7 @@ func (s *Service) openStore(db string) (*kstore.Store, error) {
 	if s.storeFS != nil {
 		kopts = append(kopts, kstore.WithFS(s.storeFS))
 	}
+	kopts = append(kopts, kstore.WithMetrics(s.mreg, db))
 	st, err := kstore.Open(filepath.Join(s.storePath, db), kopts...)
 	if err != nil {
 		return nil, fmt.Errorf("genedit: opening knowledge store for %q: %w", db, err)
@@ -598,19 +610,20 @@ func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) 
 	if err := generr.FromContext(ctx); err != nil {
 		if _, ok := s.suite.Databases[req.Database]; ok {
 			s.noteCanceled(req.Database)
+			s.observeRequest(req.Database, nil, err, 0)
 		}
 		return nil, err
 	}
 	// The tenant check runs before the chain so admission never builds
-	// state (token buckets, queue slots) for garbage database names.
+	// state (token buckets, queue slots) for garbage database names — and
+	// so metrics never mint label values from them.
 	if _, ok := s.suite.Databases[req.Database]; !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDatabase, req.Database)
 	}
-	if s.trace != nil && !pipeline.HasTrace(ctx) {
-		ctx = pipeline.WithTrace(ctx, s.trace)
-	}
+	ctx = s.maybeTraceContext(ctx)
 	resp, err := s.serve(ctx, req)
 	if err != nil {
+		s.observeRequest(req.Database, nil, err, time.Since(start))
 		return nil, err
 	}
 	// Failure noting lives here, outside the stack, so it fires exactly once
@@ -621,6 +634,7 @@ func (s *Service) Generate(ctx context.Context, req Request) (*Response, error) 
 		s.noteFailure(req.Database, resp.Record)
 	}
 	resp.Duration = time.Since(start)
+	s.observeRequest(req.Database, resp, nil, resp.Duration)
 	return resp, nil
 }
 
@@ -858,6 +872,13 @@ type KnowledgeInfo struct {
 	Persisted       bool
 	PersistedSeq    int
 	SnapshotVersion int
+	// StoreFailed carries the store's terminal write-failure state (a WAL
+	// rollback that could not restore the durable boundary; all further
+	// commits are refused) and CompactionErr the most recent
+	// automatic-compaction failure (commits stay durable, but the WAL is
+	// not being truncated). Both empty when healthy or in-memory.
+	StoreFailed   string
+	CompactionErr string
 }
 
 // Knowledge returns the served knowledge-set status for one database,
@@ -892,6 +913,12 @@ func (s *Service) Knowledge(ctx context.Context, db string, lastN int) (*Knowled
 		info.Persisted = true
 		info.PersistedSeq = store.LastSeq()
 		info.SnapshotVersion = store.SnapshotVersion()
+		if err := store.Failed(); err != nil {
+			info.StoreFailed = err.Error()
+		}
+		if err := store.CompactionErr(); err != nil {
+			info.CompactionErr = err.Error()
+		}
 	}
 	return info, nil
 }
