@@ -22,6 +22,16 @@
 //	benchrunner -parallel 8 -requests 4000
 //	benchrunner -parallel 8 -requests 4000 -gencache 0     # uncached baseline
 //
+// Load mode scales: -scale N swaps the standard suite for the stress-scale
+// suite (every domain cloned into N tenant databases with distinct seeded
+// data), and -kscale M multiplies each database's query-log knowledge with
+// parameter variants, growing the retrieval indexes past the ANN
+// partitioning threshold. -approvers N runs N concurrent SME approver
+// loops whose merges hot-swap engines (re-partitioning the retrieval
+// indexes) while the load workers generate. The 100x hardening run is:
+//
+//	benchrunner -parallel 8 -requests 4000 -adversarial -scale 100 -approvers 4
+//
 // Load mode can also exercise the overload defenses: -adversarial swaps in
 // the hostile request mix (hot-key skew on one tenant + cache-busting
 // unique questions), -admitrate/-admitburst enable per-tenant token-bucket
@@ -55,6 +65,7 @@ import (
 
 	"genedit"
 	"genedit/internal/bench"
+	"genedit/internal/embed"
 	"genedit/internal/eval"
 	"genedit/internal/feedback"
 	"genedit/internal/metrics"
@@ -158,6 +169,10 @@ func main() {
 	reqTimeout := flag.Duration("reqtimeout", 0, "load mode: per-request deadline (0 = none); deadline-aware shedding rejects requests that cannot start in time")
 	traceSample := flag.Int("tracesample", 0, "load mode: record per-operator timings for every Nth request (traced requests bypass the generation cache; 0 = off)")
 	metricsDump := flag.Bool("metricsdump", true, "load mode: dump the metrics-registry snapshot (Prometheus text exposition) at end of run")
+	scale := flag.Int("scale", 0, "load mode: clone every domain into N tenant databases via the stress-scale suite (0 = standard suite); -scale 100 is the 100x hardening run")
+	kscale := flag.Int("kscale", 10, "load mode, with -scale: per-database query-log knowledge multiplier (parameter-variant log rounds growing each retrieval index past the ANN partitioning threshold)")
+	approvers := flag.Int("approvers", 0, "load mode: N concurrent SME approver loops; approved merges hot-swap engines (and re-partition retrieval indexes) while load workers generate")
+	noANN := flag.Bool("noann", false, "load mode: disable ANN-partitioned retrieval (every search scans the full index), for A/B against the default")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -191,6 +206,10 @@ func main() {
 			os.Exit(1)
 		}
 		cfg := loadConfig{
+			scale:         *scale,
+			kscale:        *kscale,
+			approvers:     *approvers,
+			annOff:        *noANN,
 			workers:       *parallel,
 			totalRequests: *requests,
 			genCacheSize:  *genCache,
@@ -211,6 +230,13 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *scale > 0 || *approvers > 0 || *noANN {
+		// Table regeneration always runs the standard suite at production
+		// defaults — the stress knobs would silently change the exhibits.
+		fmt.Fprintln(os.Stderr, "-scale/-approvers/-noann apply to -parallel load mode only")
+		os.Exit(1)
 	}
 
 	record := benchRecord{
@@ -387,6 +413,10 @@ type loadConfig struct {
 	reqTimeout    time.Duration
 	traceSample   int
 	metricsDump   bool
+	scale         int
+	kscale        int
+	approvers     int
+	annOff        bool
 }
 
 // loadCounters aggregates per-request outcomes across workers.
@@ -412,12 +442,23 @@ func runParallelLoad(seed, modelSeed uint64, cfg loadConfig) error {
 	if cfg.totalRequests < 1 {
 		cfg.totalRequests = 1
 	}
-	suite := workload.NewSuite(seed)
+	var suite *workload.Suite
+	if cfg.scale > 0 {
+		sc := workload.ScaleConfig{DBFactor: cfg.scale, KnowledgeFactor: cfg.kscale}
+		suite = workload.NewScaledSuite(seed, sc)
+		fmt.Printf("stress-scale suite: %d databases, %d cases (DBFactor %d, KnowledgeFactor %d)\n",
+			len(suite.Databases), len(suite.Cases), sc.DBFactor, sc.KnowledgeFactor)
+	} else {
+		suite = workload.NewSuite(seed)
+	}
 	// A private registry rather than the process default: the dump at the
 	// end of the run then contains exactly this run's counters.
 	reg := metrics.NewRegistry()
 	opts := []genedit.Option{genedit.WithModelSeed(modelSeed), genedit.WithBatchExec(cfg.batchExec),
 		genedit.WithMetrics(reg)}
+	if cfg.annOff {
+		opts = append(opts, genedit.WithANNRetrieval(genedit.ANNRetrieval{Disable: true}))
+	}
 	if cfg.traceSample > 0 {
 		opts = append(opts, genedit.WithOperatorSampling(cfg.traceSample))
 	}
@@ -456,6 +497,8 @@ func runParallelLoad(seed, modelSeed uint64, cfg loadConfig) error {
 		c := suite.Cases[int(i)%len(suite.Cases)]
 		return genedit.Request{Database: c.DB, Question: c.Question, Evidence: c.Evidence}
 	}
+
+	approvals := startApprovers(ctx, svc, suite, seed, cfg.approvers)
 
 	var (
 		next     atomic.Int64
@@ -513,6 +556,7 @@ func runParallelLoad(seed, modelSeed uint64, cfg loadConfig) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	approvals.stop()
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -585,6 +629,27 @@ func runParallelLoad(seed, modelSeed uint64, cfg loadConfig) error {
 		fmt.Printf("  admission    disabled (-admitrate / -maxinflight to enable)\n")
 	}
 
+	var agg embed.SearchStats
+	for _, rs := range svc.RetrievalStats() {
+		for _, st := range []embed.SearchStats{rs.Examples, rs.Instructions} {
+			agg.Searches += st.Searches
+			agg.ANNSearches += st.ANNSearches
+			agg.CandidatesScanned += st.CandidatesScanned
+			agg.PartitionsProbed += st.PartitionsProbed
+			agg.FullSweeps += st.FullSweeps
+		}
+	}
+	if agg.Searches > 0 {
+		fmt.Printf("  retrieval    %d searches (%d ann-partitioned / %d full-scan), %d candidates scanned (avg %.1f/search), %d partitions probed, %d full-sweep fallbacks\n",
+			agg.Searches, agg.ANNSearches, agg.Searches-agg.ANNSearches,
+			agg.CandidatesScanned, float64(agg.CandidatesScanned)/float64(agg.Searches),
+			agg.PartitionsProbed, agg.FullSweeps)
+	}
+	if cfg.approvers > 0 {
+		fmt.Printf("  approvals    %d approver loops: %d feedback sessions, %d merges hot-swapped, %d regression-rejected\n",
+			cfg.approvers, approvals.sessions.Load(), approvals.merged.Load(), approvals.rejected.Load())
+	}
+
 	if cfg.metricsDump {
 		// The same bytes a geneditd /metrics scrape would serve for this
 		// traffic — grep-friendly ground truth for regressions in the report
@@ -594,6 +659,117 @@ func runParallelLoad(seed, modelSeed uint64, cfg loadConfig) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// approverPool tracks the concurrent SME approver loops running alongside
+// the load workers (-approvers). Each loop opens a feedback session against
+// one database's solver, stages the recommended edits, submits them through
+// the regression gate and approves on pass — every approval rebuilds the
+// engine's retrieval indexes (re-partitioning the ANN layer) and hot-swaps
+// the engine into serving while load workers keep generating against their
+// old immutable snapshot. This is the concurrent-approval half of the
+// stress-scale run: it proves rebuilds never serve a stale or torn index.
+type approverPool struct {
+	sessions atomic.Int64
+	merged   atomic.Int64
+	rejected atomic.Int64
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+// stop cancels the loops and waits for in-flight sessions to wind down.
+func (p *approverPool) stop() {
+	if p.cancel != nil {
+		p.cancel()
+	}
+	p.wg.Wait()
+}
+
+// startApprovers launches n approver loops round-robining over the suite's
+// databases. Each loop runs its first session to completion on the parent
+// context before honoring cancellation, so even short load runs submit at
+// least one change per approver deterministically.
+func startApprovers(ctx context.Context, svc *genedit.Service, suite *workload.Suite, seed uint64, n int) *approverPool {
+	p := &approverPool{}
+	if n <= 0 {
+		return p
+	}
+	loopCtx, cancel := context.WithCancel(ctx)
+	p.cancel = cancel
+	dbs := svc.Databases()
+	sort.Strings(dbs)
+	casesByDB := make(map[string][]*genedit.Case)
+	for _, c := range suite.Cases {
+		casesByDB[c.DB] = append(casesByDB[c.DB], c)
+	}
+	for a := 0; a < n; a++ {
+		p.wg.Add(1)
+		go func(a int) {
+			defer p.wg.Done()
+			sme := feedback.NewSimulatedSME(seed ^ uint64(0xa11*(a+1)))
+			for round := 0; ; round++ {
+				sessCtx := ctx
+				if round > 0 {
+					if loopCtx.Err() != nil {
+						return
+					}
+					sessCtx = loopCtx
+				}
+				db := dbs[(a+round*n)%len(dbs)]
+				cases := casesByDB[db]
+				if len(cases) < 3 {
+					continue
+				}
+				// First cases form the golden regression suite; feedback
+				// sessions target the rest.
+				golden := cases[:2]
+				c := cases[2+(a+round)%(len(cases)-2)]
+				if err := p.runSession(sessCtx, svc, sme, db, golden, c, a); err != nil {
+					if errors.Is(err, genedit.ErrCanceled) {
+						return
+					}
+					// Other errors are tolerated: the load run, not the
+					// approver loop, decides pass/fail.
+				}
+			}
+		}(a)
+	}
+	return p
+}
+
+// runSession drives one open → feedback → stage → submit → approve cycle.
+func (p *approverPool) runSession(ctx context.Context, svc *genedit.Service, sme *feedback.SimulatedSME, db string, golden []*genedit.Case, c *genedit.Case, a int) error {
+	solver, err := svc.Solver(ctx, db, golden)
+	if err != nil {
+		return err
+	}
+	sess, err := solver.OpenContext(ctx, c.Question, c.Evidence)
+	if err != nil {
+		return err
+	}
+	p.sessions.Add(1)
+	rec, err := sess.Feedback(sme.FeedbackFor(c, sess.Record))
+	if err != nil {
+		return err
+	}
+	staged, _ := sme.ReviewEdits(c, rec.Edits)
+	if len(staged) == 0 {
+		return nil
+	}
+	sess.Stage(staged...)
+	res, err := sess.SubmitContext(ctx)
+	if err != nil {
+		return err
+	}
+	if !res.Passed {
+		p.rejected.Add(1)
+		return nil
+	}
+	if err := solver.Approve(res.Pending, fmt.Sprintf("approver-%d", a)); err != nil {
+		return err
+	}
+	p.merged.Add(1)
 	return nil
 }
 

@@ -1,0 +1,421 @@
+package embed
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// This file adds a partitioned IVF-style layer to Index. The stored vectors
+// are clustered into O(sqrt(n)) partitions by a deterministic, iteration-
+// bounded spherical k-means; each search ranks partitions by how close the
+// query is to their centroid and scans them best-first. What makes it exact
+// rather than approximate is the cone bound kept per partition: the centroid
+// plus the cosine of the widest member angle upper-bounds the cosine score
+// any member can reach. A partition is skipped only when that bound is
+// strictly below the current kth-best score, so the scanned set is always a
+// superset of the true top-k and the returned hits — scored by the very same
+// score() the brute scan uses — are order-identical (score and ID tie-break)
+// to SearchVectorBrute. On adversarial queries the guard degrades gracefully
+// into a full sweep: an automatic brute-force fallback, never a wrong answer.
+
+// ANNConfig tunes the partitioned index. Zero values select the defaults.
+type ANNConfig struct {
+	// MinSize is the minimum item count before Build partitions the index;
+	// below it searches use the plain scan (partitioning a tiny index costs
+	// more than it saves). <= 0 means DefaultANNMinSize.
+	MinSize int
+	// Probes is the number of best-ranked partitions scanned unconditionally
+	// before the cone-bound guard takes over. <= 0 means DefaultANNProbes.
+	Probes int
+}
+
+// Default ANN tuning.
+const (
+	DefaultANNMinSize = 128
+	DefaultANNProbes  = 4
+)
+
+// boundEps pads every cone bound so floating-point rounding in the bound
+// arithmetic can only cause an extra scan, never a wrongly skipped
+// partition. Scores themselves come from score() and are never padded.
+const boundEps = 1e-9
+
+// kmeansMaxIters bounds the Lloyd refinement so builds are fast and
+// reproducible; assignments usually stabilize in far fewer rounds.
+const kmeansMaxIters = 6
+
+// SearchStats is a snapshot of an index's retrieval counters. Candidate and
+// partition counts are the sub-linearity evidence: CandidatesScanned /
+// Searches approaching Len() means the guard is degenerating to brute force.
+type SearchStats struct {
+	// Searches counts SearchVector calls (ANN and scan paths combined).
+	Searches uint64
+	// ANNSearches counts searches answered through the partitioned sweep.
+	ANNSearches uint64
+	// CandidatesScanned is the total number of stored vectors scored.
+	CandidatesScanned uint64
+	// PartitionsProbed is the total number of partitions scanned by ANN
+	// searches (probe floor + guard extensions).
+	PartitionsProbed uint64
+	// FullSweeps counts ANN searches whose guard ended up scanning every
+	// partition — the automatic brute-force fallback engaging.
+	FullSweeps uint64
+	// SearchNanos is the cumulative wall time spent inside SearchVector.
+	SearchNanos uint64
+}
+
+// searchCounters is the atomic backing store for SearchStats.
+type searchCounters struct {
+	searches    atomic.Uint64
+	annSearches atomic.Uint64
+	scanned     atomic.Uint64
+	probed      atomic.Uint64
+	fullSweeps  atomic.Uint64
+	nanos       atomic.Uint64
+}
+
+func (c *searchCounters) record(start time.Time, scanned, probed int, ann, fullSweep bool) {
+	c.searches.Add(1)
+	c.scanned.Add(uint64(scanned))
+	if ann {
+		c.annSearches.Add(1)
+		c.probed.Add(uint64(probed))
+		if fullSweep {
+			c.fullSweeps.Add(1)
+		}
+	}
+	c.nanos.Add(uint64(time.Since(start)))
+}
+
+// Stats returns a snapshot of the index's retrieval counters. Safe to call
+// concurrently with searches.
+func (ix *Index) Stats() SearchStats {
+	return SearchStats{
+		Searches:          ix.stats.searches.Load(),
+		ANNSearches:       ix.stats.annSearches.Load(),
+		CandidatesScanned: ix.stats.scanned.Load(),
+		PartitionsProbed:  ix.stats.probed.Load(),
+		FullSweeps:        ix.stats.fullSweeps.Load(),
+		SearchNanos:       ix.stats.nanos.Load(),
+	}
+}
+
+// annPartitions is one immutable-after-Build partitioning of the index.
+type annPartitions struct {
+	builtN    int // items present when Build ran (repartition trigger)
+	probes    int // resolved probe floor
+	centroids []Vector
+	members   [][]int   // item positions per partition
+	cosR      []float64 // cos of each partition's widest member angle
+	sinR      []float64
+	assign    []int // per-position partition (-1 = zero vector)
+	zeros     []int // zero-norm positions; always candidates, score 0
+}
+
+// EnableANN arms the partitioned layer with the given tuning; the next
+// Build call (re)partitions the index. It does not build by itself, so the
+// usual sequence is Add… → EnableANN → Build.
+func (ix *Index) EnableANN(cfg ANNConfig) {
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = DefaultANNMinSize
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = DefaultANNProbes
+	}
+	ix.annCfg = cfg
+	ix.annWanted = true
+}
+
+// DisableANN drops the partitioned layer; searches revert to the plain scan.
+func (ix *Index) DisableANN() {
+	ix.annWanted = false
+	ix.ann = nil
+}
+
+// Build (re)partitions the index when ANN is enabled and the index has
+// reached the configured minimum size; otherwise it clears any stale
+// partitioning. Builds are deterministic in the index contents (seeded by
+// ID order, iteration-bounded) and idempotent.
+func (ix *Index) Build() {
+	ix.ann = nil
+	if !ix.annWanted || len(ix.ids) < ix.annCfg.MinSize {
+		return
+	}
+
+	// Unit-normalize once; zero vectors score 0 against everything and live
+	// outside the partitioning.
+	n := len(ix.ids)
+	units := make([]Vector, n)
+	var nonzero, zeros []int
+	for i := 0; i < n; i++ {
+		if ix.norms2[i] == 0 || len(ix.vecs[i]) == 0 {
+			zeros = append(zeros, i)
+			continue
+		}
+		inv := 1 / math.Sqrt(ix.norms2[i])
+		u := make(Vector, len(ix.vecs[i]))
+		for j, x := range ix.vecs[i] {
+			u[j] = x * inv
+		}
+		units[i] = u
+		nonzero = append(nonzero, i)
+	}
+	if len(nonzero) == 0 {
+		return // all-zero index: every search is trivially score 0
+	}
+
+	nlist := int(math.Sqrt(float64(len(nonzero))))
+	if nlist < 1 {
+		nlist = 1
+	}
+	if nlist > len(nonzero) {
+		nlist = len(nonzero)
+	}
+
+	// Deterministic seeding: stride over the ID-sorted nonzero items, so the
+	// build depends only on index contents, not insertion order.
+	byID := append([]int(nil), nonzero...)
+	sort.Slice(byID, func(a, b int) bool { return ix.ids[byID[a]] < ix.ids[byID[b]] })
+	centroids := make([]Vector, nlist)
+	for j := 0; j < nlist; j++ {
+		seed := byID[(j*len(byID))/nlist]
+		centroids[j] = append(Vector(nil), units[seed]...)
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < kmeansMaxIters; iter++ {
+		changed := false
+		for _, p := range nonzero {
+			best := nearestCentroid(units[p], centroids)
+			if assign[p] != best {
+				assign[p] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids as normalized member means; a partition left
+		// empty keeps its previous centroid (it simply attracts no one).
+		sums := make([]Vector, nlist)
+		counts := make([]int, nlist)
+		for _, p := range nonzero {
+			j := assign[p]
+			if sums[j] == nil {
+				sums[j] = make(Vector, len(units[p]))
+			}
+			s := sums[j]
+			for d, x := range units[p] {
+				s[d] += x
+			}
+			counts[j]++
+		}
+		for j := 0; j < nlist; j++ {
+			if counts[j] == 0 || sums[j] == nil {
+				continue
+			}
+			if normalizeInPlace(sums[j]) != 0 {
+				centroids[j] = sums[j]
+			}
+		}
+	}
+
+	a := &annPartitions{
+		builtN:    n,
+		probes:    ix.annCfg.Probes,
+		centroids: centroids,
+		members:   make([][]int, nlist),
+		cosR:      make([]float64, nlist),
+		sinR:      make([]float64, nlist),
+		assign:    assign,
+		zeros:     zeros,
+	}
+	for j := range a.cosR {
+		a.cosR[j] = 1
+	}
+	for _, p := range nonzero {
+		j := assign[p]
+		a.members[j] = append(a.members[j], p)
+		a.widen(j, dotClamped(units[p], centroids[j]))
+	}
+	ix.ann = a
+}
+
+// widen grows partition j's cone to include a member at cosine d from the
+// centroid.
+func (a *annPartitions) widen(j int, d float64) {
+	if d < a.cosR[j] {
+		a.cosR[j] = d
+		a.sinR[j] = math.Sqrt(math.Max(0, 1-d*d))
+	}
+}
+
+// nearestCentroid returns the centroid with the largest dot product against
+// the unit vector u (ties break to the lowest partition, for determinism).
+func nearestCentroid(u Vector, centroids []Vector) int {
+	best, bestDot := 0, math.Inf(-1)
+	for j, c := range centroids {
+		d := dot(u, c)
+		if d > bestDot {
+			best, bestDot = j, d
+		}
+	}
+	return best
+}
+
+func dot(a, b Vector) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func dotClamped(a, b Vector) float64 {
+	d := dot(a, b)
+	if d > 1 {
+		return 1
+	}
+	if d < -1 {
+		return -1
+	}
+	return d
+}
+
+// annAbsorb integrates a freshly inserted or replaced item at position p
+// into the live partitioning, so an index can keep serving between Build
+// calls without going stale. The item joins its nearest partition and the
+// cone widens to cover it exactly; a replaced item's old partition keeps its
+// (now conservative) cone, which can only cause extra scans, never a miss.
+// Once the index doubles past its built size the partitioning is rebuilt so
+// the partition count stays O(sqrt(n)) and the cones stay tight.
+func (ix *Index) annAbsorb(p int, replaced bool) {
+	a := ix.ann
+	if a == nil {
+		return
+	}
+	if len(ix.ids) >= 2*a.builtN {
+		ix.Build()
+		return
+	}
+	if replaced {
+		switch old := a.assign[p]; {
+		case old >= 0:
+			a.members[old] = removePos(a.members[old], p)
+		default:
+			a.zeros = removePos(a.zeros, p)
+		}
+	} else {
+		a.assign = append(a.assign, -1)
+	}
+	if ix.norms2[p] == 0 || len(ix.vecs[p]) == 0 {
+		a.assign[p] = -1
+		a.zeros = append(a.zeros, p)
+		return
+	}
+	inv := 1 / math.Sqrt(ix.norms2[p])
+	u := make(Vector, len(ix.vecs[p]))
+	for d, x := range ix.vecs[p] {
+		u[d] = x * inv
+	}
+	j := nearestCentroid(u, a.centroids)
+	a.assign[p] = j
+	a.members[j] = append(a.members[j], p)
+	a.widen(j, dotClamped(u, a.centroids[j]))
+}
+
+func removePos(list []int, p int) []int {
+	for i, v := range list {
+		if v == p {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// searchANN answers a top-k query through the partitioned sweep. Requires
+// 0 < k < len(ix.ids), qNorm2 > 0, and ix.ann != nil. Returns the hits plus
+// the candidates-scanned / partitions-probed counts and whether the guard
+// swept every partition (the brute-fallback case).
+func (ix *Index) searchANN(q Vector, qNorm2 float64, k int) ([]Hit, int, int, bool) {
+	a := ix.ann
+	invQ := 1 / math.Sqrt(qNorm2)
+
+	// Rank partitions by the best cosine any member could reach: 1 when the
+	// query direction lies inside the cone, cos(angle-to-centroid minus the
+	// cone half-angle) otherwise — which expands to d·cosR + sqrt(1−d²)·sinR.
+	type ranked struct {
+		j     int
+		bound float64
+	}
+	order := make([]ranked, 0, len(a.centroids))
+	for j, c := range a.centroids {
+		if len(a.members[j]) == 0 {
+			continue
+		}
+		d := dot(q, c) * invQ
+		if d > 1 {
+			d = 1
+		} else if d < -1 {
+			d = -1
+		}
+		b := 1.0
+		if d < a.cosR[j] {
+			b = d*a.cosR[j] + math.Sqrt(1-d*d)*a.sinR[j]
+		}
+		order = append(order, ranked{j: j, bound: b + boundEps})
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if order[x].bound != order[y].bound {
+			return order[x].bound > order[y].bound
+		}
+		return order[x].j < order[y].j
+	})
+
+	scanned := 0
+	h := make(hitHeap, 0, k+1)
+	scanItem := func(i int) {
+		scanned++
+		hit := Hit{ID: ix.ids[i], Score: ix.score(q, qNorm2, i)}
+		if len(h) < k {
+			heap.Push(&h, hit)
+			return
+		}
+		if hit.Score > h[0].Score || (hit.Score == h[0].Score && hit.ID < h[0].ID) {
+			h[0] = hit
+			heap.Fix(&h, 0)
+		}
+	}
+
+	// Zero vectors score 0 against every query; they are cheap permanent
+	// candidates so ties at score 0 resolve by ID exactly as in brute.
+	for _, i := range a.zeros {
+		scanItem(i)
+	}
+
+	probed := 0
+	for rank, r := range order {
+		// Partitions arrive bound-descending, so the first skippable one ends
+		// the sweep: everything after it is bounded at least as low. Skipping
+		// demands a STRICT bound shortfall — a partition whose bound ties the
+		// kth score could hold an equal-score member with a smaller ID.
+		if rank >= a.probes && len(h) == k && r.bound < h[0].Score {
+			break
+		}
+		for _, i := range a.members[r.j] {
+			scanItem(i)
+		}
+		probed++
+	}
+
+	return sortHits(h), scanned, probed, probed == len(order)
+}

@@ -9,6 +9,7 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+	"time"
 	"unicode"
 )
 
@@ -68,6 +69,16 @@ func lowerAlnum(r rune) (byte, bool) {
 // (unigram w0, bigram w0_w1, unigram w1, ...), so the accumulated — and
 // then normalized — vectors are bit-identical to the reference.
 func Text(s string) Vector {
+	v, _ := textAndNorm(s)
+	return v
+}
+
+// textAndNorm is Text plus the squared L2 norm of the returned vector,
+// accumulated inside the normalization pass in index order — the same
+// operations, in the same order, as a separate `for _, x := range v { n2 +=
+// x*x }` loop over the result, so callers caching the norm (Index.Add) get a
+// value bitwise identical to recomputing it.
+func textAndNorm(s string) (Vector, float64) {
 	v := make(Vector, Dim)
 	add := func(sum uint64, weight float64) {
 		bucket := int(sum % Dim)
@@ -117,8 +128,8 @@ func Text(s string) Vector {
 		}
 	}
 	endWord()
-	normalizeInPlace(v)
-	return v
+	n2 := normalizeInPlace(v)
+	return v, n2
 }
 
 // Tokenize lower-cases and splits text into alphanumeric word tokens.
@@ -146,19 +157,24 @@ func Tokenize(s string) []string {
 
 // normalizeInPlace scales v to unit length in place (zero vectors are left
 // unchanged), with the same operations — and therefore bit pattern — as
-// Normalize.
-func normalizeInPlace(v Vector) {
+// Normalize. It returns the squared norm of the *scaled* vector, accumulated
+// in index order over the stored values, so the caller can cache it without
+// a second pass (0 for zero vectors, matching what that pass would compute).
+func normalizeInPlace(v Vector) float64 {
 	var norm float64
 	for _, x := range v {
 		norm += x * x
 	}
 	if norm == 0 {
-		return
+		return 0
 	}
 	norm = math.Sqrt(norm)
+	var n2 float64
 	for i, x := range v {
 		v[i] = x / norm
+		n2 += v[i] * v[i]
 	}
+	return n2
 }
 
 // Normalize returns the vector scaled to unit length (zero vectors pass
@@ -208,18 +224,30 @@ type Hit struct {
 	Score float64
 }
 
-// Index is a brute-force cosine top-k index, sufficient for knowledge sets
-// of thousands of items. Squared norms are cached at insertion (Text vectors
-// are already L2-normalized, so each is ~1), which lets search compute one
-// dot product per candidate instead of a full cosine, and a bounded heap
-// replaces the full sort when k is small. Scores are bitwise identical to
-// Cosine: the same accumulation order, with only the per-candidate
-// recomputation of both norms hoisted out.
+// Index is a cosine top-k index. Squared norms are cached at insertion (Text
+// vectors are already L2-normalized, so each is ~1), which lets search
+// compute one dot product per candidate instead of a full cosine, and a
+// bounded heap replaces the full sort when k is small. Scores are bitwise
+// identical to Cosine: the same accumulation order, with only the
+// per-candidate recomputation of both norms hoisted out.
+//
+// By default every search scans all items. EnableANN + Build add a
+// partitioned IVF layer on top (see ann.go) whose results stay
+// order-identical to SearchVectorBrute while scanning sub-linearly many
+// candidates on clustered data.
+//
+// Concurrency: mutation (Add, AddVector, EnableANN, Build) must not overlap
+// search; any number of Search/SearchVector calls may then run concurrently.
 type Index struct {
 	ids    []string
 	vecs   []Vector
 	norms2 []float64 // cached squared L2 norms of vecs
 	pos    map[string]int
+
+	annCfg    ANNConfig
+	annWanted bool
+	ann       *annPartitions // nil until Build partitions the index
+	stats     searchCounters
 }
 
 // NewIndex returns an empty index.
@@ -227,22 +255,38 @@ func NewIndex() *Index {
 	return &Index{pos: make(map[string]int)}
 }
 
-// Add inserts or replaces an item by ID.
+// Add inserts or replaces an item by ID. Text vectors arrive L2-normalized
+// with their squared norm computed during normalization, so no extra pass
+// over the vector runs here (AddVector keeps the general path for arbitrary
+// vectors).
 func (ix *Index) Add(id, text string) {
-	vec := Text(text)
+	vec, n2 := textAndNorm(text)
+	ix.insert(id, vec, n2)
+}
+
+// AddVector inserts or replaces an item with a caller-supplied embedding of
+// any length or scale; the squared norm is computed here.
+func (ix *Index) AddVector(id string, vec Vector) {
 	var n2 float64
 	for _, x := range vec {
 		n2 += x * x
 	}
+	ix.insert(id, vec, n2)
+}
+
+func (ix *Index) insert(id string, vec Vector, n2 float64) {
 	if p, ok := ix.pos[id]; ok {
 		ix.vecs[p] = vec
 		ix.norms2[p] = n2
+		ix.annAbsorb(p, true)
 		return
 	}
-	ix.pos[id] = len(ix.ids)
+	p := len(ix.ids)
+	ix.pos[id] = p
 	ix.ids = append(ix.ids, id)
 	ix.vecs = append(ix.vecs, vec)
 	ix.norms2 = append(ix.norms2, n2)
+	ix.annAbsorb(p, false)
 }
 
 // Len reports the number of items indexed.
@@ -300,17 +344,28 @@ func (h *hitHeap) Pop() any {
 // SearchVector is Search with a precomputed query vector. For small k it
 // keeps a bounded heap of the best candidates instead of sorting the whole
 // index; results are identical to the full sort (IDs are unique, so the
-// score-then-ID order is total).
+// score-then-ID order is total). When an ANN partitioning is built (see
+// ann.go) the sweep is restricted to partitions whose cone bound can still
+// reach the top-k — with results provably identical to the full scan.
 func (ix *Index) SearchVector(q Vector, k int) []Hit {
+	start := time.Now()
 	if k < 0 || k >= len(ix.ids) {
-		return ix.SearchVectorBrute(q, k)
+		hits := ix.SearchVectorBrute(q, k)
+		ix.stats.record(start, len(ix.ids), 0, false, false)
+		return hits
 	}
 	if k == 0 {
+		ix.stats.record(start, 0, 0, false, false)
 		return []Hit{}
 	}
 	var qNorm2 float64
 	for _, x := range q {
 		qNorm2 += x * x
+	}
+	if ix.ann != nil && qNorm2 != 0 {
+		hits, scanned, probed, full := ix.searchANN(q, qNorm2, k)
+		ix.stats.record(start, scanned, probed, true, full)
+		return hits
 	}
 	h := make(hitHeap, 0, k+1)
 	for i, id := range ix.ids {
@@ -325,6 +380,14 @@ func (ix *Index) SearchVector(q Vector, k int) []Hit {
 			heap.Fix(&h, 0)
 		}
 	}
+	hits := sortHits(h)
+	ix.stats.record(start, len(ix.ids), 0, false, false)
+	return hits
+}
+
+// sortHits orders heap contents into the public result order: score
+// descending, ID ascending on ties.
+func sortHits(h hitHeap) []Hit {
 	hits := []Hit(h)
 	sort.Slice(hits, func(a, b int) bool {
 		if hits[a].Score != hits[b].Score {

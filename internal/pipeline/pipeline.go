@@ -55,6 +55,23 @@ type Config struct {
 	// tables bit-identical.
 	ClauseEditCorrection bool
 
+	// ExampleFanout / InstructionFanout are the retrieval fan-outs of the
+	// example and instruction selectors: how many candidates the global
+	// similarity search pulls from the index before intent filtering and
+	// re-ranking. <= 0 means the defaults (DefaultExampleFanout /
+	// DefaultInstructionFanout), which reproduce the paper configuration.
+	ExampleFanout     int
+	InstructionFanout int
+	// DisableANNRetrieval forces every retrieval through the plain full
+	// scan. The ANN layer is exact by construction (top-k order-identical
+	// to the brute scan — see internal/embed), so like DisableBatchExec
+	// this switch exists for debugging and apples-to-apples comparisons.
+	DisableANNRetrieval bool
+	// ANNMinSize / ANNProbes tune the retrieval index's partitioning
+	// threshold and unconditional probe count; 0 means the embed defaults.
+	ANNMinSize int
+	ANNProbes  int
+
 	// Table 2 ablations.
 	DisableSchemaLinking bool
 	DisableInstructions  bool
@@ -69,14 +86,22 @@ type Config struct {
 	DisableReformulation    bool
 }
 
+// Default retrieval fan-outs (the historical hard-coded values).
+const (
+	DefaultExampleFanout     = 24
+	DefaultInstructionFanout = 16
+)
+
 // DefaultConfig returns the production configuration.
 func DefaultConfig() Config {
 	return Config{
-		MaxAttempts:     3,
-		TopExamples:     12,
-		TopInstructions: 6,
-		ExpansionWeight: 0.45,
-		SemanticCheck:   true,
+		MaxAttempts:       3,
+		TopExamples:       12,
+		TopInstructions:   6,
+		ExpansionWeight:   0.45,
+		SemanticCheck:     true,
+		ExampleFanout:     DefaultExampleFanout,
+		InstructionFanout: DefaultInstructionFanout,
 	}
 }
 
@@ -158,6 +183,12 @@ func New(model llm.Model, kset *knowledge.Set, db *sqldb.Database, cfg Config) *
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 3
 	}
+	if cfg.ExampleFanout <= 0 {
+		cfg.ExampleFanout = DefaultExampleFanout
+	}
+	if cfg.InstructionFanout <= 0 {
+		cfg.InstructionFanout = DefaultInstructionFanout
+	}
 	exec := sqlexec.New(db)
 	if cfg.StatementCacheSize > 0 {
 		exec.SetStatementCacheSize(cfg.StatementCacheSize)
@@ -223,6 +254,18 @@ func (e *Engine) buildIndices() {
 			vec: embed.Text(text),
 		})
 	}
+
+	// Seal the retrieval indices: partition them for sub-linear search while
+	// the engine is still private to this goroutine. Engines are immutable
+	// once served, so approval hot-swaps re-enter here via WithKnowledge and
+	// always publish a freshly partitioned — never stale — index.
+	if !e.cfg.DisableANNRetrieval {
+		annCfg := embed.ANNConfig{MinSize: e.cfg.ANNMinSize, Probes: e.cfg.ANNProbes}
+		e.exIndex.EnableANN(annCfg)
+		e.insIndex.EnableANN(annCfg)
+	}
+	e.exIndex.Build()
+	e.insIndex.Build()
 }
 
 // fullExCand is one precomputed full-query example candidate.
@@ -238,6 +281,21 @@ func (e *Engine) KnowledgeSet() *knowledge.Set { return e.kset }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// RetrievalStats aggregates the two retrieval indices' search counters.
+type RetrievalStats struct {
+	Examples     embed.SearchStats
+	Instructions embed.SearchStats
+}
+
+// RetrievalStats snapshots the engine's retrieval counters. Safe to call
+// concurrently with Generate.
+func (e *Engine) RetrievalStats() RetrievalStats {
+	return RetrievalStats{
+		Examples:     e.exIndex.Stats(),
+		Instructions: e.insIndex.Stats(),
+	}
+}
 
 // Database returns the bound database.
 func (e *Engine) Database() *sqldb.Database { return e.db }
@@ -619,7 +677,7 @@ func (e *Engine) selectExamples(qv embed.Vector, intentIDs []string) []llm.Retri
 			}
 		}
 	}
-	for _, hit := range e.exIndex.SearchVector(qv, 24) {
+	for _, hit := range e.exIndex.SearchVector(qv, e.cfg.ExampleFanout) {
 		if ex := e.kset.Example(hit.ID); ex != nil && !seen[ex.ID] {
 			seen[ex.ID] = true
 			candidates = append(candidates, ex)
@@ -707,7 +765,7 @@ func (e *Engine) selectInstructions(qv embed.Vector, intentIDs []string, example
 			}
 		}
 	}
-	for _, hit := range e.insIndex.SearchVector(qv, 16) {
+	for _, hit := range e.insIndex.SearchVector(qv, e.cfg.InstructionFanout) {
 		if ins := e.kset.Instruction(hit.ID); ins != nil && !seen[ins.ID] {
 			seen[ins.ID] = true
 			candidates = append(candidates, ins)

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestScaledSuiteShape(t *testing.T) {
+	sc := ScaleConfig{DBFactor: 3, KnowledgeFactor: 10}
+	s := NewScaledSuite(1, sc)
+
+	wantDBs := Domains() * sc.DBFactor
+	if len(s.Databases) != wantDBs {
+		t.Fatalf("databases = %d, want %d", len(s.Databases), wantDBs)
+	}
+	// Every domain contributes its full 12+4+2 template set per clone.
+	wantCases := wantDBs * 18
+	if len(s.Cases) != wantCases {
+		t.Fatalf("cases = %d, want %d", len(s.Cases), wantCases)
+	}
+
+	// Clone databases must have distinct seeded data from their base (the
+	// row noise is salted with the database name).
+	base := s.Databases["sports_holdings"]
+	clone := s.Databases["sports_holdings_x001"]
+	if base == nil || clone == nil {
+		t.Fatal("expected both base and clone databases")
+	}
+	bt, ct := base.Table("SPORTS_FINANCIALS"), clone.Table("SPORTS_FINANCIALS")
+	if bt == nil || ct == nil {
+		t.Fatal("expected fact tables in base and clone")
+	}
+	same := true
+	for i := range bt.Rows {
+		if bt.Rows[i][2].Key() != ct.Rows[i][2].Key() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("clone database has identical metric data to its base; noise salting broke")
+	}
+
+	// Case IDs are unique across the whole scaled suite.
+	seen := make(map[string]bool, len(s.Cases))
+	for _, c := range s.Cases {
+		if seen[c.ID] {
+			t.Fatalf("duplicate case ID %s", c.ID)
+		}
+		seen[c.ID] = true
+		if s.Databases[c.DB] == nil {
+			t.Fatalf("case %s references unknown database %s", c.ID, c.DB)
+		}
+	}
+}
+
+func TestScaledSuiteKnowledgeGrowth(t *testing.T) {
+	s := NewScaledSuite(1, ScaleConfig{DBFactor: 1, KnowledgeFactor: 10})
+	kset, err := s.BuildKnowledge("sports_holdings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := len(kset.Examples())
+
+	base := NewSuite(1)
+	bset, err := base.BuildKnowledge("sports_holdings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled < 4*len(bset.Examples()) {
+		t.Fatalf("KnowledgeFactor 10 grew examples only %d -> %d; variant log entries are not feeding the index",
+			len(bset.Examples()), scaled)
+	}
+}
+
+func TestScaledSuiteGoldExecutes(t *testing.T) {
+	s := NewScaledSuite(1, ScaleConfig{DBFactor: 2, KnowledgeFactor: 2})
+	// Sample across the case list: every clone's templates share shape with
+	// the gold-validated base suite; this guards that cloning kept the SQL
+	// executable against the re-seeded data.
+	for i := 0; i < len(s.Cases); i += 7 {
+		c := s.Cases[i]
+		exec, err := s.Executor(c.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Query(c.GoldSQL)
+		if err != nil {
+			t.Fatalf("case %s: gold SQL failed: %v", c.ID, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("case %s: gold SQL returned no rows", c.ID)
+		}
+	}
+}
+
+func TestScaledSuiteDeterministic(t *testing.T) {
+	a := NewScaledSuite(7, ScaleConfig{DBFactor: 2, KnowledgeFactor: 3})
+	b := NewScaledSuite(7, ScaleConfig{DBFactor: 2, KnowledgeFactor: 3})
+	if len(a.Cases) != len(b.Cases) {
+		t.Fatalf("case counts differ: %d vs %d", len(a.Cases), len(b.Cases))
+	}
+	for i := range a.Cases {
+		if a.Cases[i].ID != b.Cases[i].ID || a.Cases[i].GoldSQL != b.Cases[i].GoldSQL {
+			t.Fatalf("case %d differs between identical builds", i)
+		}
+	}
+	for db, in := range a.KB {
+		if len(in.Logs) != len(b.KB[db].Logs) {
+			t.Fatalf("db %s: log counts differ", db)
+		}
+	}
+}

@@ -161,6 +161,50 @@ func WithBatchExec(enabled bool) Option {
 	}
 }
 
+// ANNRetrieval tunes the partitioned retrieval index every engine builds
+// over its knowledge set (see internal/embed): a deterministic IVF-style
+// clustering searched best-partition-first with an exactness guard, so
+// top-k results are always order-identical to the brute-force scan.
+type ANNRetrieval struct {
+	// Disable forces every retrieval through the plain full scan.
+	Disable bool
+	// MinSize is the minimum index size before partitioning kicks in
+	// (0 = embed.DefaultANNMinSize). Small knowledge sets stay on the scan
+	// path, where partitioning overhead exceeds the savings.
+	MinSize int
+	// Probes is the number of best-ranked partitions scanned before the
+	// exactness guard decides whether more are needed
+	// (0 = embed.DefaultANNProbes).
+	Probes int
+}
+
+// WithANNRetrieval overrides the ANN retrieval tuning in every engine the
+// service builds (enabled with defaults otherwise). Like WithBatchExec this
+// never changes results — the ANN layer is exact by construction — so the
+// knob exists for debugging and brute-vs-ANN comparisons.
+func WithANNRetrieval(cfg ANNRetrieval) Option {
+	return func(s *Service) {
+		s.annSet = true
+		s.ann = cfg
+	}
+}
+
+// WithRetrievalFanout overrides the example / instruction retrieval
+// fan-outs — how many candidates each selector pulls from its index before
+// intent filtering and re-ranking. Values <= 0 keep the defaults
+// (pipeline.DefaultExampleFanout / pipeline.DefaultInstructionFanout, the
+// paper configuration). Raising the fan-outs trades retrieval latency for
+// re-ranking quality headroom on large knowledge sets; lowering them is an
+// ablation knob. Fan-outs change which candidates reach the re-ranker, so —
+// unlike WithANNRetrieval — non-default values can change generated SQL.
+func WithRetrievalFanout(examples, instructions int) Option {
+	return func(s *Service) {
+		s.fanoutSet = true
+		s.exFanout = examples
+		s.insFanout = instructions
+	}
+}
+
 // WithGenerationCache enables the versioned generation cache: a bounded LRU
 // of completed Records keyed by (database, knowledge version, normalized
 // question, evidence), with singleflight coalescing so concurrent identical
@@ -291,6 +335,11 @@ type Service struct {
 	stmtCacheSize int
 	batchExecSet  bool
 	batchExec     bool
+	annSet        bool
+	ann           ANNRetrieval
+	fanoutSet     bool
+	exFanout      int
+	insFanout     int
 	genCacheSize  int
 	trace         TraceFunc
 	storePath     string
@@ -448,6 +497,15 @@ func (s *Service) build(db string) (*Engine, error) {
 	}
 	if s.batchExecSet {
 		cfg.DisableBatchExec = !s.batchExec
+	}
+	if s.annSet {
+		cfg.DisableANNRetrieval = s.ann.Disable
+		cfg.ANNMinSize = s.ann.MinSize
+		cfg.ANNProbes = s.ann.Probes
+	}
+	if s.fanoutSet {
+		cfg.ExampleFanout = s.exFanout
+		cfg.InstructionFanout = s.insFanout
 	}
 	model := simllm.New(simllm.GenEditProfile(), s.suite.Registry, s.modelSeed)
 	return pipeline.New(model, kset, s.suite.Databases[db], cfg), nil
@@ -795,6 +853,30 @@ func (s *Service) AdmissionStats() AdmissionStats {
 // AdmissionEnabled reports whether WithAdmission configured admission
 // control for this service.
 func (s *Service) AdmissionEnabled() bool { return s.admission != nil }
+
+// RetrievalStats is the per-index retrieval counter snapshot of one
+// database's engine (see pipeline.RetrievalStats / embed.SearchStats).
+type RetrievalStats = pipeline.RetrievalStats
+
+// RetrievalStats snapshots the retrieval counters of every built engine,
+// keyed by database. Databases whose engines are still building (or failed
+// to build) are absent. Safe to call concurrently with serving; an engine
+// hot-swapped by an approval starts from fresh counters.
+func (s *Service) RetrievalStats() map[string]RetrievalStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]RetrievalStats, len(s.engines))
+	for db, p := range s.engines {
+		select {
+		case <-p.ready:
+			if p.engine != nil {
+				out[db] = p.engine.RetrievalStats()
+			}
+		default:
+		}
+	}
+	return out
+}
 
 // GenerateBatch serves many requests concurrently over the service's
 // bounded worker pool (WithWorkers). The returned slice always has one
